@@ -1,0 +1,58 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench fuzz experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the slow integration matrix and shape tests.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/wire/ ./internal/protocol/
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per paper table/figure (reduced scale) plus module
+# micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz sessions over the invariant fuzz targets.
+fuzz:
+	$(GO) test -fuzz=FuzzHistogramInvariant -fuzztime=30s ./internal/eh/
+	$(GO) test -fuzz=FuzzSketchGuarantee -fuzztime=30s ./internal/fd/
+	$(GO) test -fuzz=FuzzSkewBufferOrdering -fuzztime=30s ./internal/stream/
+
+# Regenerate the paper's tables and figures (default scale, ~30 min).
+experiments:
+	$(GO) run ./cmd/trackbench -exp all -scale default -csv experiments.csv
+
+# Render the panels from the experiments CSV as SVGs under figures/.
+figures: experiments
+	$(GO) run ./cmd/plotfig -in experiments.csv -out figures
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/netmon
+	$(GO) run ./examples/changedetect
+	$(GO) run ./examples/heavyhitters
+	$(GO) run ./examples/anomaly
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f experiments.csv test_output.txt bench_output.txt

@@ -1,0 +1,115 @@
+package distwindow_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// lazy-broadcast threshold maintenance vs Algorithm 1's exact maintenance,
+// DA2's ledger replay vs the compressed IWMT_c/IWMT_e expiry pipeline, and
+// the -ALL estimator vs exact-ℓ sampling.
+
+import (
+	"testing"
+
+	"distwindow"
+	"distwindow/internal/bench"
+)
+
+// BenchmarkAblationLazyVsExact quantifies Algorithm 2's point: the lazy
+// protocol slashes threshold broadcasts (and coordinator synchronization)
+// at equal sample quality.
+func BenchmarkAblationLazyVsExact(b *testing.B) {
+	_, synth, _ := datasets()
+	var lazy, exact bench.Result
+	for i := 0; i < b.N; i++ {
+		lazy = runOne(b, synth, distwindow.PWOR, 0.2, bench.Options{Queries: 10, Seed: 1})
+		exact = runOne(b, synth, distwindow.PWORSimple, 0.2, bench.Options{Queries: 10, Seed: 1})
+	}
+	b.ReportMetric(lazy.MsgWords, "lazy_msg_words")
+	b.ReportMetric(exact.MsgWords, "exact_msg_words")
+	b.ReportMetric(float64(lazy.Broadcasts), "lazy_broadcasts")
+	b.ReportMetric(float64(exact.Broadcasts), "exact_broadcasts")
+	b.ReportMetric(lazy.AvgErr, "lazy_err")
+	b.ReportMetric(exact.AvgErr, "exact_err")
+}
+
+// BenchmarkAblationDA2Compression compares DA2's ledger replay against the
+// DA2-C IWMT_c/IWMT_e expiry re-sketching.
+func BenchmarkAblationDA2Compression(b *testing.B) {
+	pamap, _, _ := datasets()
+	var plain, compressed bench.Result
+	for i := 0; i < b.N; i++ {
+		plain = runOne(b, pamap, distwindow.DA2, 0.1, bench.Options{Queries: 10, Seed: 1})
+		compressed = runOne(b, pamap, distwindow.DA2C, 0.1, bench.Options{Queries: 10, Seed: 1})
+	}
+	b.ReportMetric(plain.MsgWords, "da2_msg_words")
+	b.ReportMetric(compressed.MsgWords, "da2c_msg_words")
+	b.ReportMetric(plain.AvgErr, "da2_err")
+	b.ReportMetric(compressed.AvgErr, "da2c_err")
+}
+
+// BenchmarkAblationUseAll quantifies the free-samples estimator: PWOR-ALL
+// uses the whole threshold sample (ℓ..4ℓ rows) instead of exactly top-ℓ.
+func BenchmarkAblationUseAll(b *testing.B) {
+	pamap, _, _ := datasets()
+	var topL, all bench.Result
+	for i := 0; i < b.N; i++ {
+		topL = runOne(b, pamap, distwindow.PWOR, 0.15, bench.Options{Queries: 10, Seed: 1})
+		all = runOne(b, pamap, distwindow.PWORAll, 0.15, bench.Options{Queries: 10, Seed: 1})
+	}
+	b.ReportMetric(topL.AvgErr, "pwor_err")
+	b.ReportMetric(all.AvgErr, "pwor_all_err")
+}
+
+// BenchmarkAblationPriorityVsES contrasts the two weighted-sampling
+// schemes on skewed data — the paper's reason to prefer priority sampling
+// when R is large.
+func BenchmarkAblationPriorityVsES(b *testing.B) {
+	_, _, wiki := datasets()
+	var pw, es bench.Result
+	for i := 0; i < b.N; i++ {
+		pw = runOne(b, wiki, distwindow.PWORAll, 0.15, bench.Options{Queries: 10, Seed: 1})
+		es = runOne(b, wiki, distwindow.ESWORAll, 0.15, bench.Options{Queries: 10, Seed: 1})
+	}
+	b.ReportMetric(pw.MaxErr, "pwor_all_max_err")
+	b.ReportMetric(es.MaxErr, "eswor_all_max_err")
+}
+
+// BenchmarkAblationWithReplacement measures the cost of the
+// with-replacement extensions relative to PWOR — the reason the paper
+// excludes them from the headline experiments.
+func BenchmarkAblationWithReplacement(b *testing.B) {
+	_, synth, _ := datasets()
+	var wor, wr bench.Result
+	for i := 0; i < b.N; i++ {
+		wor = runOne(b, synth, distwindow.PWOR, 0.3, bench.Options{Queries: 5, Seed: 1, Ell: 64})
+		wr = runOne(b, synth, distwindow.PWR, 0.3, bench.Options{Queries: 5, Seed: 1, Ell: 64})
+	}
+	b.ReportMetric(wor.UpdatesPerSec, "pwor_rows_per_s")
+	b.ReportMetric(wr.UpdatesPerSec, "pwr_rows_per_s")
+}
+
+// BenchmarkAblationUniformBaseline reruns the paper's §II motivating
+// example at benchmark scale: uniform sampling's error on the skewed
+// WIKI-sim stream versus priority sampling's, at equal sample size.
+func BenchmarkAblationUniformBaseline(b *testing.B) {
+	_, _, wiki := datasets()
+	var uni, pri bench.Result
+	for i := 0; i < b.N; i++ {
+		uni = runOne(b, wiki, distwindow.Uniform, 0.15, bench.Options{Queries: 10, Seed: 1, Ell: 128})
+		pri = runOne(b, wiki, distwindow.PWOR, 0.15, bench.Options{Queries: 10, Seed: 1, Ell: 128})
+	}
+	b.ReportMetric(uni.AvgErr, "uniform_err")
+	b.ReportMetric(pri.AvgErr, "priority_err")
+}
+
+// BenchmarkAblationCentralizedReference compares DA2's coordinator sketch
+// against a zero-communication centralized Frequent Directions sketch of
+// the same window — the accuracy a single machine could get. The gap is
+// the price of distribution.
+func BenchmarkAblationCentralizedReference(b *testing.B) {
+	pamap, _, _ := datasets()
+	var dist bench.Result
+	for i := 0; i < b.N; i++ {
+		dist = runOne(b, pamap, distwindow.DA2, 0.1, bench.Options{Queries: 10, Seed: 1})
+	}
+	b.ReportMetric(dist.AvgErr, "da2_err")
+	b.ReportMetric(dist.MsgWords, "da2_msg_words")
+}

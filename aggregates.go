@@ -1,0 +1,100 @@
+package distwindow
+
+import (
+	"fmt"
+
+	"distwindow/internal/freq"
+	"distwindow/internal/protocol"
+)
+
+// This file exposes the deterministic-template generalizations of §III-A:
+// beyond SUM/COUNT (AggregateTracker), the same site-side C − Ĉ reporting
+// rule tracks item frequencies and order statistics over the distributed
+// sliding window — the aggregate queries the paper notes its framework
+// simplifies relative to Cormode–Yi.
+
+// FrequencyTracker tracks per-item frequencies over the union window with
+// additive error ε·N (N = number of active items). Heavy hitters follow
+// directly from TopK.
+type FrequencyTracker struct {
+	inner *freq.FrequencyTracker
+	net   *protocol.Network
+}
+
+// NewFrequency builds a frequency tracker; only W, Eps and Sites of cfg
+// are used.
+func NewFrequency(cfg Config) (*FrequencyTracker, error) {
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("distwindow: Sites = %d, want ≥ 1", cfg.Sites)
+	}
+	net := protocol.NewNetwork(cfg.Sites)
+	inner, err := freq.NewFrequency(cfg.W, cfg.Eps, cfg.Sites, net)
+	if err != nil {
+		return nil, err
+	}
+	return &FrequencyTracker{inner: inner, net: net}, nil
+}
+
+// Observe records one occurrence of item x at the given site and time.
+func (t *FrequencyTracker) Observe(site int, now int64, x int64) {
+	t.inner.Observe(site, now, x)
+}
+
+// Advance moves every site's clock forward.
+func (t *FrequencyTracker) Advance(now int64) { t.inner.Advance(now) }
+
+// Estimate returns the frequency estimate for item x, within ε·N.
+func (t *FrequencyTracker) Estimate(x int64) float64 { return t.inner.Estimate(x) }
+
+// Total returns the estimated number of active items.
+func (t *FrequencyTracker) Total() float64 { return t.inner.Total() }
+
+// HeavyHitter is one (item, estimated frequency) pair.
+type HeavyHitter = freq.ItemCount
+
+// TopK returns the window's k heaviest items in decreasing frequency.
+func (t *FrequencyTracker) TopK(k int) []HeavyHitter { return t.inner.TopK(k) }
+
+// Stats returns the communication counters accumulated so far.
+func (t *FrequencyTracker) Stats() Stats { return t.net.Stats() }
+
+// QuantileTracker tracks order statistics of values in [0, 1) over the
+// union window: ranks within ε·N, quantiles within ε rank error.
+type QuantileTracker struct {
+	inner *freq.QuantileTracker
+	net   *protocol.Network
+}
+
+// NewQuantile builds a quantile tracker; only W, Eps and Sites of cfg are
+// used. Values must lie in [0, 1) — rescale beforehand.
+func NewQuantile(cfg Config) (*QuantileTracker, error) {
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("distwindow: Sites = %d, want ≥ 1", cfg.Sites)
+	}
+	net := protocol.NewNetwork(cfg.Sites)
+	inner, err := freq.NewQuantile(cfg.W, cfg.Eps, cfg.Sites, net)
+	if err != nil {
+		return nil, err
+	}
+	return &QuantileTracker{inner: inner, net: net}, nil
+}
+
+// Observe records value v ∈ [0, 1) at the given site and time.
+func (t *QuantileTracker) Observe(site int, now int64, v float64) {
+	t.inner.Observe(site, now, v)
+}
+
+// Advance moves every site's clock forward.
+func (t *QuantileTracker) Advance(now int64) { t.inner.Advance(now) }
+
+// Rank returns the estimated number of active values < x.
+func (t *QuantileTracker) Rank(x float64) float64 { return t.inner.Rank(x) }
+
+// Quantile returns an approximate φ-quantile of the window.
+func (t *QuantileTracker) Quantile(phi float64) float64 { return t.inner.Quantile(phi) }
+
+// Total returns the estimated number of active values.
+func (t *QuantileTracker) Total() float64 { return t.inner.Total() }
+
+// Stats returns the communication counters accumulated so far.
+func (t *QuantileTracker) Stats() Stats { return t.net.Stats() }

@@ -1,0 +1,80 @@
+package distwindow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeFrequency(t *testing.T) {
+	ft, err := NewFrequency(Config{W: 1000, Eps: 0.1, Sites: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := int64(1); i <= 3000; i++ {
+		x := int64(rng.Intn(3)) // items 0,1,2 ≈ uniform
+		ft.Observe(rng.Intn(3), i, x)
+	}
+	n := ft.Total()
+	if math.Abs(n-1000) > 200 {
+		t.Fatalf("Total = %v, want ≈1000", n)
+	}
+	for x := int64(0); x < 3; x++ {
+		if f := ft.Estimate(x); math.Abs(f-n/3) > 0.25*n {
+			t.Fatalf("Estimate(%d) = %v, want ≈%v", x, f, n/3)
+		}
+	}
+	top := ft.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK = %+v", top)
+	}
+	if ft.Stats().WordsUp == 0 {
+		t.Fatal("no communication recorded")
+	}
+}
+
+func TestFacadeFrequencyHeavyHitter(t *testing.T) {
+	ft, _ := NewFrequency(Config{W: 100_000, Eps: 0.05, Sites: 2})
+	rng := rand.New(rand.NewSource(2))
+	for i := int64(1); i <= 2000; i++ {
+		x := int64(rng.Intn(100))
+		if i%2 == 0 {
+			x = 42 // item 42 takes half the stream
+		}
+		ft.Observe(rng.Intn(2), i, x)
+	}
+	top := ft.TopK(1)
+	if len(top) == 0 || top[0].Item != 42 {
+		t.Fatalf("TopK(1) = %+v, want item 42", top)
+	}
+}
+
+func TestFacadeQuantile(t *testing.T) {
+	qt, err := NewQuantile(Config{W: 100_000, Eps: 0.1, Sites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := int64(1); i <= 4000; i++ {
+		qt.Observe(rng.Intn(2), i, rng.Float64())
+	}
+	if q := qt.Quantile(0.5); math.Abs(q-0.5) > 0.3 {
+		t.Fatalf("median = %v", q)
+	}
+	if r := qt.Rank(0.25); math.Abs(r-1000) > 500 {
+		t.Fatalf("Rank(0.25) = %v, want ≈1000", r)
+	}
+	if qt.Stats().WordsUp == 0 {
+		t.Fatal("no communication recorded")
+	}
+}
+
+func TestFacadeAggregatesValidation(t *testing.T) {
+	if _, err := NewFrequency(Config{W: 10, Eps: 0.1, Sites: 0}); err == nil {
+		t.Fatal("want error for Sites=0")
+	}
+	if _, err := NewQuantile(Config{W: 0, Eps: 0.1, Sites: 1}); err == nil {
+		t.Fatal("want error for W=0")
+	}
+}

@@ -1,0 +1,147 @@
+package distwindow
+
+import (
+	"fmt"
+	"math"
+
+	"distwindow/mat"
+)
+
+// This file holds the downstream-analytics helpers the paper motivates in
+// §I: approximate PCA from a covariance sketch (application 1, change
+// detection) and sketch-based anomaly scoring (application 2, after Huang
+// and Kasiviswanathan, PVLDB 2015).
+
+// PCA is an approximate principal component basis extracted from a
+// covariance sketch: the top-k right singular vectors and the
+// corresponding singular values of the sketch.
+type PCA struct {
+	// Components has one principal direction per row (k×d, orthonormal).
+	Components *mat.Dense
+	// Values are the squared singular values (variance captured per
+	// component).
+	Values []float64
+}
+
+// SketchPCA computes the approximate top-k PCA basis of the window matrix
+// from its covariance sketch b. Ghashami–Phillips show the top-k right
+// singular vectors of an ε-covariance sketch span a subspace capturing
+// the data's variance to within ε‖A‖_F² per direction.
+func SketchPCA(b *mat.Dense, k int) PCA {
+	if k < 1 {
+		panic("distwindow: PCA k must be ≥ 1")
+	}
+	svd := mat.ThinSVD(b)
+	if k > len(svd.S) {
+		k = len(svd.S)
+	}
+	comp := mat.NewDense(k, b.Cols())
+	vals := make([]float64, k)
+	for i := 0; i < k; i++ {
+		comp.SetRow(i, svd.Vt.Row(i))
+		vals[i] = svd.S[i] * svd.S[i]
+	}
+	return PCA{Components: comp, Values: vals}
+}
+
+// SubspaceDistance returns a change score in [0, 1] between two PCA bases:
+// 1 − σ_min(P·Qᵀ)², where σ_min is over the principal angles of the two
+// subspaces. Scores near 0 mean the testing window's subspace matches the
+// reference window; scores near 1 flag a change (the §I change-detection
+// application).
+func SubspaceDistance(p, q PCA) float64 {
+	if p.Components.Rows() == 0 || q.Components.Rows() == 0 {
+		return 1
+	}
+	m := mat.Mul(p.Components, q.Components.T())
+	svd := mat.ThinSVD(m)
+	if len(svd.S) == 0 {
+		return 1
+	}
+	smin := svd.S[len(svd.S)-1]
+	d := 1 - smin*smin
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// AnomalyScorer scores incoming points against the sketch of the recent
+// (non-anomalous) window: the score is the fraction of a point's energy
+// outside the sketch's top-k subspace — the residual projection distance
+// f(B, x) that approximates f(A_w, x) when B is a covariance sketch of
+// A_w.
+type AnomalyScorer struct {
+	basis *mat.Dense
+}
+
+// NewAnomalyScorer builds a scorer from a covariance sketch using its
+// top-k subspace.
+func NewAnomalyScorer(b *mat.Dense, k int) *AnomalyScorer {
+	return &AnomalyScorer{basis: SketchPCA(b, k).Components}
+}
+
+// Score returns ‖x − V_kV_kᵀx‖²/‖x‖² ∈ [0, 1]: 0 means x lies in the
+// window's dominant subspace, 1 means it is orthogonal to it.
+func (s *AnomalyScorer) Score(x []float64) float64 {
+	nx := mat.VecNormSq(x)
+	if nx == 0 {
+		return 0
+	}
+	proj := mat.MulVec(s.basis, x)
+	res := nx - mat.VecNormSq(proj)
+	if res < 0 {
+		return 0
+	}
+	return res / nx
+}
+
+// LowRankApprox returns the best rank-k approximation factors of the
+// sketch: the k×d matrix Σ_k^{1/2}·V_kᵀ whose Gram matrix approximates
+// A_wᵀA_w restricted to the top-k subspace. It is the building block the
+// paper cites for low-rank approximation applications.
+func LowRankApprox(b *mat.Dense, k int) *mat.Dense {
+	svd := mat.ThinSVD(b)
+	if k > len(svd.S) {
+		k = len(svd.S)
+	}
+	out := mat.NewDense(k, b.Cols())
+	for i := 0; i < k; i++ {
+		vt := svd.Vt.Row(i)
+		row := out.Row(i)
+		for j := range row {
+			row[j] = svd.S[i] * vt[j]
+		}
+	}
+	return out
+}
+
+// ProjectionEnergy returns ‖Bx‖² for a unit-normalized direction x — the
+// quantity a covariance sketch preserves for every direction
+// (‖A_wx‖² ≈ ‖Bx‖² within ε‖A_w‖_F²).
+func ProjectionEnergy(b *mat.Dense, x []float64) float64 {
+	n := mat.VecNorm(x)
+	if n == 0 {
+		return 0
+	}
+	u := make([]float64, len(x))
+	for i, v := range x {
+		u[i] = v / n
+	}
+	return mat.VecNormSq(mat.MulVec(b, u))
+}
+
+// FormatStats renders a Stats value as the paper reports costs: total
+// words, split by direction, plus space maxima.
+func FormatStats(s Stats) string {
+	return fmt.Sprintf("words=%d (up=%d down=%d) msgs=%d/%d broadcasts=%d site_space=%d coord_space=%d",
+		s.TotalWords(), s.WordsUp, s.WordsDown, s.MsgsUp, s.MsgsDown, s.Broadcasts, s.MaxSiteWords, s.CoordWords)
+}
+
+// EffectiveEps reports the observed covariance error of b against ref and
+// whether it is within the requested ε (with the constant-factor slack c
+// the analyses allow).
+func EffectiveEps(ref, b *mat.Dense, eps, c float64) (float64, bool) {
+	e := mat.CovErr(ref, b)
+	return e, !math.IsNaN(e) && e <= c*eps
+}

@@ -1,0 +1,78 @@
+package distwindow
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"distwindow/internal/core"
+	"distwindow/internal/protocol"
+)
+
+// Checkpointing: the deterministic trackers (DA1, DA2, DA2-C and the SUM
+// special case) can serialize their complete state — site histograms,
+// ledgers, coordinator estimate — and resume after a process restart with
+// bit-identical behaviour. The sampling trackers are not checkpointable:
+// their state includes the in-flight priority RNG, and restarting it
+// would silently change the sampling distribution.
+
+// checkpointEnvelope is the on-disk format.
+type checkpointEnvelope struct {
+	Protocol Protocol
+	Config   Config
+	DA1      *core.DA1Snapshot
+	DA2      *core.DA2Snapshot
+}
+
+// Checkpointable reports whether the tracker's protocol supports
+// Checkpoint/Restore.
+func (t *Tracker) Checkpointable() bool {
+	switch t.cfg.Protocol {
+	case DA1, DA2, DA2C:
+		return true
+	}
+	return false
+}
+
+// Checkpoint serializes the tracker's full state to w. Returns an error
+// for protocols that do not support checkpointing.
+func (t *Tracker) Checkpoint(w io.Writer) error {
+	env := checkpointEnvelope{Protocol: t.cfg.Protocol, Config: t.cfg}
+	switch inner := t.inner.(type) {
+	case *core.DA1:
+		sn := inner.Snapshot()
+		env.DA1 = &sn
+	case *core.DA2:
+		sn := inner.Snapshot()
+		env.DA2 = &sn
+	default:
+		return fmt.Errorf("distwindow: protocol %s is not checkpointable", t.cfg.Protocol)
+	}
+	return gob.NewEncoder(w).Encode(env)
+}
+
+// Restore rebuilds a tracker from a checkpoint written by Checkpoint.
+// Communication counters restart from zero (they describe a run, not the
+// protocol state).
+func Restore(r io.Reader) (*Tracker, error) {
+	var env checkpointEnvelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("distwindow: reading checkpoint: %w", err)
+	}
+	net := protocol.NewNetwork(env.Config.Sites)
+	switch {
+	case env.DA1 != nil:
+		inner, err := core.RestoreDA1(*env.DA1, net)
+		if err != nil {
+			return nil, err
+		}
+		return &Tracker{inner: inner, net: net, cfg: env.Config}, nil
+	case env.DA2 != nil:
+		inner, err := core.RestoreDA2(*env.DA2, net)
+		if err != nil {
+			return nil, err
+		}
+		return &Tracker{inner: inner, net: net, cfg: env.Config}, nil
+	}
+	return nil, fmt.Errorf("distwindow: checkpoint carries no tracker state")
+}

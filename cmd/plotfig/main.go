@@ -1,0 +1,168 @@
+// Command plotfig turns trackbench's CSV output into the paper's figure
+// panels as SVG files — one per (dataset, panel) pair:
+//
+//	trackbench -exp all -csv points.csv
+//	plotfig -in points.csv -out figures/
+//
+// Panels: err-vs-eps (a), msg-vs-eps (b), err-vs-msg (c), maxerr-vs-msg
+// (d), err-vs-m (e), msg-vs-m (f), space-vs-eps (Figure 4).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"distwindow/internal/svgplot"
+)
+
+type row struct {
+	dataset  string
+	protocol string
+	eps      float64
+	sites    int
+	avgErr   float64
+	maxErr   float64
+	msgWords float64
+	space    float64
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "experiments.csv", "CSV written by trackbench -csv")
+		out = flag.String("out", "figures", "output directory for SVGs")
+	)
+	flag.Parse()
+
+	rows, err := readCSV(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	byDataset := map[string][]row{}
+	for _, r := range rows {
+		byDataset[r.dataset] = append(byDataset[r.dataset], r)
+	}
+	written := 0
+	for ds, rs := range byDataset {
+		// ε-sweep rows are those at the default m=20; site-sweep rows vary m
+		// at ε=0.05.
+		var epsRows, siteRows []row
+		for _, r := range rs {
+			if r.sites == 20 {
+				epsRows = append(epsRows, r)
+			}
+			if r.eps == 0.05 {
+				siteRows = append(siteRows, r)
+			}
+		}
+		panels := []struct {
+			name string
+			rows []row
+			logx bool
+			logy bool
+			xl   string
+			yl   string
+			xf   func(row) float64
+			yf   func(row) float64
+		}{
+			{"a_err_vs_eps", epsRows, false, false, "epsilon", "avg covariance error", func(r row) float64 { return r.eps }, func(r row) float64 { return r.avgErr }},
+			{"b_msg_vs_eps", epsRows, false, true, "epsilon", "words per window", func(r row) float64 { return r.eps }, func(r row) float64 { return r.msgWords }},
+			{"c_err_vs_msg", epsRows, true, false, "words per window", "avg covariance error", func(r row) float64 { return r.msgWords }, func(r row) float64 { return r.avgErr }},
+			{"d_maxerr_vs_msg", epsRows, true, false, "words per window", "max covariance error", func(r row) float64 { return r.msgWords }, func(r row) float64 { return r.maxErr }},
+			{"e_err_vs_m", siteRows, false, false, "sites m", "avg covariance error", func(r row) float64 { return float64(r.sites) }, func(r row) float64 { return r.avgErr }},
+			{"f_msg_vs_m", siteRows, false, true, "sites m", "words per window", func(r row) float64 { return float64(r.sites) }, func(r row) float64 { return r.msgWords }},
+			{"space_vs_eps", epsRows, false, true, "epsilon", "max site words", func(r row) float64 { return r.eps }, func(r row) float64 { return r.space }},
+		}
+		for _, panel := range panels {
+			p := svgplot.Plot{
+				Title:  fmt.Sprintf("%s — %s", ds, strings.ReplaceAll(panel.name[2:], "_", " ")),
+				XLabel: panel.xl, YLabel: panel.yl,
+				LogX: panel.logx, LogY: panel.logy,
+			}
+			byProto := map[string][]svgplot.Point{}
+			var order []string
+			for _, r := range panel.rows {
+				if _, ok := byProto[r.protocol]; !ok {
+					order = append(order, r.protocol)
+				}
+				byProto[r.protocol] = append(byProto[r.protocol], svgplot.Point{X: panel.xf(r), Y: panel.yf(r)})
+			}
+			if len(order) == 0 {
+				continue
+			}
+			for _, name := range order {
+				p.Series = append(p.Series, svgplot.Series{Name: name, Points: byProto[name]})
+			}
+			path := filepath.Join(*out, sanitize(ds)+"_"+panel.name+".svg")
+			if err := os.WriteFile(path, []byte(p.Render()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			written++
+		}
+	}
+	fmt.Printf("wrote %d figure panels to %s\n", written, *out)
+}
+
+func readCSV(path string) ([]row, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	recs, err := rd.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("plotfig: %s has no data rows", path)
+	}
+	col := map[string]int{}
+	for i, name := range recs[0] {
+		col[name] = i
+	}
+	need := []string{"dataset", "protocol", "eps", "sites", "avg_err", "max_err", "msg_words", "site_space"}
+	for _, n := range need {
+		if _, ok := col[n]; !ok {
+			return nil, fmt.Errorf("plotfig: missing column %q", n)
+		}
+	}
+	var out []row
+	for _, rec := range recs[1:] {
+		f := func(name string) float64 {
+			v, _ := strconv.ParseFloat(rec[col[name]], 64)
+			return v
+		}
+		out = append(out, row{
+			dataset:  rec[col["dataset"]],
+			protocol: rec[col["protocol"]],
+			eps:      f("eps"),
+			sites:    int(f("sites")),
+			avgErr:   f("avg_err"),
+			maxErr:   f("max_err"),
+			msgWords: f("msg_words"),
+			space:    f("site_space"),
+		})
+	}
+	return out, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,142 @@
+// Command sketchd maintains a covariance sketch over an event stream read
+// from stdin (or a file) in the CSV format `timestamp,site,v1,...,vd`, and
+// prints the sketch, its spectrum and the protocol's cost at the end — a
+// pipe-friendly way to run the trackers on real data.
+//
+// Usage:
+//
+//	datagen -scale tiny -dump events.csv -which pamap
+//	sketchd -proto DA2 -w 3000000 -eps 0.05 -sites 20 < events.csv
+//
+// With -audit the exact window matrix is retained and the final
+// covariance error printed (memory: O(window)).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"distwindow"
+	"distwindow/internal/csvio"
+	"distwindow/internal/stream"
+	"distwindow/internal/window"
+	"distwindow/mat"
+)
+
+func main() {
+	var (
+		proto = flag.String("proto", "DA2", "protocol (see distwindow.Protocols)")
+		w     = flag.Int64("w", 1_000_000, "window length in ticks")
+		eps   = flag.Float64("eps", 0.05, "target covariance error")
+		sites = flag.Int("sites", 20, "number of sites (site ids in input must be < this)")
+		ell   = flag.Int("ell", 0, "sample size override for sampling protocols")
+		seed  = flag.Int64("seed", 1, "RNG seed")
+		file  = flag.String("in", "-", "input file, - for stdin")
+		audit = flag.Bool("audit", false, "retain the exact window and print the final covariance error")
+		topk  = flag.Int("top", 5, "print the top-k singular values of the sketch")
+		save  = flag.String("checkpoint", "", "write a checkpoint of the tracker state to this path at exit (DA1/DA2 only)")
+		load  = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if *file != "-" {
+		f, err := os.Open(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var (
+		tr  *distwindow.Tracker
+		u   *window.Union
+		n   int
+		dim int
+	)
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err = distwindow.Restore(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		dim = tr.Config().D
+		if *audit {
+			log.Fatal("-audit cannot be combined with -resume: the exact window before the checkpoint is gone")
+		}
+	}
+	_, _, err := csvio.Read(in, func(e csvio.Event) error {
+		if tr == nil {
+			dim = len(e.Row.V)
+			var err error
+			tr, err = distwindow.New(distwindow.Config{
+				Protocol: distwindow.Protocol(*proto),
+				D:        dim,
+				W:        *w,
+				Eps:      *eps,
+				Sites:    *sites,
+				Ell:      *ell,
+				Seed:     *seed,
+			})
+			if err != nil {
+				return err
+			}
+			if *audit {
+				u = window.NewUnion(*w, dim)
+			}
+		}
+		if e.Site >= *sites {
+			return fmt.Errorf("site %d ≥ -sites %d", e.Site, *sites)
+		}
+		tr.Observe(e.Site, distwindow.Row{T: e.Row.T, V: e.Row.V})
+		if u != nil {
+			u.Add(stream.Row{T: e.Row.T, V: e.Row.V})
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tr == nil {
+		log.Fatal("no events read")
+	}
+
+	b := tr.Sketch()
+	fmt.Printf("protocol:   %s  (d=%d, %d events)\n", tr.Name(), dim, n)
+	fmt.Printf("sketch:     %d×%d\n", b.Rows(), b.Cols())
+	svd := mat.ThinSVD(b)
+	k := *topk
+	if k > len(svd.S) {
+		k = len(svd.S)
+	}
+	fmt.Printf("top-%d σ²:  ", k)
+	for i := 0; i < k; i++ {
+		fmt.Printf(" %.4g", svd.S[i]*svd.S[i])
+	}
+	fmt.Println()
+	fmt.Printf("cost:       %s\n", distwindow.FormatStats(tr.Stats()))
+	if u != nil {
+		fmt.Printf("cov error:  %.5f (target ε=%g)\n", u.ErrOf(b), *eps)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.Checkpoint(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint: %s\n", *save)
+	}
+}

@@ -1,0 +1,224 @@
+// Command trackbench regenerates the paper's evaluation tables and
+// figures (Tables II–III, Figures 1–4) on the synthetic reproductions of
+// the three datasets.
+//
+// Usage:
+//
+//	trackbench -exp all            # everything at the default scale
+//	trackbench -exp F1 -scale full # Figure 1 at paper-size streams
+//	trackbench -exp T3 -scale tiny # quick dataset summary
+//
+// Experiments: T2 (asymptotic-bound check), T3 (dataset summary),
+// F1 (PAMAP-sim panels a–f), F2 (SYNTHETIC a–f), F3 (WIKI-sim a–d + site
+// sweep), F4 (space and update rate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"distwindow"
+	"distwindow/internal/bench"
+	"distwindow/internal/datagen"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: all, T2, T3, F1, F2, F3, F4")
+		scale   = flag.String("scale", "default", "stream scale: tiny, default, full")
+		queries = flag.Int("queries", 50, "query points per run (paper: 50)")
+		seed    = flag.Int64("seed", 1, "RNG seed for data and protocols")
+		csvOut  = flag.String("csv", "", "also write every measured point as CSV to this path")
+		reps    = flag.Int("replicas", 1, "average each ε-sweep point over this many seeds (paper: 3)")
+	)
+	flag.Parse()
+
+	sc := bench.Scale(*scale)
+	switch sc {
+	case bench.Tiny, bench.Default, bench.Full:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if sc == bench.Full && *exp != "T3" {
+		fmt.Fprintln(os.Stderr, "note: -scale full runs paper-size streams; expect hours, and WIKI-sim at d=7047 needs ~5 GB (dense rows) plus ~800 MB for exact-error evaluation")
+	}
+
+	start := time.Now()
+	fmt.Printf("building datasets (%s scale, seed %d)...\n", sc, *seed)
+	dss := bench.Datasets(sc, *seed)
+	pamap, synth, wiki := dss[0], dss[1], dss[2]
+	fmt.Printf("datasets ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	want := strings.ToUpper(*exp)
+	run := func(id string) bool { return want == "ALL" || want == id }
+
+	var allResults []bench.Result
+	defer func() {
+		if *csvOut == "" || len(allResults) == 0 {
+			return
+		}
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, allResults); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Printf("wrote %d measured points to %s\n", len(allResults), *csvOut)
+	}()
+
+	if run("T3") {
+		fmt.Println("### Table III — dataset summary")
+		bench.PrintTable3(os.Stdout, dss)
+		fmt.Println()
+	}
+
+	var f1Eps, f2Eps, f3Eps []bench.Result
+	grid := bench.EpsGrid(sc)
+
+	if run("F1") || run("F4") || run("T2") {
+		fmt.Println("### Figure 1 — PAMAP-sim: ε sweep (panels a–d)")
+		var err error
+		f1Eps, err = bench.EpsSweepReplicated(os.Stdout, pamap, bench.FigureProtocols(false), grid, *queries, *seed, *reps)
+		check(err)
+		allResults = append(allResults, f1Eps...)
+		printPanels(f1Eps, "Figure 1")
+		if run("F1") {
+			fmt.Println("### Figure 1(e,f) — PAMAP-sim: vary sites m (ε=0.05)")
+			rs, err := bench.SiteSweep(os.Stdout, pamap, bench.FigureProtocols(false), bench.SiteGrid(sc, false), 0.05, *queries, *seed)
+			check(err)
+			allResults = append(allResults, rs...)
+			printVaryM(rs, "Figure 1")
+		}
+	}
+
+	if run("F2") || run("F4") || run("T2") {
+		fmt.Println("### Figure 2 — SYNTHETIC: ε sweep (panels a–d)")
+		var err error
+		f2Eps, err = bench.EpsSweepReplicated(os.Stdout, synth, bench.FigureProtocols(false), grid, *queries, *seed, *reps)
+		check(err)
+		allResults = append(allResults, f2Eps...)
+		printPanels(f2Eps, "Figure 2")
+		if run("F2") {
+			fmt.Println("### Figure 2(e,f) — SYNTHETIC: vary sites m (ε=0.05)")
+			rs, err := bench.SiteSweep(os.Stdout, synth, bench.FigureProtocols(false), bench.SiteGrid(sc, false), 0.05, *queries, *seed)
+			check(err)
+			allResults = append(allResults, rs...)
+			printVaryM(rs, "Figure 2")
+		}
+	}
+
+	if run("F3") || run("F4") {
+		fmt.Println("### Figure 3 — WIKI-sim: ε sweep (panels a–d; DA1 omitted as in the paper)")
+		var err error
+		f3Eps, err = bench.EpsSweepReplicated(os.Stdout, wiki, bench.FigureProtocols(true), grid, *queries, *seed, *reps)
+		check(err)
+		allResults = append(allResults, f3Eps...)
+		printPanels(f3Eps, "Figure 3")
+		if run("F3") {
+			fmt.Println("### Figure 3 — WIKI-sim: vary sites m ∈ {10,20} (ε=0.05)")
+			rs, err := bench.SiteSweep(os.Stdout, wiki, bench.FigureProtocols(true), bench.SiteGrid(sc, true), 0.05, *queries, *seed)
+			check(err)
+			allResults = append(allResults, rs...)
+			printVaryM(rs, "Figure 3")
+		}
+	}
+
+	if run("F4") {
+		fmt.Println("### Figure 4(a–c) — max site space (words) vs ε")
+		for _, set := range []struct {
+			name string
+			rs   []bench.Result
+		}{{"PAMAP-sim", f1Eps}, {"SYNTHETIC", f2Eps}, {"WIKI-sim", f3Eps}} {
+			bench.PrintFigure(os.Stdout, "Figure 4 space — "+set.name, set.rs,
+				func(r bench.Result) float64 { return r.Eps },
+				func(r bench.Result) float64 { return float64(r.SiteSpace) })
+		}
+		fmt.Println("### Figure 4(d) — update rate (rows/s) at ε=0.05, m=20")
+		for _, set := range []struct {
+			name string
+			rs   []bench.Result
+		}{{"PAMAP-sim", f1Eps}, {"SYNTHETIC", f2Eps}, {"WIKI-sim", f3Eps}} {
+			for _, r := range set.rs {
+				if r.Eps == pick(grid) {
+					fmt.Printf("  %-10s %-12s %12.0f rows/s\n", set.name, r.Protocol, r.UpdatesPerSec)
+				}
+			}
+		}
+		fmt.Println()
+	}
+
+	if run("T2") {
+		fmt.Println("### Table II — empirical msg ∝ (1/ε)^α exponents (expect ≈2 for sampling, ≈1 for deterministic)")
+		for _, set := range []struct {
+			name string
+			rs   []bench.Result
+		}{{"PAMAP-sim", f1Eps}, {"SYNTHETIC", f2Eps}} {
+			fmt.Printf("  %s:\n", set.name)
+			for p, a := range bench.Table2Check(set.rs) {
+				fmt.Printf("    %-12s α = %.2f\n", p, a)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+}
+
+// pick returns the grid's smallest ε (the paper's default 0.05 when
+// present).
+func pick(grid []float64) float64 {
+	best := grid[0]
+	for _, e := range grid {
+		if e == 0.05 {
+			return e
+		}
+		if e < best {
+			best = e
+		}
+	}
+	return best
+}
+
+func printPanels(rs []bench.Result, fig string) {
+	bench.PrintFigure(os.Stdout, fig+"(a) avg err vs ε", rs,
+		func(r bench.Result) float64 { return r.Eps },
+		func(r bench.Result) float64 { return r.AvgErr })
+	bench.PrintFigure(os.Stdout, fig+"(b) msg vs ε", rs,
+		func(r bench.Result) float64 { return r.Eps },
+		func(r bench.Result) float64 { return r.MsgWords })
+	bench.PrintFigure(os.Stdout, fig+"(c) avg err vs msg", rs,
+		func(r bench.Result) float64 { return r.MsgWords },
+		func(r bench.Result) float64 { return r.AvgErr })
+	bench.PrintFigure(os.Stdout, fig+"(d) max err vs msg", rs,
+		func(r bench.Result) float64 { return r.MsgWords },
+		func(r bench.Result) float64 { return r.MaxErr })
+	fmt.Println()
+}
+
+func printVaryM(rs []bench.Result, fig string) {
+	bench.PrintFigure(os.Stdout, fig+"(e) avg err vs m", rs,
+		func(r bench.Result) float64 { return float64(r.Sites) },
+		func(r bench.Result) float64 { return r.AvgErr })
+	bench.PrintFigure(os.Stdout, fig+"(f) msg vs m", rs,
+		func(r bench.Result) float64 { return float64(r.Sites) },
+		func(r bench.Result) float64 { return r.MsgWords })
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+var _ = datagen.Summarize
+var _ = distwindow.Protocols

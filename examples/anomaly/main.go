@@ -1,0 +1,173 @@
+// Window-based anomaly detection over distributed streams — the paper's
+// motivating application (2), extending Huang & Kasiviswanathan's
+// sketch-based streaming anomaly detection to sliding windows and
+// distributed sites.
+//
+// A fleet of sensors streams d-dimensional measurements that normally lie
+// near a low-dimensional subspace which drifts over time (concept drift —
+// the reason a sliding window is needed). The coordinator keeps a
+// covariance sketch of the last W ticks only; new points are scored by
+// their energy outside the sketch's top-k subspace. Anomalies injected at
+// known times must score high, normal points low, even after the normal
+// subspace has rotated away from where it started.
+//
+// Run with: go run ./examples/anomaly
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"distwindow"
+	"distwindow/mat"
+)
+
+const (
+	d       = 24
+	rank    = 3 // intrinsic dimension of normal data
+	sites   = 10
+	w       = int64(8_000)
+	n       = 40_000
+	scoreAt = 500 // score one point every scoreAt arrivals
+)
+
+func main() {
+	tr, err := distwindow.New(distwindow.Config{
+		Protocol: distwindow.DA1, // small d: the paper recommends DA1
+		D:        d,
+		W:        w,
+		Eps:      0.05,
+		Sites:    sites,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	basis := randomBasis(rng) // current normal subspace, drifts over time
+
+	var normalScores, anomalyScores []float64
+	for i := 1; i <= n; i++ {
+		// Slow subspace drift: re-draw one basis vector occasionally.
+		if i%5_000 == 0 {
+			basis = rotateBasis(basis, rng)
+		}
+		v := normalPoint(basis, rng)
+		tr.Observe(rng.Intn(sites), distwindow.Row{T: int64(i), V: v})
+
+		if i > int(w) && i%scoreAt == 0 {
+			scorer := distwindow.NewAnomalyScorer(tr.Sketch(), rank)
+			normalScores = append(normalScores, scorer.Score(normalPoint(basis, rng)))
+			anomalyScores = append(anomalyScores, scorer.Score(anomalousPoint(basis, rng)))
+		}
+	}
+
+	fmt.Printf("scored %d checkpoints while the normal subspace drifted %d times\n",
+		len(normalScores), n/5_000)
+	fmt.Printf("normal  points: mean score %.3f max %.3f\n", mean(normalScores), max(normalScores))
+	fmt.Printf("anomaly points: mean score %.3f min %.3f\n", mean(anomalyScores), min(anomalyScores))
+	thr := 0.5
+	tp, fp := 0, 0
+	for _, s := range anomalyScores {
+		if s > thr {
+			tp++
+		}
+	}
+	for _, s := range normalScores {
+		if s > thr {
+			fp++
+		}
+	}
+	fmt.Printf("at threshold %.1f: %d/%d anomalies detected, %d/%d false positives\n",
+		thr, tp, len(anomalyScores), fp, len(normalScores))
+	fmt.Printf("communication: %s\n", distwindow.FormatStats(tr.Stats()))
+}
+
+// randomBasis draws a rank×d orthonormal basis.
+func randomBasis(rng *rand.Rand) *mat.Dense {
+	g := mat.NewDense(d, rank)
+	for i := 0; i < d; i++ {
+		for j := 0; j < rank; j++ {
+			g.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return mat.HouseholderQR(g).Q.T()
+}
+
+// rotateBasis replaces one direction, modelling concept drift.
+func rotateBasis(b *mat.Dense, rng *rand.Rand) *mat.Dense {
+	g := b.T() // d×rank
+	col := rng.Intn(rank)
+	for i := 0; i < d; i++ {
+		g.Set(i, col, rng.NormFloat64())
+	}
+	return mat.HouseholderQR(g).Q.T()
+}
+
+// normalPoint lies in the current subspace plus small noise.
+func normalPoint(basis *mat.Dense, rng *rand.Rand) []float64 {
+	v := make([]float64, d)
+	for i := 0; i < rank; i++ {
+		c := rng.NormFloat64() * 4
+		row := basis.Row(i)
+		for j := range v {
+			v[j] += c * row[j]
+		}
+	}
+	for j := range v {
+		v[j] += rng.NormFloat64() * 0.1
+	}
+	return v
+}
+
+// anomalousPoint has most of its energy orthogonal to the normal subspace.
+func anomalousPoint(basis *mat.Dense, rng *rand.Rand) []float64 {
+	v := make([]float64, d)
+	for j := range v {
+		v[j] = rng.NormFloat64()
+	}
+	// Project out the normal subspace, keep a dash of in-subspace energy.
+	proj := mat.MulVec(basis, v)
+	for i := 0; i < rank; i++ {
+		row := basis.Row(i)
+		for j := range v {
+			v[j] -= proj[i] * row[j]
+		}
+	}
+	scale := 4 / math.Max(mat.VecNorm(v), 1e-9)
+	for j := range v {
+		v[j] *= scale
+	}
+	return v
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

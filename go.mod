@@ -1,0 +1,3 @@
+module distwindow
+
+go 1.22

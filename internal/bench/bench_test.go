@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"distwindow"
+	"distwindow/internal/datagen"
+)
+
+func tinyDS(t *testing.T) datagen.Dataset {
+	t.Helper()
+	return datagen.Synthetic(8, datagen.Config{N: 3000, RowsPerWindow: 800, Sites: 4, Seed: 1})
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	ds := tinyDS(t)
+	r, err := Run(ds, distwindow.DA2, 0.2, Options{Queries: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries == 0 {
+		t.Fatal("no query points evaluated")
+	}
+	if r.AvgErr <= 0 || r.AvgErr > 1 {
+		t.Fatalf("AvgErr = %v", r.AvgErr)
+	}
+	if r.MaxErr < r.AvgErr {
+		t.Fatal("MaxErr < AvgErr")
+	}
+	if r.MsgWords <= 0 || r.TotalWords <= 0 {
+		t.Fatalf("no communication measured: %+v", r)
+	}
+	if r.UpdatesPerSec <= 0 {
+		t.Fatal("no update rate measured")
+	}
+	if r.Dataset != "SYNTHETIC" || r.Protocol != distwindow.DA2 {
+		t.Fatalf("labels wrong: %+v", r)
+	}
+}
+
+func TestRunSkipErr(t *testing.T) {
+	ds := tinyDS(t)
+	r, err := Run(ds, distwindow.PWOR, 0.3, Options{Seed: 1, SkipErr: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Queries != 0 || r.AvgErr != 0 {
+		t.Fatalf("SkipErr should skip evaluation: %+v", r)
+	}
+	if r.TotalWords == 0 {
+		t.Fatal("communication still expected")
+	}
+}
+
+func TestRunSiteOverride(t *testing.T) {
+	ds := tinyDS(t) // generated with 4 sites
+	r, err := Run(ds, distwindow.DA1, 0.3, Options{Sites: 9, Queries: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sites != 9 {
+		t.Fatalf("Sites = %d, want 9", r.Sites)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	ds := tinyDS(t)
+	a, _ := Run(ds, distwindow.PWORAll, 0.2, Options{Queries: 5, Seed: 7})
+	b, _ := Run(ds, distwindow.PWORAll, 0.2, Options{Queries: 5, Seed: 7})
+	if a.TotalWords != b.TotalWords || a.AvgErr != b.AvgErr {
+		t.Fatalf("same seed gave %+v vs %+v", a, b)
+	}
+}
+
+func TestDatasetsScales(t *testing.T) {
+	tiny := Datasets(Tiny, 1)
+	if len(tiny) != 3 {
+		t.Fatalf("want 3 datasets, got %d", len(tiny))
+	}
+	if tiny[0].Name != "PAMAP-sim" || tiny[0].D != 43 {
+		t.Fatalf("dataset 0 = %s d=%d", tiny[0].Name, tiny[0].D)
+	}
+	if tiny[2].D != 128 {
+		t.Fatalf("tiny WIKI d = %d, want 128", tiny[2].D)
+	}
+	def := Datasets(Default, 1)
+	if len(def[0].Events) <= len(tiny[0].Events) {
+		t.Fatal("default scale should exceed tiny")
+	}
+}
+
+func TestEpsAndSiteGrids(t *testing.T) {
+	if len(EpsGrid(Tiny)) < 2 || len(EpsGrid(Default)) < 3 {
+		t.Fatal("grids too small")
+	}
+	if g := SiteGrid(Default, true); len(g) != 2 || g[0] != 10 {
+		t.Fatalf("wiki site grid = %v", g)
+	}
+	if g := SiteGrid(Default, false); g[len(g)-1] != 80 {
+		t.Fatalf("site grid = %v, want up to 80", g)
+	}
+}
+
+func TestFigureProtocols(t *testing.T) {
+	withDA1 := FigureProtocols(false)
+	without := FigureProtocols(true)
+	has := func(ps []distwindow.Protocol, p distwindow.Protocol) bool {
+		for _, q := range ps {
+			if q == p {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(withDA1, distwindow.DA1) {
+		t.Fatal("non-wiki set must include DA1")
+	}
+	if has(without, distwindow.DA1) {
+		t.Fatal("wiki set must omit DA1 (as in the paper)")
+	}
+}
+
+func TestTable2CheckSlopes(t *testing.T) {
+	// Synthetic results with msg ∝ (1/ε)² must yield slope ≈ 2.
+	var rs []Result
+	for _, eps := range []float64{0.1, 0.2, 0.4} {
+		rs = append(rs, Result{Protocol: distwindow.PWOR, Eps: eps, MsgWords: 100 / (eps * eps)})
+		rs = append(rs, Result{Protocol: distwindow.DA1, Eps: eps, MsgWords: 100 / eps})
+	}
+	sl := Table2Check(rs)
+	if math.Abs(sl[distwindow.PWOR]-2) > 1e-9 {
+		t.Fatalf("sampling slope = %v, want 2", sl[distwindow.PWOR])
+	}
+	if math.Abs(sl[distwindow.DA1]-1) > 1e-9 {
+		t.Fatalf("deterministic slope = %v, want 1", sl[distwindow.DA1])
+	}
+}
+
+func TestPrintFigureAndTable3(t *testing.T) {
+	var sb strings.Builder
+	rs := []Result{
+		{Protocol: distwindow.PWOR, Eps: 0.1, AvgErr: 0.05},
+		{Protocol: distwindow.PWOR, Eps: 0.2, AvgErr: 0.08},
+		{Protocol: distwindow.DA1, Eps: 0.1, AvgErr: 0.03},
+	}
+	PrintFigure(&sb, "test", rs,
+		func(r Result) float64 { return r.Eps },
+		func(r Result) float64 { return r.AvgErr })
+	out := sb.String()
+	if !strings.Contains(out, "PWOR") || !strings.Contains(out, "DA1") {
+		t.Fatalf("PrintFigure output missing series: %q", out)
+	}
+	sb.Reset()
+	PrintTable3(&sb, Datasets(Tiny, 1))
+	if !strings.Contains(sb.String(), "WIKI-sim") {
+		t.Fatalf("Table3 output: %q", sb.String())
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Dataset: "X", Protocol: distwindow.DA2, Eps: 0.05, AvgErr: 0.01}
+	if s := r.String(); !strings.Contains(s, "DA2") || !strings.Contains(s, "0.05") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEpsSweepAndSiteSweep(t *testing.T) {
+	ds := datagen.Synthetic(6, datagen.Config{N: 1500, RowsPerWindow: 400, Sites: 3, Seed: 2})
+	rs, err := EpsSweep(nil, ds, []distwindow.Protocol{distwindow.DA2}, []float64{0.2, 0.3}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("EpsSweep returned %d results", len(rs))
+	}
+	ms, err := SiteSweep(nil, ds, []distwindow.Protocol{distwindow.DA2}, []int{2, 4}, 0.3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].Sites != 2 || ms[1].Sites != 4 {
+		t.Fatalf("SiteSweep results wrong: %+v", ms)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	rs := []Result{{Dataset: "X", Protocol: distwindow.DA1, Eps: 0.1, Sites: 4, AvgErr: 0.05, MsgWords: 123}}
+	if err := WriteCSV(&sb, rs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "dataset,protocol,") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "X,DA1,0.1,4,0.05") {
+		t.Fatalf("row missing: %q", out)
+	}
+}
+
+func TestRunReplicatedAverages(t *testing.T) {
+	ds := tinyDS(t)
+	single, err := RunReplicated(ds, distwindow.PWOR, 0.3, Options{Queries: 5, Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := RunReplicated(ds, distwindow.PWOR, 0.3, Options{Queries: 5, Seed: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.AvgErr <= 0 || avg.MsgWords <= 0 {
+		t.Fatalf("replicated metrics missing: %+v", avg)
+	}
+	// Averaging three seeds should not wildly diverge from one seed.
+	if avg.AvgErr > 5*single.AvgErr+0.1 {
+		t.Fatalf("replicated avg %v vs single %v", avg.AvgErr, single.AvgErr)
+	}
+}

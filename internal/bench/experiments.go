@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"distwindow"
+	"distwindow/internal/datagen"
+)
+
+// Scale selects the stream sizes experiments run at. The paper's absolute
+// sizes ("full") take hours in total; "default" reproduces every shape at
+// ~1/10 scale in minutes; "tiny" is for go test -bench smoke coverage.
+type Scale string
+
+// The supported scales.
+const (
+	Tiny    Scale = "tiny"
+	Default Scale = "default"
+	Full    Scale = "full"
+)
+
+// Datasets builds the three evaluation datasets of Table III at the given
+// scale, with the paper's default m=20 site assignment.
+func Datasets(scale Scale, seed int64) []datagen.Dataset {
+	switch scale {
+	case Tiny:
+		return []datagen.Dataset{
+			datagen.PAMAPSim(datagen.Config{N: 12_000, RowsPerWindow: 3_000, Sites: 20, Seed: seed}),
+			datagen.Synthetic(40, datagen.Config{N: 10_000, RowsPerWindow: 2_500, Sites: 20, Seed: seed}),
+			datagen.WikiSim(128, datagen.Config{N: 6_000, RowsPerWindow: 1_000, Sites: 20, Seed: seed}),
+		}
+	case Full:
+		return []datagen.Dataset{
+			datagen.PAMAPSim(datagen.Config{N: 814_729, RowsPerWindow: 200_000, Sites: 20, Seed: seed}),
+			datagen.Synthetic(300, datagen.Config{N: 500_000, RowsPerWindow: 100_000, Sites: 20, Seed: seed}),
+			datagen.WikiSim(7047, datagen.Config{N: 78_608, RowsPerWindow: 10_000, Sites: 20, Seed: seed}),
+		}
+	default:
+		return []datagen.Dataset{
+			datagen.PAMAPSim(datagen.Config{N: 80_000, RowsPerWindow: 20_000, Sites: 20, Seed: seed}),
+			datagen.Synthetic(100, datagen.Config{N: 50_000, RowsPerWindow: 10_000, Sites: 20, Seed: seed}),
+			datagen.WikiSim(512, datagen.Config{N: 12_000, RowsPerWindow: 2_000, Sites: 20, Seed: seed}),
+		}
+	}
+}
+
+// EpsGrid returns the ε sweep for the err/comm figures at a scale.
+func EpsGrid(scale Scale) []float64 {
+	if scale == Tiny {
+		return []float64{0.1, 0.2, 0.3}
+	}
+	return []float64{0.05, 0.1, 0.15, 0.2, 0.25}
+}
+
+// SiteGrid returns the m sweep for the vary-sites panels. WIKI keeps only
+// {10, 20} as in the paper ("to make sure each site receives enough
+// rows").
+func SiteGrid(scale Scale, wiki bool) []int {
+	if wiki {
+		return []int{10, 20}
+	}
+	if scale == Tiny {
+		return []int{5, 20, 40}
+	}
+	return []int{5, 10, 20, 40, 80}
+}
+
+// FigureProtocols returns the protocol set of Figures 1–4. On WIKI the
+// paper omits DA1 ("too slow to finish" at d≈7000).
+func FigureProtocols(wiki bool) []distwindow.Protocol {
+	ps := []distwindow.Protocol{
+		distwindow.PWOR, distwindow.PWORAll,
+		distwindow.ESWOR, distwindow.ESWORAll,
+		distwindow.DA2,
+	}
+	if !wiki {
+		ps = append(ps, distwindow.DA1)
+	}
+	return ps
+}
+
+// EpsSweep runs every protocol over the ε grid on one dataset — the data
+// behind panels (a)–(d) of Figures 1–3 and panels (a)–(c) of Figure 4.
+func EpsSweep(w io.Writer, ds datagen.Dataset, protos []distwindow.Protocol, grid []float64, queries int, seed int64) ([]Result, error) {
+	return EpsSweepReplicated(w, ds, protos, grid, queries, seed, 1)
+}
+
+// EpsSweepReplicated is EpsSweep averaging each point over `replicas`
+// seeds (the paper uses 3 for the sampling protocols).
+func EpsSweepReplicated(w io.Writer, ds datagen.Dataset, protos []distwindow.Protocol, grid []float64, queries int, seed int64, replicas int) ([]Result, error) {
+	var out []Result
+	for _, eps := range grid {
+		for _, p := range protos {
+			r, err := RunReplicated(ds, p, eps, Options{Queries: queries, Seed: seed}, replicas)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+			if w != nil {
+				fmt.Fprintln(w, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SiteSweep runs every protocol over the m grid at fixed ε — the data
+// behind panels (e)–(f).
+func SiteSweep(w io.Writer, ds datagen.Dataset, protos []distwindow.Protocol, ms []int, eps float64, queries int, seed int64) ([]Result, error) {
+	var out []Result
+	for _, m := range ms {
+		for _, p := range protos {
+			r, err := Run(ds, p, eps, Options{Sites: m, Queries: queries, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+			if w != nil {
+				fmt.Fprintln(w, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintTable3 emits the Table III dataset summary rows.
+func PrintTable3(w io.Writer, dss []datagen.Dataset) {
+	fmt.Fprintf(w, "%-12s %10s %6s %14s %10s\n", "Data Set", "rows n", "d", "rows/window", "ratio R")
+	for _, ds := range dss {
+		s := datagen.Summarize(ds)
+		fmt.Fprintf(w, "%-12s %10d %6d %14d %10.2f\n", s.Name, s.N, s.D, s.RowsPerWindow, s.R)
+	}
+}
+
+// Table2Check estimates, from an ε sweep's results, the exponent α in
+// msg ∝ (1/ε)^α per protocol via least-squares on log-log points — the
+// empirical verification of Table II's 1/ε (deterministic) versus 1/ε²
+// (sampling) communication dependence.
+func Table2Check(results []Result) map[distwindow.Protocol]float64 {
+	byProto := map[distwindow.Protocol][]Result{}
+	for _, r := range results {
+		byProto[r.Protocol] = append(byProto[r.Protocol], r)
+	}
+	out := map[distwindow.Protocol]float64{}
+	for p, rs := range byProto {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Eps < rs[j].Eps })
+		var xs, ys []float64
+		for _, r := range rs {
+			if r.MsgWords <= 0 {
+				continue
+			}
+			xs = append(xs, math.Log(1/r.Eps))
+			ys = append(ys, math.Log(r.MsgWords))
+		}
+		if len(xs) >= 2 {
+			out[p] = slope(xs, ys)
+		}
+	}
+	return out
+}
+
+// slope is the least-squares slope of y on x.
+func slope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// WriteCSV emits results as CSV with a header — the plot-friendly output
+// behind trackbench's -csv flag.
+func WriteCSV(w io.Writer, results []Result) error {
+	if _, err := fmt.Fprintln(w, "dataset,protocol,eps,sites,avg_err,max_err,msg_words,total_words,site_space,broadcasts,updates_per_s,queries"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintf(w, "%s,%s,%g,%d,%g,%g,%g,%d,%d,%d,%g,%d\n",
+			r.Dataset, r.Protocol, r.Eps, r.Sites, r.AvgErr, r.MaxErr,
+			r.MsgWords, r.TotalWords, r.SiteSpace, r.Broadcasts,
+			r.UpdatesPerSec, r.Queries); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrintFigure writes one figure panel as aligned series: for each
+// protocol, the (x, y) points in x order. xf/yf extract the panel's axes
+// from a Result.
+func PrintFigure(w io.Writer, title string, results []Result, xf, yf func(Result) float64) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	byProto := map[distwindow.Protocol][]Result{}
+	var order []distwindow.Protocol
+	for _, r := range results {
+		if _, ok := byProto[r.Protocol]; !ok {
+			order = append(order, r.Protocol)
+		}
+		byProto[r.Protocol] = append(byProto[r.Protocol], r)
+	}
+	for _, p := range order {
+		rs := byProto[p]
+		sort.Slice(rs, func(i, j int) bool { return xf(rs[i]) < xf(rs[j]) })
+		fmt.Fprintf(w, "%-12s", p)
+		for _, r := range rs {
+			fmt.Fprintf(w, "  (%.4g, %.4g)", xf(r), yf(r))
+		}
+		fmt.Fprintln(w)
+	}
+}

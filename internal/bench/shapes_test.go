@@ -1,0 +1,162 @@
+package bench
+
+// Shape tests: the paper's qualitative experimental claims (§IV-B),
+// asserted on reduced streams. These are the automated counterpart of
+// EXPERIMENTS.md — if a regression flips who wins or breaks a scaling
+// trend, these fail.
+
+import (
+	"testing"
+
+	"distwindow"
+)
+
+func shapeOpts(q int) Options { return Options{Queries: q, Seed: 1} }
+
+// TestShapeObservedErrorBelowEps: "in most cases, the observed error for
+// all protocols is smaller than ε" (Fig 1a/2a/3a).
+func TestShapeObservedErrorBelowEps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	dss := Datasets(Tiny, 1)
+	for _, ds := range dss[:2] { // PAMAP-sim, SYNTHETIC
+		for _, p := range []distwindow.Protocol{distwindow.DA1, distwindow.DA2} {
+			r, err := Run(ds, p, 0.2, shapeOpts(15))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.AvgErr > 0.2 {
+				t.Errorf("%s/%s: avg err %.4f ≥ ε=0.2", ds.Name, p, r.AvgErr)
+			}
+		}
+	}
+}
+
+// TestShapeDeterministicCommGrowsSlower: deterministic ∝ 1/ε vs sampling
+// ∝ 1/ε² (Fig 1b/2b, Table II).
+func TestShapeDeterministicCommGrowsSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	ds := Datasets(Tiny, 1)[1] // SYNTHETIC
+	ratio := func(p distwindow.Protocol) float64 {
+		lo, err := Run(ds, p, 0.1, Options{Seed: 1, SkipErr: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := Run(ds, p, 0.3, Options{Seed: 1, SkipErr: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lo.MsgWords / hi.MsgWords
+	}
+	rs := ratio(distwindow.PWOR) // expect ≈ 9 (1/ε²)
+	rd := ratio(distwindow.DA1)  // expect ≈ 3 (1/ε)
+	if rs <= rd {
+		t.Errorf("sampling comm growth %.2f should exceed deterministic %.2f as ε shrinks", rs, rd)
+	}
+}
+
+// TestShapeSamplingCommFlatInM, deterministic linear in m (Fig 1f/2f).
+func TestShapeSamplingCommFlatInM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	ds := Datasets(Tiny, 1)[0]
+	run := func(p distwindow.Protocol, m int) float64 {
+		r, err := Run(ds, p, 0.15, Options{Sites: m, Seed: 1, SkipErr: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.MsgWords
+	}
+	// Sampling: comm at m=40 within 2× of m=5.
+	s5, s40 := run(distwindow.PWOR, 5), run(distwindow.PWOR, 40)
+	if s40 > 2*s5 {
+		t.Errorf("PWOR comm %.0f→%.0f grows with m; should be ≈flat", s5, s40)
+	}
+	// Deterministic: comm at m=40 at least 3× m=5.
+	d5, d40 := run(distwindow.DA1, 5), run(distwindow.DA1, 40)
+	if d40 < 3*d5 {
+		t.Errorf("DA1 comm %.0f→%.0f should grow ≈linearly in m", d5, d40)
+	}
+}
+
+// TestShapeErrorStableInM: "the covariance error of all protocols is
+// stable as m varies" (Fig 1e/2e).
+func TestShapeErrorStableInM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	ds := Datasets(Tiny, 1)[1]
+	for _, p := range []distwindow.Protocol{distwindow.PWORAll, distwindow.DA2} {
+		r5, err := Run(ds, p, 0.2, Options{Sites: 5, Queries: 15, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r40, err := Run(ds, p, 0.2, Options{Sites: 40, Queries: 15, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r40.AvgErr > 3*r5.AvgErr+0.05 || r5.AvgErr > 3*r40.AvgErr+0.05 {
+			t.Errorf("%s: error unstable in m: %.4f (m=5) vs %.4f (m=40)", p, r5.AvgErr, r40.AvgErr)
+		}
+	}
+}
+
+// TestShapeSamplingRateInsensitiveToD: "the update rate of sampling
+// methods is not affected by d", while deterministic slows (Fig 4d).
+func TestShapeSamplingRateInsensitiveToD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	dss := Datasets(Tiny, 1)
+	pam, wik := dss[0], dss[2] // d=43 vs d=128
+	rp, err := Run(pam, distwindow.PWOR, 0.15, Options{Seed: 1, SkipErr: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Run(wik, distwindow.PWOR, 0.15, Options{Seed: 1, SkipErr: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := Run(pam, distwindow.DA2, 0.15, Options{Seed: 1, SkipErr: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw, err := Run(wik, distwindow.DA2, 0.15, Options{Seed: 1, SkipErr: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling: within 5× across a 3× dimension change (norm cost only).
+	if rp.UpdatesPerSec > 5*rw.UpdatesPerSec {
+		t.Errorf("sampling rate collapsed with d: %.0f → %.0f rows/s", rp.UpdatesPerSec, rw.UpdatesPerSec)
+	}
+	// Deterministic must be slower than sampling at the larger d.
+	if dw.UpdatesPerSec > rw.UpdatesPerSec {
+		t.Errorf("deterministic (%.0f/s) should not beat sampling (%.0f/s) at d=128", dw.UpdatesPerSec, rw.UpdatesPerSec)
+	}
+	_ = dp
+}
+
+// TestShapeDeterministicCheaperAtEqualError: the err-vs-comm trade-off
+// (Fig 1c/2c): at the paper's default m=20, DA1/DA2 reach comparable
+// error with far fewer words than the sampling family.
+func TestShapeDeterministicCheaperAtEqualError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape tests are slow")
+	}
+	ds := Datasets(Tiny, 1)[0]
+	det, err := Run(ds, distwindow.DA1, 0.1, shapeOpts(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := Run(ds, distwindow.PWORAll, 0.1, shapeOpts(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.MsgWords > smp.MsgWords {
+		t.Errorf("DA1 words/window %.0f should undercut PWOR-ALL %.0f at ε=0.1", det.MsgWords, smp.MsgWords)
+	}
+}

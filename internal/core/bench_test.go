@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"distwindow/internal/protocol"
+	"distwindow/internal/sampling"
+	"distwindow/internal/stream"
+)
+
+// benchDrive measures steady-state per-row Observe cost.
+func benchDrive(b *testing.B, mk func(net *protocol.Network) protocol.Tracker, d int) {
+	b.Helper()
+	evs := genEvents(b.N+4096, d, 8, 1)
+	net := protocol.NewNetwork(8)
+	tr := mk(net)
+	// Warm up past the first window fill.
+	for _, e := range evs[:4096] {
+		tr.Observe(e.Site, e.Row)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := evs[4096+i]
+		tr.Observe(e.Site, e.Row)
+	}
+}
+
+func BenchmarkPWORObserveD32(b *testing.B) {
+	benchDrive(b, func(net *protocol.Network) protocol.Tracker {
+		s, err := NewSampler(Config{D: 32, W: 2000, Eps: 0.1, Sites: 8, Ell: 128, Seed: 1},
+			SamplerOpts{Scheme: sampling.Priority{}}, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}, 32)
+}
+
+func BenchmarkESWORObserveD32(b *testing.B) {
+	benchDrive(b, func(net *protocol.Network) protocol.Tracker {
+		s, err := NewSampler(Config{D: 32, W: 2000, Eps: 0.1, Sites: 8, Ell: 128, Seed: 1},
+			SamplerOpts{Scheme: sampling.ES{}}, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}, 32)
+}
+
+func BenchmarkDA1ObserveD32(b *testing.B) {
+	benchDrive(b, func(net *protocol.Network) protocol.Tracker {
+		t, err := NewDA1(Config{D: 32, W: 2000, Eps: 0.1, Sites: 8, Seed: 1}, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}, 32)
+}
+
+func BenchmarkDA2ObserveD32(b *testing.B) {
+	benchDrive(b, func(net *protocol.Network) protocol.Tracker {
+		t, err := NewDA2(Config{D: 32, W: 2000, Eps: 0.1, Sites: 8, Seed: 1}, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}, 32)
+}
+
+func BenchmarkDA2ObserveD256(b *testing.B) {
+	benchDrive(b, func(net *protocol.Network) protocol.Tracker {
+		t, err := NewDA2(Config{D: 256, W: 2000, Eps: 0.1, Sites: 8, Seed: 1}, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}, 256)
+}
+
+func BenchmarkSumTrackerObserve(b *testing.B) {
+	net := protocol.NewNetwork(8)
+	st, err := NewSumTracker(Config{D: 1, W: 10_000, Eps: 0.05, Sites: 8}, net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.ObserveWeight(i%8, int64(i), 1+float64(i%13))
+	}
+}
+
+var _ = stream.Row{}

@@ -1,0 +1,579 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distwindow/internal/protocol"
+	"distwindow/internal/sampling"
+	"distwindow/internal/stream"
+	"distwindow/internal/window"
+	"distwindow/mat"
+)
+
+// genEvents builds a deterministic multi-site Gaussian stream with one
+// arrival per tick.
+func genEvents(n, d, sites int, seed int64) []stream.Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]stream.Event, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		evs[i] = stream.Event{Site: rng.Intn(sites), Row: stream.Row{T: int64(i + 1), V: v}}
+	}
+	return evs
+}
+
+// genSkewedEvents mixes unit rows with occasional heavy rows (norm ratio
+// ≈ scale²·d).
+func genSkewedEvents(n, d, sites int, scale float64, seed int64) []stream.Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]stream.Event, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, d)
+		s := 1.0
+		if rng.Intn(40) == 0 {
+			s = scale
+		}
+		for j := range v {
+			v[j] = s * rng.NormFloat64()
+		}
+		evs[i] = stream.Event{Site: rng.Intn(sites), Row: stream.Row{T: int64(i + 1), V: v}}
+	}
+	return evs
+}
+
+// drive replays events through a tracker, evaluating the sketch against
+// the exact union window every checkEvery events (skipping the cold
+// start). It returns the average and maximum observed covariance error.
+func drive(t *testing.T, tr protocol.Tracker, evs []stream.Event, w int64, d, checkEvery int) (avg, max float64) {
+	t.Helper()
+	u := window.NewUnion(w, d)
+	var sum float64
+	n := 0
+	for i, e := range evs {
+		tr.Observe(e.Site, e.Row)
+		u.Add(e.Row)
+		if checkEvery > 0 && i >= checkEvery && (i+1)%checkEvery == 0 {
+			err := u.ErrOf(tr.Sketch())
+			if math.IsInf(err, 1) || math.IsNaN(err) {
+				t.Fatalf("event %d: invalid error %v", i, err)
+			}
+			sum += err
+			n++
+			if err > max {
+				max = err
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), max
+}
+
+// --- SumTracker ---
+
+func TestSumTrackerTracksWindowSum(t *testing.T) {
+	cfg := Config{D: 1, W: 500, Eps: 0.1, Sites: 4}
+	net := protocol.NewNetwork(4)
+	st, err := NewSumTracker(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	type item struct {
+		t int64
+		w float64
+	}
+	var items []item
+	for i := int64(1); i <= 3000; i++ {
+		w := 0.5 + rng.Float64()
+		site := rng.Intn(4)
+		st.ObserveWeight(site, i, w)
+		items = append(items, item{i, w})
+		if i%250 == 0 {
+			var truth float64
+			for _, it := range items {
+				if it.t > i-cfg.W {
+					truth += it.w
+				}
+			}
+			got := st.Estimate()
+			if math.Abs(got-truth)/truth > 2*cfg.Eps {
+				t.Fatalf("t=%d: estimate %v vs truth %v", i, got, truth)
+			}
+		}
+	}
+}
+
+func TestSumTrackerCommunicationSublinear(t *testing.T) {
+	cfg := Config{D: 1, W: 1000, Eps: 0.1, Sites: 2}
+	net := protocol.NewNetwork(2)
+	st, _ := NewSumTracker(cfg, net)
+	n := int64(20000)
+	for i := int64(1); i <= n; i++ {
+		st.ObserveWeight(int(i)%2, i, 1)
+	}
+	msgs := net.Stats().MsgsUp
+	if msgs > n/10 {
+		t.Fatalf("sum tracker sent %d messages for %d items — should be logarithmic per window", msgs, n)
+	}
+	if msgs == 0 {
+		t.Fatal("sum tracker never reported")
+	}
+}
+
+func TestSumTrackerHandlesExpiryWithoutArrivals(t *testing.T) {
+	cfg := Config{D: 1, W: 100, Eps: 0.1, Sites: 1}
+	net := protocol.NewNetwork(1)
+	st, _ := NewSumTracker(cfg, net)
+	for i := int64(1); i <= 50; i++ {
+		st.ObserveWeight(0, i, 1)
+	}
+	st.AdvanceAll(1000) // everything expires
+	if est := st.Estimate(); math.Abs(est) > 5 {
+		t.Fatalf("estimate %v after full expiry, want ≈0", est)
+	}
+}
+
+func TestSumTrackerOneWay(t *testing.T) {
+	cfg := Config{D: 1, W: 100, Eps: 0.1, Sites: 3}
+	net := protocol.NewNetwork(3)
+	st, _ := NewSumTracker(cfg, net)
+	for i := int64(1); i <= 500; i++ {
+		st.ObserveWeight(int(i)%3, i, 1+float64(i%7))
+	}
+	if net.Stats().WordsDown != 0 {
+		t.Fatal("SUM tracking must be one-way (sites → coordinator)")
+	}
+}
+
+// --- Sampling protocols ---
+
+func newSampler(t *testing.T, cfg Config, opts SamplerOpts) (*Sampler, *protocol.Network) {
+	t.Helper()
+	net := protocol.NewNetwork(cfg.Sites)
+	s, err := NewSampler(cfg, opts, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, net
+}
+
+func TestPWORNames(t *testing.T) {
+	cases := []struct {
+		opts SamplerOpts
+		want string
+	}{
+		{SamplerOpts{Scheme: sampling.Priority{}}, "PWOR"},
+		{SamplerOpts{Scheme: sampling.Priority{}, UseAll: true}, "PWOR-ALL"},
+		{SamplerOpts{Scheme: sampling.ES{}}, "ESWOR"},
+		{SamplerOpts{Scheme: sampling.ES{}, UseAll: true}, "ESWOR-ALL"},
+		{SamplerOpts{Scheme: sampling.Priority{}, Exact: true}, "PWOR-simple"},
+	}
+	cfg := Config{D: 2, W: 100, Eps: 0.2, Sites: 2, Ell: 4}
+	for _, c := range cases {
+		s, _ := newSampler(t, cfg, c.opts)
+		if s.Name() != c.want {
+			t.Fatalf("Name = %q, want %q", s.Name(), c.want)
+		}
+	}
+}
+
+func TestPWORCovarianceError(t *testing.T) {
+	cfg := Config{D: 8, W: 1500, Eps: 0.2, Sites: 4, Ell: 256, Seed: 7}
+	s, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	evs := genEvents(6000, 8, 4, 11)
+	avg, max := drive(t, s, evs, cfg.W, 8, 500)
+	// ℓ=256 gives sampling error ≈ √(log ℓ / ℓ) ≈ 0.15; generous cap.
+	if avg > 0.35 || max > 0.7 {
+		t.Fatalf("PWOR err avg=%v max=%v too large", avg, max)
+	}
+}
+
+func TestPWORAllAtLeastAsGoodOnAverage(t *testing.T) {
+	cfg := Config{D: 8, W: 1500, Eps: 0.2, Sites: 4, Ell: 128, Seed: 3}
+	evs := genEvents(6000, 8, 4, 13)
+	s1, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	avg1, _ := drive(t, s1, evs, cfg.W, 8, 500)
+	s2, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}, UseAll: true})
+	avg2, _ := drive(t, s2, evs, cfg.W, 8, 500)
+	// -ALL uses strictly more samples; allow slack for randomness.
+	if avg2 > avg1*1.5+0.05 {
+		t.Fatalf("PWOR-ALL avg err %v ≫ PWOR %v", avg2, avg1)
+	}
+}
+
+func TestESWORCovarianceError(t *testing.T) {
+	cfg := Config{D: 8, W: 1500, Eps: 0.2, Sites: 4, Ell: 256, Seed: 9}
+	s, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.ES{}})
+	evs := genEvents(6000, 8, 4, 17)
+	avg, _ := drive(t, s, evs, cfg.W, 8, 500)
+	if avg > 0.35 {
+		t.Fatalf("ESWOR avg err %v too large", avg)
+	}
+}
+
+func TestPWORSkewedData(t *testing.T) {
+	// Heavy rows must be captured — the whole point of weighted sampling.
+	cfg := Config{D: 6, W: 2000, Eps: 0.2, Sites: 3, Ell: 128, Seed: 4}
+	s, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	evs := genSkewedEvents(6000, 6, 3, 20, 19)
+	avg, _ := drive(t, s, evs, cfg.W, 6, 500)
+	if avg > 0.4 {
+		t.Fatalf("PWOR on skewed data avg err %v", avg)
+	}
+}
+
+func TestLazySampleSetBounds(t *testing.T) {
+	cfg := Config{D: 4, W: 800, Eps: 0.2, Sites: 3, Ell: 32, Seed: 5}
+	s, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	evs := genEvents(5000, 4, 3, 23)
+	for _, e := range evs {
+		s.Observe(e.Site, e.Row)
+		nS, _ := s.SampleCount()
+		if nS > 4*32 {
+			t.Fatalf("|S| = %d exceeds 4ℓ", nS)
+		}
+	}
+	nS, _ := s.SampleCount()
+	if nS < 32 {
+		t.Fatalf("|S| = %d below ℓ at steady state", nS)
+	}
+}
+
+func TestExactPolicyKeepsExactlyEll(t *testing.T) {
+	cfg := Config{D: 4, W: 800, Eps: 0.2, Sites: 3, Ell: 16, Seed: 6}
+	s, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}, Exact: true})
+	evs := genEvents(3000, 4, 3, 29)
+	for i, e := range evs {
+		s.Observe(e.Site, e.Row)
+		if nS, _ := s.SampleCount(); i > 100 && nS != 16 {
+			t.Fatalf("event %d: |S| = %d, want exactly ℓ=16", i, nS)
+		}
+	}
+}
+
+func TestExactPolicyMatchesLazyError(t *testing.T) {
+	cfg := Config{D: 6, W: 1000, Eps: 0.2, Sites: 3, Ell: 64, Seed: 8}
+	evs := genEvents(4000, 6, 3, 31)
+	se, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}, Exact: true})
+	avgE, _ := drive(t, se, evs, cfg.W, 6, 400)
+	sl, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	avgL, _ := drive(t, sl, evs, cfg.W, 6, 400)
+	if avgE > 0.5 || avgL > 0.5 {
+		t.Fatalf("exact %v / lazy %v errors too large", avgE, avgL)
+	}
+}
+
+func TestLazyFewerBroadcastsThanExact(t *testing.T) {
+	cfg := Config{D: 4, W: 500, Eps: 0.2, Sites: 4, Ell: 32, Seed: 10}
+	evs := genEvents(4000, 4, 4, 37)
+	se, netE := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}, Exact: true})
+	drive(t, se, evs, cfg.W, 4, 0)
+	sl, netL := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	drive(t, sl, evs, cfg.W, 4, 0)
+	if netL.Stats().Broadcasts >= netE.Stats().Broadcasts {
+		t.Fatalf("lazy broadcasts %d ≥ exact %d — lazy-broadcast must reduce threshold updates",
+			netL.Stats().Broadcasts, netE.Stats().Broadcasts)
+	}
+}
+
+func TestSamplerExhaustiveSmallPopulation(t *testing.T) {
+	// Fewer active rows than ℓ: the sketch must be exact.
+	cfg := Config{D: 3, W: 10_000, Eps: 0.2, Sites: 2, Ell: 64, Seed: 11}
+	s, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	u := window.NewUnion(cfg.W, 3)
+	evs := genEvents(30, 3, 2, 41)
+	for _, e := range evs {
+		s.Observe(e.Site, e.Row)
+		u.Add(e.Row)
+	}
+	if err := u.ErrOf(s.Sketch()); err > 1e-9 {
+		t.Fatalf("exhaustive sample should be exact, err=%v", err)
+	}
+}
+
+func TestSamplerDeterministicWithSeed(t *testing.T) {
+	cfg := Config{D: 4, W: 500, Eps: 0.2, Sites: 2, Ell: 16, Seed: 42}
+	evs := genEvents(1000, 4, 2, 43)
+	s1, n1 := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	drive(t, s1, evs, cfg.W, 4, 0)
+	s2, n2 := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	drive(t, s2, evs, cfg.W, 4, 0)
+	if n1.Stats() != n2.Stats() {
+		t.Fatal("same seed must reproduce identical runs")
+	}
+	if !s1.Sketch().Equal(s2.Sketch()) {
+		t.Fatal("same seed must reproduce identical sketches")
+	}
+}
+
+func TestSamplerSiteSpaceSublinear(t *testing.T) {
+	cfg := Config{D: 4, W: 4000, Eps: 0.2, Sites: 2, Ell: 16, Seed: 12}
+	s, net := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	evs := genEvents(8000, 4, 2, 47)
+	drive(t, s, evs, cfg.W, 4, 0)
+	// A site holds O(ℓ log(N/ℓ)) rows ≈ 16·8 ≈ 128 rows (≈900 words);
+	// storing its whole window share (2000 rows) would be ≈14000 words.
+	if net.Stats().MaxSiteWords > 5000 {
+		t.Fatalf("site space %d words — not sublinear in window size", net.Stats().MaxSiteWords)
+	}
+}
+
+func TestSamplerAdvanceTimeExpiresEverything(t *testing.T) {
+	cfg := Config{D: 3, W: 100, Eps: 0.2, Sites: 2, Ell: 8, Seed: 13}
+	s, _ := newSampler(t, cfg, SamplerOpts{Scheme: sampling.Priority{}})
+	evs := genEvents(200, 3, 2, 53)
+	for _, e := range evs {
+		s.Observe(e.Site, e.Row)
+	}
+	s.AdvanceTime(10_000)
+	if b := s.Sketch(); b.Rows() != 0 {
+		t.Fatalf("sketch has %d rows after total expiry", b.Rows())
+	}
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	net := protocol.NewNetwork(2)
+	if _, err := NewSampler(Config{D: 0, W: 1, Eps: 0.1, Sites: 2}, SamplerOpts{Scheme: sampling.Priority{}}, net); err == nil {
+		t.Fatal("want error for D=0")
+	}
+	if _, err := NewSampler(Config{D: 2, W: 1, Eps: 0.1, Sites: 2}, SamplerOpts{}, net); err == nil {
+		t.Fatal("want error for missing scheme")
+	}
+}
+
+// --- DA1 ---
+
+func TestDA1CovarianceError(t *testing.T) {
+	cfg := Config{D: 8, W: 1500, Eps: 0.15, Sites: 4, Seed: 1}
+	net := protocol.NewNetwork(4)
+	da, err := NewDA1(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(6000, 8, 4, 59)
+	avg, max := drive(t, da, evs, cfg.W, 8, 500)
+	if avg > 2*cfg.Eps {
+		t.Fatalf("DA1 avg err %v > 2ε", avg)
+	}
+	if max > 4*cfg.Eps {
+		t.Fatalf("DA1 max err %v > 4ε", max)
+	}
+}
+
+func TestDA1OneWayCommunication(t *testing.T) {
+	cfg := Config{D: 5, W: 800, Eps: 0.2, Sites: 3, Seed: 2}
+	net := protocol.NewNetwork(3)
+	da, _ := NewDA1(cfg, net)
+	drive(t, da, genEvents(3000, 5, 3, 61), cfg.W, 5, 0)
+	if net.Stats().WordsDown != 0 {
+		t.Fatal("DA1 must use one-way communication")
+	}
+	if net.Stats().WordsUp == 0 {
+		t.Fatal("DA1 sent nothing")
+	}
+}
+
+func TestDA1SkewedData(t *testing.T) {
+	cfg := Config{D: 6, W: 1500, Eps: 0.15, Sites: 3, Seed: 3}
+	net := protocol.NewNetwork(3)
+	da, _ := NewDA1(cfg, net)
+	evs := genSkewedEvents(5000, 6, 3, 15, 67)
+	avg, _ := drive(t, da, evs, cfg.W, 6, 500)
+	if avg > 3*cfg.Eps {
+		t.Fatalf("DA1 skewed avg err %v", avg)
+	}
+}
+
+func TestDA1CommunicationSublinear(t *testing.T) {
+	cfg := Config{D: 6, W: 2000, Eps: 0.15, Sites: 2, Seed: 4}
+	net := protocol.NewNetwork(2)
+	da, _ := NewDA1(cfg, net)
+	evs := genEvents(10000, 6, 2, 71)
+	drive(t, da, evs, cfg.W, 6, 0)
+	raw := int64(10000) * protocol.RowWords(6)
+	if got := net.Stats().WordsUp; got > raw/5 {
+		t.Fatalf("DA1 used %d words; centralizing costs %d — no compression", got, raw)
+	}
+}
+
+func TestDA1ExpiresWithoutArrivals(t *testing.T) {
+	cfg := Config{D: 4, W: 200, Eps: 0.2, Sites: 2, Seed: 5}
+	net := protocol.NewNetwork(2)
+	da, _ := NewDA1(cfg, net)
+	evs := genEvents(500, 4, 2, 73)
+	for _, e := range evs {
+		da.Observe(e.Site, e.Row)
+	}
+	da.AdvanceTime(5000)
+	if f := mat.FrobSq(da.Sketch()); f > 1e-6 {
+		t.Fatalf("DA1 sketch mass %v after total expiry", f)
+	}
+}
+
+// --- DA2 ---
+
+func TestDA2CovarianceError(t *testing.T) {
+	cfg := Config{D: 8, W: 1500, Eps: 0.15, Sites: 4, Seed: 1}
+	net := protocol.NewNetwork(4)
+	da, err := NewDA2(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(6000, 8, 4, 79)
+	avg, max := drive(t, da, evs, cfg.W, 8, 500)
+	if avg > 3*cfg.Eps {
+		t.Fatalf("DA2 avg err %v > 3ε", avg)
+	}
+	if max > 6*cfg.Eps {
+		t.Fatalf("DA2 max err %v > 6ε", max)
+	}
+}
+
+func TestDA2CCovarianceError(t *testing.T) {
+	cfg := Config{D: 8, W: 1500, Eps: 0.15, Sites: 4, Seed: 1}
+	net := protocol.NewNetwork(4)
+	da, err := NewDA2C(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(6000, 8, 4, 83)
+	avg, max := drive(t, da, evs, cfg.W, 8, 500)
+	if avg > 3*cfg.Eps {
+		t.Fatalf("DA2-C avg err %v > 3ε", avg)
+	}
+	if max > 6*cfg.Eps {
+		t.Fatalf("DA2-C max err %v > 6ε", max)
+	}
+}
+
+func TestDA2OneWayCommunication(t *testing.T) {
+	cfg := Config{D: 5, W: 800, Eps: 0.2, Sites: 3, Seed: 2}
+	net := protocol.NewNetwork(3)
+	da, _ := NewDA2(cfg, net)
+	drive(t, da, genEvents(3000, 5, 3, 89), cfg.W, 5, 0)
+	if net.Stats().WordsDown != 0 {
+		t.Fatal("DA2 must use one-way communication")
+	}
+}
+
+func TestDA2NoResidueAccumulation(t *testing.T) {
+	// Run many windows, then expire everything: Ĉ must return to ≈0 even
+	// after 10+ window generations.
+	cfg := Config{D: 4, W: 300, Eps: 0.2, Sites: 2, Seed: 3}
+	net := protocol.NewNetwork(2)
+	da, _ := NewDA2(cfg, net)
+	evs := genEvents(4000, 4, 2, 97)
+	var mass float64
+	for _, e := range evs {
+		da.Observe(e.Site, e.Row)
+		mass += e.Row.NormSq()
+	}
+	da.AdvanceTime(100_000)
+	if f := mat.FrobSq(da.Sketch()); f > 1e-6*mass {
+		t.Fatalf("DA2 sketch mass %v after total expiry (input mass %v)", f, mass)
+	}
+}
+
+func TestDA2CNoResidueAccumulation(t *testing.T) {
+	cfg := Config{D: 4, W: 300, Eps: 0.2, Sites: 2, Seed: 3}
+	net := protocol.NewNetwork(2)
+	da, _ := NewDA2C(cfg, net)
+	evs := genEvents(4000, 4, 2, 101)
+	var mass float64
+	for _, e := range evs {
+		da.Observe(e.Site, e.Row)
+		mass += e.Row.NormSq()
+	}
+	da.AdvanceTime(100_000)
+	if f := mat.FrobSq(da.Sketch()); f > 1e-3*mass {
+		t.Fatalf("DA2-C sketch mass %v after total expiry (input mass %v)", f, mass)
+	}
+}
+
+func TestDA2CommunicationSublinear(t *testing.T) {
+	cfg := Config{D: 6, W: 2000, Eps: 0.15, Sites: 2, Seed: 4}
+	net := protocol.NewNetwork(2)
+	da, _ := NewDA2(cfg, net)
+	evs := genEvents(10000, 6, 2, 103)
+	drive(t, da, evs, cfg.W, 6, 0)
+	raw := int64(10000) * protocol.RowWords(6)
+	if got := net.Stats().WordsUp; got > raw/3 {
+		t.Fatalf("DA2 used %d words; centralizing costs %d", got, raw)
+	}
+}
+
+func TestDA2SiteSpaceSublinear(t *testing.T) {
+	cfg := Config{D: 4, W: 4000, Eps: 0.2, Sites: 2, Seed: 5}
+	net := protocol.NewNetwork(2)
+	da, _ := NewDA2(cfg, net)
+	evs := genEvents(8000, 4, 2, 107)
+	drive(t, da, evs, cfg.W, 4, 0)
+	// A site's window share is ≈2000 rows ≈ 10000 words; DA2 keeps only
+	// the ledger + queue + FD buffers.
+	if net.Stats().MaxSiteWords > 3000 {
+		t.Fatalf("DA2 site space %d words — not sublinear", net.Stats().MaxSiteWords)
+	}
+}
+
+// --- With-replacement extensions ---
+
+func TestPWRCovarianceError(t *testing.T) {
+	cfg := Config{D: 5, W: 1000, Eps: 0.3, Sites: 2, Ell: 96, Seed: 6}
+	net := protocol.NewNetwork(2)
+	pwr, err := NewPWR(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(3000, 5, 2, 109)
+	avg, _ := drive(t, pwr, evs, cfg.W, 5, 500)
+	if avg > 0.5 {
+		t.Fatalf("PWR avg err %v", avg)
+	}
+	if pwr.Name() != "PWR" {
+		t.Fatalf("Name = %q", pwr.Name())
+	}
+}
+
+func TestESWRCovarianceError(t *testing.T) {
+	cfg := Config{D: 5, W: 1000, Eps: 0.3, Sites: 2, Ell: 96, Seed: 7}
+	net := protocol.NewNetwork(2)
+	eswr, err := NewESWR(cfg, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEvents(3000, 5, 2, 113)
+	avg, _ := drive(t, eswr, evs, cfg.W, 5, 500)
+	if avg > 0.5 {
+		t.Fatalf("ESWR avg err %v", avg)
+	}
+}
+
+// --- Cross-protocol comparisons ---
+
+func TestDeterministicBeatsSamplingAtEqualEps(t *testing.T) {
+	// Figure 1(a)/2(a)/3(a): deterministic protocols give better error at
+	// the same ε.
+	eps := 0.2
+	cfg := Config{D: 8, W: 1500, Eps: eps, Sites: 4, Seed: 8}
+	evs := genEvents(6000, 8, 4, 127)
+
+	netD := protocol.NewNetwork(4)
+	da, _ := NewDA1(cfg, netD)
+	avgD, _ := drive(t, da, evs, cfg.W, 8, 500)
+
+	scfg := cfg
+	scfg.Ell = sampling.SampleSize(eps)
+	sp, _ := newSampler(t, scfg, SamplerOpts{Scheme: sampling.Priority{}})
+	avgS, _ := drive(t, sp, evs, cfg.W, 8, 500)
+
+	if avgD > avgS*2 {
+		t.Fatalf("DA1 err %v should not be much worse than PWOR %v", avgD, avgS)
+	}
+}

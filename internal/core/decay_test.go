@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distwindow/internal/protocol"
+	"distwindow/internal/stream"
+	"distwindow/mat"
+)
+
+// decayedGram computes the exact decayed covariance Σ γ^(now−tᵢ)·vᵢᵀvᵢ.
+func decayedGram(d int, gamma float64, now int64, rows []stream.Row) (*mat.Dense, float64) {
+	g := mat.NewDense(d, d)
+	var frob float64
+	for _, r := range rows {
+		f := math.Pow(gamma, float64(now-r.T))
+		mat.OuterAdd(g, r.V, f)
+		frob += f * r.NormSq()
+	}
+	return g, frob
+}
+
+func TestDecayTrackerError(t *testing.T) {
+	const (
+		d     = 6
+		gamma = 0.995
+		eps   = 0.15
+	)
+	cfg := Config{D: d, W: 1, Eps: eps, Sites: 3, Seed: 1}
+	net := protocol.NewNetwork(3)
+	dt, err := NewDecay(cfg, gamma, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var rows []stream.Row
+	for i := int64(1); i <= 3000; i++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		r := stream.Row{T: i, V: v}
+		dt.Observe(rng.Intn(3), r)
+		rows = append(rows, r)
+		if i%500 == 0 {
+			truth, frob := decayedGram(d, gamma, i, rows)
+			b := dt.Sketch()
+			errv := mat.SymSpectralNorm(mat.Sub(truth, mat.Gram(b))) / frob
+			if errv > 3*eps {
+				t.Fatalf("t=%d: decayed covariance error %v > %v", i, errv, 3*eps)
+			}
+		}
+	}
+}
+
+func TestDecayNoTrafficWhileIdle(t *testing.T) {
+	cfg := Config{D: 4, W: 1, Eps: 0.2, Sites: 2, Seed: 3}
+	net := protocol.NewNetwork(2)
+	dt, _ := NewDecay(cfg, 0.99, net)
+	rng := rand.New(rand.NewSource(4))
+	for i := int64(1); i <= 500; i++ {
+		v := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		dt.Observe(int(i)%2, stream.Row{T: i, V: v})
+	}
+	before := net.Stats().TotalWords()
+	// Idle decay: no arrivals, no messages — decay is deterministic.
+	for i := int64(501); i <= 5000; i += 100 {
+		dt.AdvanceTime(i)
+	}
+	if after := net.Stats().TotalWords(); after != before {
+		t.Fatalf("idle decay caused %d words of traffic", after-before)
+	}
+}
+
+func TestDecaySketchShrinksOverTime(t *testing.T) {
+	cfg := Config{D: 3, W: 1, Eps: 0.2, Sites: 1, Seed: 5}
+	net := protocol.NewNetwork(1)
+	dt, _ := NewDecay(cfg, 0.99, net)
+	dt.Observe(0, stream.Row{T: 1, V: []float64{2, 0, 0}})
+	m1 := mat.FrobSq(dt.Sketch())
+	dt.AdvanceTime(500)
+	m2 := mat.FrobSq(dt.Sketch())
+	if m2 >= m1/10 {
+		t.Fatalf("mass should decay: %v → %v", m1, m2)
+	}
+}
+
+func TestDecayOldRegimeForgotten(t *testing.T) {
+	const d = 4
+	cfg := Config{D: d, W: 1, Eps: 0.1, Sites: 2, Seed: 6}
+	net := protocol.NewNetwork(2)
+	dt, _ := NewDecay(cfg, 0.99, net)
+	rng := rand.New(rand.NewSource(7))
+	// Regime A on axis 0, then regime B on axis 3.
+	for i := int64(1); i <= 600; i++ {
+		v := make([]float64, d)
+		v[0] = rng.NormFloat64() * 3
+		dt.Observe(int(i)%2, stream.Row{T: i, V: v})
+	}
+	for i := int64(601); i <= 1600; i++ {
+		v := make([]float64, d)
+		v[3] = rng.NormFloat64() * 3
+		dt.Observe(int(i)%2, stream.Row{T: i, V: v})
+	}
+	g := mat.Gram(dt.Sketch())
+	if g.At(0, 0) > 0.05*g.At(3, 3) {
+		t.Fatalf("regime A energy %v should have decayed (B: %v)", g.At(0, 0), g.At(3, 3))
+	}
+}
+
+func TestDecayOneWay(t *testing.T) {
+	cfg := Config{D: 3, W: 1, Eps: 0.2, Sites: 2, Seed: 8}
+	net := protocol.NewNetwork(2)
+	dt, _ := NewDecay(cfg, 0.999, net)
+	rng := rand.New(rand.NewSource(9))
+	for i := int64(1); i <= 1000; i++ {
+		dt.Observe(int(i)%2, stream.Row{T: i, V: []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}})
+	}
+	if net.Stats().WordsDown != 0 {
+		t.Fatal("decay tracker must be one-way")
+	}
+	if net.Stats().WordsUp == 0 {
+		t.Fatal("decay tracker sent nothing")
+	}
+}
+
+func TestDecayCommunicationSublinear(t *testing.T) {
+	cfg := Config{D: 5, W: 1, Eps: 0.15, Sites: 2, Seed: 10}
+	net := protocol.NewNetwork(2)
+	dt, _ := NewDecay(cfg, 0.999, net)
+	rng := rand.New(rand.NewSource(11))
+	n := int64(10_000)
+	for i := int64(1); i <= n; i++ {
+		dt.Observe(int(i)%2, stream.Row{T: i, V: []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}})
+	}
+	raw := n * protocol.RowWords(5)
+	if got := net.Stats().WordsUp; got > raw/5 {
+		t.Fatalf("decay used %d words; centralizing costs %d", got, raw)
+	}
+}
+
+func TestNewDecayValidation(t *testing.T) {
+	net := protocol.NewNetwork(1)
+	cfg := Config{D: 2, W: 1, Eps: 0.1, Sites: 1}
+	for _, g := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewDecay(cfg, g, net); err == nil {
+			t.Fatalf("want error for gamma=%v", g)
+		}
+	}
+	if _, err := NewDecay(Config{D: 0, W: 1, Eps: 0.1, Sites: 1}, 0.9, net); err == nil {
+		t.Fatal("want error for bad config")
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+// Numerical and adversarial stress tests: extreme norm ratios (the R in
+// the bounds), batch arrivals in one tick, exponentially growing norms,
+// and degenerate priority distributions.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distwindow/internal/protocol"
+	"distwindow/internal/sampling"
+	"distwindow/internal/stream"
+	"distwindow/internal/window"
+	"distwindow/mat"
+)
+
+func TestSamplerExtremeNormRatio(t *testing.T) {
+	// R = 1e12: tiny rows must never drown out the huge ones.
+	cfg := Config{D: 2, W: 2000, Eps: 0.2, Sites: 2, Ell: 64, Seed: 1}
+	net := protocol.NewNetwork(2)
+	s, _ := NewSampler(cfg, SamplerOpts{Scheme: sampling.Priority{}}, net)
+	rng := rand.New(rand.NewSource(2))
+	truth := window.NewExact(cfg.W)
+	for i := int64(1); i <= 4000; i++ {
+		scale := 1e-3
+		if rng.Intn(100) == 0 {
+			scale = 1e3
+		}
+		v := []float64{scale * rng.NormFloat64(), scale * rng.NormFloat64()}
+		if mat.VecNormSq(v) == 0 {
+			continue
+		}
+		s.Observe(rng.Intn(2), stream.Row{T: i, V: v})
+		truth.Add(stream.Row{T: i, V: v})
+	}
+	if err := truth.CovErr(2, s.Sketch()); err > 0.5 {
+		t.Fatalf("extreme-R covariance error %v", err)
+	}
+}
+
+func TestDA1ExponentiallyGrowingNorms(t *testing.T) {
+	// Norms double every 100 rows — log(NR) stress for the histograms.
+	cfg := Config{D: 3, W: 500, Eps: 0.2, Sites: 2, Seed: 1}
+	net := protocol.NewNetwork(2)
+	da, _ := NewDA1(cfg, net)
+	rng := rand.New(rand.NewSource(3))
+	truth := window.NewExact(cfg.W)
+	for i := int64(1); i <= 2000; i++ {
+		scale := math.Pow(2, float64(i)/100)
+		v := []float64{scale * rng.NormFloat64(), scale * rng.NormFloat64(), scale * rng.NormFloat64()}
+		da.Observe(rng.Intn(2), stream.Row{T: i, V: v})
+		truth.Add(stream.Row{T: i, V: v})
+	}
+	if err := truth.CovErr(3, da.Sketch()); err > 4*cfg.Eps {
+		t.Fatalf("growing-norm covariance error %v", err)
+	}
+}
+
+func TestDA2BatchArrivalsSingleTick(t *testing.T) {
+	// 500 rows share one timestamp, then silence until they all expire at
+	// once — the harshest expiry burst.
+	cfg := Config{D: 4, W: 100, Eps: 0.2, Sites: 2, Seed: 1}
+	net := protocol.NewNetwork(2)
+	da, _ := NewDA2(cfg, net)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		v := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		da.Observe(i%2, stream.Row{T: 50, V: v})
+	}
+	if mat.FrobSq(da.Sketch()) == 0 {
+		t.Fatal("batch not tracked")
+	}
+	da.AdvanceTime(151) // all rows expire at 150 simultaneously
+	if f := mat.FrobSq(da.Sketch()); f > 1e-9 {
+		t.Fatalf("batch expiry left mass %v", f)
+	}
+}
+
+func TestSamplerConstantPriorityWeights(t *testing.T) {
+	// Identical weights everywhere: priorities differ only through u, the
+	// degenerate case closest to uniform sampling.
+	cfg := Config{D: 2, W: 1000, Eps: 0.2, Sites: 3, Ell: 64, Seed: 5}
+	net := protocol.NewNetwork(3)
+	s, _ := NewSampler(cfg, SamplerOpts{Scheme: sampling.ES{}}, net)
+	truth := window.NewExact(cfg.W)
+	rng := rand.New(rand.NewSource(6))
+	for i := int64(1); i <= 3000; i++ {
+		v := []float64{1, 0}
+		if i%2 == 0 {
+			v = []float64{0, 1}
+		}
+		s.Observe(rng.Intn(3), stream.Row{T: i, V: v})
+		truth.Add(stream.Row{T: i, V: v})
+	}
+	if err := truth.CovErr(2, s.Sketch()); err > 0.4 {
+		t.Fatalf("constant-weight covariance error %v", err)
+	}
+}
+
+func TestSumTrackerTinyAndHugeWeights(t *testing.T) {
+	cfg := Config{D: 1, W: 400, Eps: 0.1, Sites: 1}
+	net := protocol.NewNetwork(1)
+	st, _ := NewSumTracker(cfg, net)
+	var items []struct {
+		t int64
+		w float64
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := int64(1); i <= 2000; i++ {
+		w := 1e-9
+		if rng.Intn(20) == 0 {
+			w = 1e9
+		}
+		st.ObserveWeight(0, i, w)
+		items = append(items, struct {
+			t int64
+			w float64
+		}{i, w})
+	}
+	var truthSum float64
+	for _, it := range items {
+		if it.t > 2000-400 {
+			truthSum += it.w
+		}
+	}
+	got := st.Estimate()
+	if math.Abs(got-truthSum)/truthSum > 3*cfg.Eps {
+		t.Fatalf("R=1e18 sum estimate %v vs %v", got, truthSum)
+	}
+}
+
+func TestDecayVeryFastDecay(t *testing.T) {
+	// γ = 0.5: half-life one tick. Only the newest couple of rows matter.
+	cfg := Config{D: 2, W: 1, Eps: 0.3, Sites: 1, Seed: 1}
+	net := protocol.NewNetwork(1)
+	dt, _ := NewDecay(cfg, 0.5, net)
+	for i := int64(1); i <= 200; i++ {
+		dt.Observe(0, stream.Row{T: i, V: []float64{1, 0}})
+	}
+	// Steady state: Σ 0.5^k = 2 along e1.
+	g := mat.Gram(dt.Sketch())
+	if math.Abs(g.At(0, 0)-2) > 1 {
+		t.Fatalf("steady-state decayed mass %v, want ≈2", g.At(0, 0))
+	}
+}
+
+func TestSamplerManySitesFewRows(t *testing.T) {
+	// More sites than rows: most sites never see data.
+	cfg := Config{D: 2, W: 1000, Eps: 0.3, Sites: 50, Ell: 32, Seed: 8}
+	net := protocol.NewNetwork(50)
+	s, _ := NewSampler(cfg, SamplerOpts{Scheme: sampling.Priority{}}, net)
+	truth := window.NewExact(cfg.W)
+	for i := int64(1); i <= 20; i++ {
+		v := []float64{float64(i), 1}
+		s.Observe(int(i)%50, stream.Row{T: i, V: v})
+		truth.Add(stream.Row{T: i, V: v})
+	}
+	if err := truth.CovErr(2, s.Sketch()); err > 1e-9 {
+		t.Fatalf("sub-ℓ population should be exact, err=%v", err)
+	}
+}

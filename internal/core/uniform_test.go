@@ -1,0 +1,101 @@
+package core
+
+// The paper's §II motivating example, as an executable experiment: on a
+// matrix with one dominant row among many light ones, uniform sampling
+// misses the heavy row with probability 1−ℓ/n and its covariance error
+// approaches 1, while weighted (priority) sampling captures it almost
+// surely.
+
+import (
+	"math/rand"
+	"testing"
+
+	"distwindow/internal/protocol"
+	"distwindow/internal/sampling"
+	"distwindow/internal/stream"
+	"distwindow/internal/window"
+)
+
+// heavyRowStream is the paper's n×2 example: one row [n, 0], the rest
+// [0, 1], shuffled.
+func heavyRowStream(n int, seed int64) []stream.Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]stream.Event, n)
+	heavyAt := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := []float64{0, 1}
+		if i == heavyAt {
+			v = []float64{float64(n), 0}
+		}
+		evs[i] = stream.Event{Site: rng.Intn(2), Row: stream.Row{T: int64(i + 1), V: v}}
+	}
+	return evs
+}
+
+func runScheme(t *testing.T, scheme sampling.Scheme, evs []stream.Event, w int64, seed int64) float64 {
+	t.Helper()
+	cfg := Config{D: 2, W: w, Eps: 0.2, Sites: 2, Ell: 32, Seed: seed}
+	net := protocol.NewNetwork(2)
+	s, err := NewSampler(cfg, SamplerOpts{Scheme: scheme}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := window.NewExact(w)
+	for _, e := range evs {
+		s.Observe(e.Site, e.Row)
+		truth.Add(e.Row)
+	}
+	return truth.CovErr(2, s.Sketch())
+}
+
+func TestUniformSamplingFailsOnSkew(t *testing.T) {
+	// n=4000 active rows, ℓ=32: P[uniform hits the heavy row] ≈ 4·32/4000
+	// per trial. Average over trials: uniform's error must be large most
+	// of the time, priority sampling's error tiny every time.
+	const n = 4000
+	w := int64(n + 10)
+	uniformBad, priorityBad := 0, 0
+	const trials = 5
+	for trial := int64(0); trial < trials; trial++ {
+		evs := heavyRowStream(n, 100+trial)
+		if e := runScheme(t, sampling.Uniform{}, evs, w, trial); e > 0.5 {
+			uniformBad++
+		}
+		if e := runScheme(t, sampling.Priority{}, evs, w, trial); e > 0.5 {
+			priorityBad++
+		}
+	}
+	if priorityBad != 0 {
+		t.Fatalf("priority sampling missed the heavy row in %d/%d trials", priorityBad, trials)
+	}
+	if uniformBad < trials-1 {
+		t.Fatalf("uniform sampling succeeded too often (%d/%d bad) — the motivating example should break it", uniformBad, trials)
+	}
+}
+
+func TestUniformSamplerWorksOnUnskewedData(t *testing.T) {
+	// Sanity: with near-equal norms the uniform baseline is fine — the
+	// failure above is about skew, not a broken implementation.
+	rng := rand.New(rand.NewSource(1))
+	evs := make([]stream.Event, 3000)
+	for i := range evs {
+		evs[i] = stream.Event{
+			Site: rng.Intn(2),
+			Row:  stream.Row{T: int64(i + 1), V: []float64{rng.NormFloat64(), rng.NormFloat64()}},
+		}
+	}
+	if e := runScheme(t, sampling.Uniform{}, evs, 1000, 2); e > 0.45 {
+		t.Fatalf("uniform baseline error %v on unskewed data", e)
+	}
+}
+
+func TestUniformSamplerName(t *testing.T) {
+	net := protocol.NewNetwork(1)
+	s, err := NewSampler(Config{D: 2, W: 10, Eps: 0.2, Sites: 1, Ell: 4}, SamplerOpts{Scheme: sampling.Uniform{}}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "UNIFORM" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}

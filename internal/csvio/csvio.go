@@ -1,0 +1,103 @@
+// Package csvio parses and writes the event CSV format shared by the
+// command-line tools: one event per line,
+//
+//	timestamp,site,v1,v2,...,vd
+//
+// with int64 timestamp and site and float64 features. It streams — events
+// are delivered through a callback so arbitrarily large files never live
+// in memory at once.
+package csvio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"distwindow/internal/stream"
+)
+
+// Event mirrors stream.Event for the wire format.
+type Event = stream.Event
+
+// Read parses events from r, invoking fn for each. The row dimension is
+// inferred from the first line and enforced afterwards. Blank lines and
+// lines starting with '#' are skipped. Timestamps must be non-decreasing.
+func Read(r io.Reader, fn func(Event) error) (n int, d int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	prevT := int64(-1 << 62)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		ev, dim, perr := parseLine(text)
+		if perr != nil {
+			return n, d, fmt.Errorf("csvio: line %d: %w", line, perr)
+		}
+		if d == 0 {
+			d = dim
+		} else if dim != d {
+			return n, d, fmt.Errorf("csvio: line %d: dimension %d, want %d", line, dim, d)
+		}
+		if ev.Row.T < prevT {
+			return n, d, fmt.Errorf("csvio: line %d: timestamp %d decreases (prev %d)", line, ev.Row.T, prevT)
+		}
+		prevT = ev.Row.T
+		if err := fn(ev); err != nil {
+			return n, d, err
+		}
+		n++
+	}
+	return n, d, sc.Err()
+}
+
+func parseLine(text string) (Event, int, error) {
+	parts := strings.Split(text, ",")
+	if len(parts) < 3 {
+		return Event{}, 0, fmt.Errorf("need timestamp,site,v1,...: %q", text)
+	}
+	t, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return Event{}, 0, fmt.Errorf("bad timestamp: %w", err)
+	}
+	site, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return Event{}, 0, fmt.Errorf("bad site: %w", err)
+	}
+	if site < 0 {
+		return Event{}, 0, fmt.Errorf("negative site %d", site)
+	}
+	v := make([]float64, len(parts)-2)
+	for i, p := range parts[2:] {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Event{}, 0, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		v[i] = x
+	}
+	return Event{Site: site, Row: stream.Row{T: t, V: v}}, len(v), nil
+}
+
+// Write streams events to w in the same format.
+func Write(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range evs {
+		if _, err := fmt.Fprintf(bw, "%d,%d", e.Row.T, e.Site); err != nil {
+			return err
+		}
+		for _, v := range e.Row.V {
+			if _, err := bw.WriteString("," + strconv.FormatFloat(v, 'g', 8, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,115 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distwindow/internal/stream"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := "1,0,1.5,2.5\n2,1,3,4\n"
+	var got []Event
+	n, d, err := Read(strings.NewReader(in), func(e Event) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || d != 2 {
+		t.Fatalf("n=%d d=%d", n, d)
+	}
+	if got[0].Row.T != 1 || got[0].Site != 0 || got[0].Row.V[1] != 2.5 {
+		t.Fatalf("event 0 = %+v", got[0])
+	}
+	if got[1].Site != 1 || got[1].Row.V[0] != 3 {
+		t.Fatalf("event 1 = %+v", got[1])
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1,0,1\n# mid\n2,0,2\n"
+	n, d, err := Read(strings.NewReader(in), func(Event) error { return nil })
+	if err != nil || n != 2 || d != 1 {
+		t.Fatalf("n=%d d=%d err=%v", n, d, err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields":       "1,0\n",
+		"bad timestamp":        "x,0,1\n",
+		"bad site":             "1,y,1\n",
+		"negative site":        "1,-2,1\n",
+		"bad value":            "1,0,zzz\n",
+		"dimension mismatch":   "1,0,1,2\n2,0,1\n",
+		"decreasing timestamp": "5,0,1\n3,0,1\n",
+	}
+	for name, in := range cases {
+		if _, _, err := Read(strings.NewReader(in), func(Event) error { return nil }); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadCallbackError(t *testing.T) {
+	in := "1,0,1\n2,0,2\n"
+	calls := 0
+	_, _, err := Read(strings.NewReader(in), func(Event) error {
+		calls++
+		if calls == 1 {
+			return strings.NewReader("").UnreadByte() // any non-nil error
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("callback error should propagate")
+	}
+	if calls != 1 {
+		t.Fatalf("callback called %d times after error", calls)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Site: 0, Row: stream.Row{T: 1, V: []float64{1.25, -3}}},
+		{Site: 3, Row: stream.Row{T: 7, V: []float64{0, 42.5}}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	n, d, err := Read(&buf, func(e Event) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil || n != 2 || d != 2 {
+		t.Fatalf("n=%d d=%d err=%v", n, d, err)
+	}
+	for i := range evs {
+		if got[i].Site != evs[i].Site || got[i].Row.T != evs[i].Row.T {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got[i], evs[i])
+		}
+		for j := range evs[i].Row.V {
+			if got[i].Row.V[j] != evs[i].Row.V[j] {
+				t.Fatalf("value mismatch at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadWhitespaceTolerant(t *testing.T) {
+	in := " 1 , 0 , 1.5 \n"
+	n, d, err := Read(strings.NewReader(in), func(e Event) error {
+		if e.Row.V[0] != 1.5 {
+			t.Fatalf("value = %v", e.Row.V[0])
+		}
+		return nil
+	})
+	if err != nil || n != 1 || d != 1 {
+		t.Fatalf("n=%d d=%d err=%v", n, d, err)
+	}
+}

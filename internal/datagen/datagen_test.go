@@ -1,0 +1,175 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"distwindow/mat"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	ds := Synthetic(30, Config{N: 900, RowsPerWindow: 300, Sites: 4, Seed: 1})
+	if len(ds.Events) != 900 {
+		t.Fatalf("N = %d, want 900", len(ds.Events))
+	}
+	if ds.D != 30 {
+		t.Fatalf("D = %d, want 30", ds.D)
+	}
+	if ds.W != 300*1000 {
+		t.Fatalf("W = %d, want 300000", ds.W)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(10, Config{N: 100, RowsPerWindow: 50, Sites: 2, Seed: 7})
+	b := Synthetic(10, Config{N: 100, RowsPerWindow: 50, Sites: 2, Seed: 7})
+	for i := range a.Events {
+		if a.Events[i].Row.T != b.Events[i].Row.T || a.Events[i].Site != b.Events[i].Site {
+			t.Fatal("same seed must reproduce the same dataset")
+		}
+		for j := range a.Events[i].Row.V {
+			if a.Events[i].Row.V[j] != b.Events[i].Row.V[j] {
+				t.Fatal("same seed must reproduce the same rows")
+			}
+		}
+	}
+}
+
+func TestSyntheticSeedsDiffer(t *testing.T) {
+	a := Synthetic(10, Config{N: 50, RowsPerWindow: 25, Sites: 2, Seed: 1})
+	b := Synthetic(10, Config{N: 50, RowsPerWindow: 25, Sites: 2, Seed: 2})
+	same := true
+	for j := range a.Events[0].Row.V {
+		if a.Events[0].Row.V[j] != b.Events[0].Row.V[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestSyntheticModerateR(t *testing.T) {
+	// Paper reports R = 3.72 for SYNTHETIC; Gaussian mixtures keep R small.
+	ds := Synthetic(50, Config{N: 3000, RowsPerWindow: 1000, Sites: 4, Seed: 3})
+	if ds.R > 100 {
+		t.Fatalf("SYNTHETIC R = %v, want small (paper: 3.72)", ds.R)
+	}
+}
+
+func TestSyntheticSignalRecoverable(t *testing.T) {
+	// The top singular directions should carry far more mass than noise:
+	// with ζ=10 the signal dominates.
+	ds := Synthetic(20, Config{N: 500, RowsPerWindow: 200, Sites: 2, Seed: 4})
+	a := mat.NewDense(500, 20)
+	for i, e := range ds.Events {
+		a.SetRow(i, e.Row.V)
+	}
+	s := mat.ThinSVD(a)
+	if s.S[0] < 3*s.S[len(s.S)-1] {
+		t.Fatalf("no clear signal: σ_max=%v σ_min=%v", s.S[0], s.S[len(s.S)-1])
+	}
+}
+
+func TestPAMAPSimTableIII(t *testing.T) {
+	ds := PAMAPSim(Config{N: 20000, RowsPerWindow: 5000, Sites: 10, Seed: 5})
+	if ds.D != 43 {
+		t.Fatalf("PAMAP d = %d, want 43", ds.D)
+	}
+	// Paper reports R = 60.78; accept the right order of magnitude.
+	if ds.R < 5 || ds.R > 5000 {
+		t.Fatalf("PAMAP-sim R = %v, want moderate skew (paper: 60.78)", ds.R)
+	}
+}
+
+func TestPAMAPSimAutocorrelated(t *testing.T) {
+	ds := PAMAPSim(Config{N: 5000, RowsPerWindow: 1000, Sites: 4, Seed: 6})
+	// Lag-1 cosine similarity should be high within activity bouts.
+	var simSum float64
+	n := 0
+	for i := 1; i < len(ds.Events); i++ {
+		a, b := ds.Events[i-1].Row.V, ds.Events[i].Row.V
+		na, nb := mat.VecNorm(a), mat.VecNorm(b)
+		if na == 0 || nb == 0 {
+			continue
+		}
+		simSum += mat.Dot(a, b) / (na * nb)
+		n++
+	}
+	if avg := simSum / float64(n); avg < 0.3 {
+		t.Fatalf("lag-1 similarity = %v, want autocorrelated (>0.3)", avg)
+	}
+}
+
+func TestWikiSimSparseAndSkewed(t *testing.T) {
+	ds := WikiSim(512, Config{N: 3000, RowsPerWindow: 500, Sites: 10, Seed: 7})
+	if ds.D != 512 {
+		t.Fatalf("D = %d", ds.D)
+	}
+	// Paper reports R = 2998.83; demand strong skew.
+	if ds.R < 50 {
+		t.Fatalf("WIKI-sim R = %v, want heavy skew (paper: 2998.83)", ds.R)
+	}
+	// Sparsity: average nonzeros well below d.
+	var nnz int
+	for _, e := range ds.Events {
+		for _, v := range e.Row.V {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	avg := float64(nnz) / float64(len(ds.Events))
+	if avg > float64(ds.D)/2 {
+		t.Fatalf("avg nnz = %v of d=%d, want sparse", avg, ds.D)
+	}
+}
+
+func TestTimestampsNonDecreasing(t *testing.T) {
+	for _, ds := range []Dataset{
+		Synthetic(10, Config{N: 300, RowsPerWindow: 100, Sites: 3, Seed: 8}),
+		PAMAPSim(Config{N: 300, RowsPerWindow: 100, Sites: 3, Seed: 8}),
+		WikiSim(64, Config{N: 300, RowsPerWindow: 100, Sites: 3, Seed: 8}),
+	} {
+		prev := int64(-1)
+		for _, e := range ds.Events {
+			if e.Row.T < prev {
+				t.Fatalf("%s: timestamps decrease", ds.Name)
+			}
+			prev = e.Row.T
+		}
+	}
+}
+
+func TestSitesInRange(t *testing.T) {
+	ds := Synthetic(5, Config{N: 500, RowsPerWindow: 100, Sites: 7, Seed: 9})
+	for _, e := range ds.Events {
+		if e.Site < 0 || e.Site >= 7 {
+			t.Fatalf("site %d out of range", e.Site)
+		}
+	}
+}
+
+func TestAverageRowsPerWindowMatches(t *testing.T) {
+	ds := Synthetic(5, Config{N: 10000, RowsPerWindow: 2000, Sites: 4, Seed: 10})
+	// With Poisson(1) arrivals at 1000 ticks/unit, W=2000*1000 ticks holds
+	// ≈2000 rows. Count active rows at the final timestamp.
+	last := ds.Events[len(ds.Events)-1].Row.T
+	count := 0
+	for _, e := range ds.Events {
+		if e.Row.T > last-ds.W && e.Row.T <= last {
+			count++
+		}
+	}
+	if math.Abs(float64(count)-2000) > 300 {
+		t.Fatalf("active rows = %d, want ≈2000", count)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ds := WikiSim(64, Config{N: 200, RowsPerWindow: 50, Sites: 2, Seed: 11})
+	s := Summarize(ds)
+	if s.N != 200 || s.D != 64 || s.RowsPerWindow != 50 || s.R != ds.R {
+		t.Fatalf("Summarize wrong: %+v", s)
+	}
+}

@@ -1,0 +1,40 @@
+package eh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkInsertUniform(b *testing.B) {
+	h := New(100_000, 0.05)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Insert(int64(i), 1)
+	}
+}
+
+func BenchmarkInsertSkewed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	weights := make([]float64, 4096)
+	for i := range weights {
+		weights[i] = 0.01 + rng.ExpFloat64()*100
+	}
+	h := New(100_000, 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(int64(i), weights[i%len(weights)])
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	h := New(100_000, 0.05)
+	for i := int64(0); i < 50_000; i++ {
+		h.Insert(i, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Query()
+	}
+}

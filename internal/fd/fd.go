@@ -1,0 +1,158 @@
+// Package fd implements Liberty's Frequent Directions matrix sketch
+// (KDD 2013; Ghashami et al., SICOMP 2016): a deterministic, mergeable
+// ℓ×d sketch B of a row stream A with covariance error
+// ‖AᵀA − BᵀB‖₂ ≤ ‖A‖_F²/ℓ.
+//
+// The implementation uses the standard doubled-buffer trick: rows are
+// appended into a 2ℓ×d buffer and a single SVD-shrink step runs every ℓ
+// appends, giving O(dℓ) amortized update time.
+package fd
+
+import (
+	"fmt"
+	"math"
+
+	"distwindow/mat"
+)
+
+// Sketch is a Frequent Directions sketch. The zero value is not usable;
+// construct with New.
+type Sketch struct {
+	ell    int
+	d      int
+	buf    *mat.Dense // 2ℓ×d working buffer
+	n      int        // occupied rows of buf
+	frobSq float64    // exact ‖A‖_F² of everything fed in
+	shrunk float64    // total spectral mass removed by shrinking (Σ δ)
+}
+
+// New returns an empty sketch with ℓ rows of capacity for d-dimensional
+// input rows. The covariance error guarantee is ‖A‖_F²/ℓ, so choose
+// ℓ ≥ ⌈1/ε⌉ for an ε-covariance sketch.
+func New(ell, d int) *Sketch {
+	if ell < 1 || d < 1 {
+		panic(fmt.Sprintf("fd: invalid sketch size ℓ=%d d=%d", ell, d))
+	}
+	return &Sketch{ell: ell, d: d, buf: mat.NewDense(2*ell, d)}
+}
+
+// L returns the sketch size parameter ℓ.
+func (s *Sketch) L() int { return s.ell }
+
+// D returns the row dimension.
+func (s *Sketch) D() int { return s.d }
+
+// FrobSq returns the exact squared Frobenius norm of all input so far.
+func (s *Sketch) FrobSq() float64 { return s.frobSq }
+
+// ShrunkMass returns the total squared mass removed by shrink steps; it
+// upper-bounds the sketch's covariance error ‖AᵀA − BᵀB‖₂.
+func (s *Sketch) ShrunkMass() float64 { return s.shrunk }
+
+// Update feeds one row into the sketch.
+func (s *Sketch) Update(v []float64) {
+	if len(v) != s.d {
+		panic(fmt.Sprintf("fd: row length %d != d %d", len(v), s.d))
+	}
+	if s.n == 2*s.ell {
+		s.shrink()
+	}
+	s.buf.SetRow(s.n, v)
+	s.n++
+	s.frobSq += mat.VecNormSq(v)
+}
+
+// shrink compacts the buffer to at most ℓ nonzero rows by SVD and
+// subtracting σ_ℓ² from every squared singular value.
+func (s *Sketch) shrink() {
+	if s.n <= s.ell {
+		return
+	}
+	svd := mat.ThinSVD(s.buf.SliceRows(0, s.n))
+	delta := 0.0
+	if len(svd.S) > s.ell {
+		delta = svd.S[s.ell] * svd.S[s.ell]
+	}
+	s.buf.Zero()
+	kept := 0
+	for i := 0; i < len(svd.S) && i < s.ell; i++ {
+		sq := svd.S[i]*svd.S[i] - delta
+		if sq <= 0 {
+			break
+		}
+		row := s.buf.Row(kept)
+		vt := svd.Vt.Row(i)
+		scale := math.Sqrt(sq)
+		for j := range row {
+			row[j] = scale * vt[j]
+		}
+		kept++
+	}
+	s.n = kept
+	s.shrunk += delta
+}
+
+// Rows returns the current sketch matrix B (k×d with k ≤ 2ℓ−1 between
+// shrinks; call Compact first for k ≤ ℓ). The result copies storage.
+func (s *Sketch) Rows() *mat.Dense {
+	out := mat.NewDense(s.n, s.d)
+	out.CopyFrom(s.buf.SliceRows(0, s.n))
+	return out
+}
+
+// ApplyGramAdd accumulates y += Bᵀ(B·x) over the sketch's current rows
+// without materializing them — the cheap mat-vec the protocols' power
+// iterations are built on.
+func (s *Sketch) ApplyGramAdd(x, y []float64) {
+	for i := 0; i < s.n; i++ {
+		row := s.buf.Row(i)
+		c := mat.Dot(row, x)
+		if c != 0 {
+			mat.Axpy(c, row, y)
+		}
+	}
+}
+
+// Compact forces a shrink so the sketch has at most ℓ rows, then returns it.
+func (s *Sketch) Compact() *mat.Dense {
+	s.shrink()
+	return s.Rows()
+}
+
+// Reset empties the sketch without releasing its buffers.
+func (s *Sketch) Reset() {
+	s.buf.Zero()
+	s.n = 0
+	s.frobSq = 0
+	s.shrunk = 0
+}
+
+// Merge folds the other sketch into s (the FD merge operation: append the
+// other sketch's rows and shrink). The error guarantees add. The other
+// sketch is not modified.
+func (s *Sketch) Merge(other *Sketch) {
+	if other.d != s.d {
+		panic(fmt.Sprintf("fd: merge dimension mismatch %d vs %d", other.d, s.d))
+	}
+	for i := 0; i < other.n; i++ {
+		if s.n == 2*s.ell {
+			s.shrink()
+		}
+		s.buf.SetRow(s.n, other.buf.Row(i))
+		s.n++
+	}
+	s.frobSq += other.frobSq
+	s.shrunk += other.shrunk
+}
+
+// Clone returns a deep copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	return &Sketch{
+		ell:    s.ell,
+		d:      s.d,
+		buf:    s.buf.Clone(),
+		n:      s.n,
+		frobSq: s.frobSq,
+		shrunk: s.shrunk,
+	}
+}

@@ -1,0 +1,222 @@
+package fd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distwindow/mat"
+)
+
+func randRows(n, d int, rng *rand.Rand) *mat.Dense {
+	m := mat.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func feed(s *Sketch, a *mat.Dense) {
+	for i := 0; i < a.Rows(); i++ {
+		s.Update(a.Row(i))
+	}
+}
+
+func TestErrorGuarantee(t *testing.T) {
+	// FD guarantee: ‖AᵀA − BᵀB‖₂ ≤ ‖A‖_F²/ℓ.
+	rng := rand.New(rand.NewSource(1))
+	for _, ell := range []int{4, 8, 16} {
+		a := randRows(300, 20, rng)
+		s := New(ell, 20)
+		feed(s, a)
+		b := s.Rows()
+		err := mat.SymSpectralNorm(mat.Sub(mat.Gram(a), mat.Gram(b)))
+		bound := mat.FrobSq(a) / float64(ell)
+		if err > bound*(1+1e-9) {
+			t.Fatalf("ℓ=%d: error %v exceeds bound %v", ell, err, bound)
+		}
+	}
+}
+
+func TestShrunkMassBoundsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randRows(200, 10, rng)
+	s := New(5, 10)
+	feed(s, a)
+	err := mat.SymSpectralNorm(mat.Sub(mat.Gram(a), mat.Gram(s.Rows())))
+	if err > s.ShrunkMass()*(1+1e-9)+1e-12 {
+		t.Fatalf("error %v exceeds shrunk mass %v", err, s.ShrunkMass())
+	}
+}
+
+func TestSketchDominatedByInput(t *testing.T) {
+	// FD property: BᵀB ⪯ AᵀA, i.e. ‖Bx‖ ≤ ‖Ax‖ for all x. Check that
+	// AᵀA − BᵀB has no significantly negative eigenvalue.
+	rng := rand.New(rand.NewSource(3))
+	a := randRows(150, 8, rng)
+	s := New(4, 8)
+	feed(s, a)
+	diff := mat.Sub(mat.Gram(a), mat.Gram(s.Rows()))
+	e := mat.EigSym(diff)
+	min := e.Values[len(e.Values)-1]
+	if min < -1e-6*mat.FrobSq(a) {
+		t.Fatalf("BᵀB not dominated: min eigenvalue %v", min)
+	}
+}
+
+func TestFrobSqExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randRows(77, 6, rng)
+	s := New(3, 6)
+	feed(s, a)
+	if math.Abs(s.FrobSq()-mat.FrobSq(a)) > 1e-9*(1+mat.FrobSq(a)) {
+		t.Fatalf("FrobSq = %v, want %v", s.FrobSq(), mat.FrobSq(a))
+	}
+}
+
+func TestCompactAtMostEllRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := New(6, 10)
+	feed(s, randRows(100, 10, rng))
+	b := s.Compact()
+	if b.Rows() > 6 {
+		t.Fatalf("Compact returned %d rows, want ≤ 6", b.Rows())
+	}
+}
+
+func TestRowsAtMostTwiceEll(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := New(5, 7)
+	for i := 0; i < 137; i++ {
+		s.Update(randRows(1, 7, rng).Row(0))
+		if s.Rows().Rows() > 10 {
+			t.Fatalf("buffer exceeded 2ℓ rows")
+		}
+	}
+}
+
+func TestFewRowsExact(t *testing.T) {
+	// With fewer than ℓ rows the sketch should be lossless.
+	rng := rand.New(rand.NewSource(7))
+	a := randRows(4, 9, rng)
+	s := New(8, 9)
+	feed(s, a)
+	if err := mat.CovErr(a, s.Rows()); err > 1e-10 {
+		t.Fatalf("sub-ℓ sketch should be exact, err=%v", err)
+	}
+	if s.ShrunkMass() != 0 {
+		t.Fatal("no shrink should occur below capacity")
+	}
+}
+
+func TestMergeGuarantee(t *testing.T) {
+	// Merged sketch error ≤ (‖A1‖_F² + ‖A2‖_F²)/ℓ.
+	rng := rand.New(rand.NewSource(8))
+	a1 := randRows(120, 12, rng)
+	a2 := randRows(80, 12, rng)
+	s1, s2 := New(6, 12), New(6, 12)
+	feed(s1, a1)
+	feed(s2, a2)
+	s1.Merge(s2)
+	all := mat.Stack(a1, a2)
+	err := mat.SymSpectralNorm(mat.Sub(mat.Gram(all), mat.Gram(s1.Rows())))
+	bound := mat.FrobSq(all) * 2 / 6 // errors add: ≤ 2·F²/ℓ worst case
+	if err > bound {
+		t.Fatalf("merge error %v exceeds %v", err, bound)
+	}
+	if math.Abs(s1.FrobSq()-mat.FrobSq(all)) > 1e-9*(1+mat.FrobSq(all)) {
+		t.Fatal("merge should add FrobSq")
+	}
+}
+
+func TestMergeDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3, 4).Merge(New(3, 5))
+}
+
+func TestReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := New(4, 5)
+	feed(s, randRows(50, 5, rng))
+	s.Reset()
+	if s.FrobSq() != 0 || s.Rows().Rows() != 0 || s.ShrunkMass() != 0 {
+		t.Fatal("Reset should clear all state")
+	}
+	// And remain usable.
+	s.Update([]float64{1, 0, 0, 0, 0})
+	if s.FrobSq() != 1 {
+		t.Fatal("sketch should be usable after Reset")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(3, 2)
+	s.Update([]float64{1, 2})
+	c := s.Clone()
+	c.Update([]float64{5, 5})
+	if s.FrobSq() == c.FrobSq() {
+		t.Fatal("Clone must not share state")
+	}
+}
+
+func TestUpdateWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Update([]float64{1})
+}
+
+func TestNewInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestLowRankInputIsCapturedWell(t *testing.T) {
+	// Rank-2 input with ℓ=4 should be captured almost exactly: shrinking
+	// removes only noise-level σ_ℓ.
+	rng := rand.New(rand.NewSource(10))
+	d := 10
+	u := randRows(2, d, rng)
+	a := mat.NewDense(500, d)
+	for i := 0; i < 500; i++ {
+		c1, c2 := rng.NormFloat64(), rng.NormFloat64()
+		row := a.Row(i)
+		mat.Axpy(c1, u.Row(0), row)
+		mat.Axpy(c2, u.Row(1), row)
+	}
+	s := New(4, d)
+	feed(s, a)
+	if err := mat.CovErr(a, s.Rows()); err > 1e-8 {
+		t.Fatalf("rank-2 stream should sketch near-exactly, err=%v", err)
+	}
+}
+
+func TestPropErrorGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(8)
+		ell := 2 + rng.Intn(6)
+		n := 20 + rng.Intn(100)
+		a := randRows(n, d, rng)
+		s := New(ell, d)
+		feed(s, a)
+		err := mat.SymSpectralNorm(mat.Sub(mat.Gram(a), mat.Gram(s.Rows())))
+		return err <= mat.FrobSq(a)/float64(ell)*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package fd
+
+import (
+	"testing"
+
+	"distwindow/mat"
+)
+
+// FuzzSketchGuarantee feeds arbitrary row streams and checks the FD error
+// bound ‖AᵀA − BᵀB‖₂ ≤ ‖A‖_F²/ℓ plus the PSD-domination property.
+func FuzzSketchGuarantee(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte{100, 3, 77, 9, 2, 250, 31, 8, 16, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const (
+			d   = 4
+			ell = 3
+		)
+		if len(data) < d {
+			return
+		}
+		s := New(ell, d)
+		rows := make([][]float64, 0, len(data)/d)
+		for i := 0; i+d <= len(data); i += d {
+			v := make([]float64, d)
+			for j := 0; j < d; j++ {
+				v[j] = (float64(data[i+j]) - 127.5) / 16
+			}
+			s.Update(v)
+			rows = append(rows, v)
+		}
+		a := mat.FromRows(rows)
+		diff := mat.Sub(mat.Gram(a), mat.Gram(s.Rows()))
+		if err := mat.SymSpectralNorm(diff); err > mat.FrobSq(a)/ell*(1+1e-9)+1e-12 {
+			t.Fatalf("FD bound violated: %v > %v", err, mat.FrobSq(a)/ell)
+		}
+		eig := mat.EigSym(diff)
+		if min := eig.Values[len(eig.Values)-1]; min < -1e-6*(1+mat.FrobSq(a)) {
+			t.Fatalf("BᵀB not dominated by AᵀA: min eig %v", min)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package freq
+
+import (
+	"math/rand"
+	"testing"
+
+	"distwindow/internal/protocol"
+)
+
+func BenchmarkFrequencyObserve(b *testing.B) {
+	net := protocol.NewNetwork(8)
+	ft, err := NewFrequency(50_000, 0.05, 8, net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	zipf := rand.NewZipf(rng, 1.3, 1, 1000)
+	items := make([]int64, 4096)
+	for i := range items {
+		items[i] = int64(zipf.Uint64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.Observe(i%8, int64(i), items[i%len(items)])
+	}
+}
+
+func BenchmarkQuantileObserve(b *testing.B) {
+	net := protocol.NewNetwork(8)
+	qt, err := NewQuantile(50_000, 0.1, 8, net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qt.Observe(i%8, int64(i), vals[i%len(vals)])
+	}
+}
+
+func BenchmarkQuantileRank(b *testing.B) {
+	net := protocol.NewNetwork(2)
+	qt, _ := NewQuantile(1_000_000, 0.1, 2, net)
+	rng := rand.New(rand.NewSource(3))
+	for i := int64(0); i < 20_000; i++ {
+		qt.Observe(int(i)%2, i, rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qt.Rank(0.37)
+	}
+}

@@ -1,0 +1,213 @@
+// Package freq instantiates the paper's deterministic tracking template
+// (§III-A: site tracks C − Ĉ against a relative threshold) for two more
+// aggregate queries over distributed time-based sliding windows, which the
+// paper notes the framework covers "for simple aggregate queries such as
+// counting, item frequencies, and order statistics":
+//
+//   - item frequencies: the coordinator holds f̂(x) with
+//     |f(x) − f̂(x)| ≤ ε·N for every item x, where N is the number of
+//     active items across all sites;
+//   - order statistics (ranks/quantiles) over values in [0, 1): the
+//     coordinator answers rank queries within ε·N via a dyadic-interval
+//     decomposition whose per-interval counts are tracked the same way.
+//
+// Per site, each tracked count is held in a gEH (package eh) so space
+// stays O(1/ε·log NR) per count; a count is reported when it deviates
+// from the coordinator's copy by more than its share of the ε·N budget.
+package freq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"distwindow/internal/eh"
+	"distwindow/internal/protocol"
+)
+
+// FrequencyTracker tracks per-item frequencies over the union window.
+// Items are opaque int64 identifiers. Space is O(distinct active items ×
+// 1/ε·log N) per site; items never seen cost nothing.
+type FrequencyTracker struct {
+	w     int64
+	eps   float64
+	net   *protocol.Network
+	sites []*freqSite
+	// est is the coordinator's view: Σⱼ f̂⁽ʲ⁾(x).
+	est map[int64]float64
+	// total tracks N̂, the estimated number of active items.
+	total *totalCount
+}
+
+type freqSite struct {
+	items map[int64]*itemTracker
+	count *eh.Histogram // local window count (the threshold scale)
+	now   int64
+	obs   int // observes since the last expiry sweep
+}
+
+// sweepEvery bounds how many observations may pass between full expiry
+// sweeps of a site's trackers, so counts of items that stopped arriving
+// still decay as the window slides.
+const sweepEvery = 64
+
+type itemTracker struct {
+	hist    *eh.Histogram
+	chat    float64
+	checked uint64
+}
+
+// totalCount is a single global count estimate assembled from per-site
+// reports (SUM tracking with unit weights).
+type totalCount struct {
+	chats []float64
+	est   float64
+}
+
+// NewFrequency returns a tracker over m sites with additive error ε·N.
+func NewFrequency(w int64, eps float64, m int, net *protocol.Network) (*FrequencyTracker, error) {
+	if w <= 0 || eps <= 0 || eps >= 1 || m < 1 {
+		return nil, fmt.Errorf("freq: invalid parameters w=%d eps=%v m=%d", w, eps, m)
+	}
+	t := &FrequencyTracker{
+		w:     w,
+		eps:   eps,
+		net:   net,
+		est:   make(map[int64]float64),
+		total: &totalCount{chats: make([]float64, m)},
+	}
+	t.sites = make([]*freqSite, m)
+	for i := range t.sites {
+		t.sites[i] = &freqSite{
+			items: make(map[int64]*itemTracker),
+			count: eh.New(w, eps/4),
+		}
+	}
+	return t, nil
+}
+
+// Observe records one occurrence of item x at the given site and time.
+func (t *FrequencyTracker) Observe(site int, now int64, x int64) {
+	s := t.sites[site]
+	s.now = now
+	s.count.Insert(now, 1)
+	it, ok := s.items[x]
+	if !ok {
+		it = &itemTracker{hist: eh.New(t.w, t.eps/4)}
+		s.items[x] = it
+	}
+	it.hist.Insert(now, 1)
+	t.check(site, x, it)
+	t.checkTotal(site)
+	s.obs++
+	if s.obs >= sweepEvery {
+		s.obs = 0
+		t.sweepSite(site)
+	}
+	t.sampleSpace(s)
+}
+
+// sweepSite expires and re-checks every tracker at one site.
+func (t *FrequencyTracker) sweepSite(site int) {
+	s := t.sites[site]
+	for x, it := range s.items {
+		it.hist.Advance(s.now)
+		t.check(site, x, it)
+		if it.hist.Buckets() == 0 && it.chat == 0 {
+			delete(s.items, x)
+		}
+	}
+}
+
+// Advance moves every site's clock forward, reporting drops caused by
+// expiry.
+func (t *FrequencyTracker) Advance(now int64) {
+	for si, s := range t.sites {
+		if now <= s.now {
+			continue
+		}
+		s.now = now
+		s.count.Advance(now)
+		for x, it := range s.items {
+			it.hist.Advance(now)
+			t.check(si, x, it)
+			if it.hist.Buckets() == 0 && it.chat == 0 {
+				delete(s.items, x)
+			}
+		}
+		t.checkTotal(si)
+	}
+}
+
+// check applies the reporting rule |f − f̂| > (ε/2)·C_local for one item.
+func (t *FrequencyTracker) check(site int, x int64, it *itemTracker) {
+	if v := it.hist.Version(); v == it.checked {
+		return
+	} else {
+		it.checked = v
+	}
+	s := t.sites[site]
+	f := it.hist.Query()
+	d := f - it.chat
+	if math.Abs(d) > t.eps/2*s.count.Query() || (f == 0 && it.chat != 0) {
+		t.net.Up(3) // item id + delta + timestamp
+		it.chat = f
+		t.est[x] += d
+		if t.est[x] <= 1e-12 && t.est[x] >= -1e-12 {
+			delete(t.est, x)
+		}
+	}
+}
+
+// checkTotal keeps the coordinator's N̂ within ε/2 relative error.
+func (t *FrequencyTracker) checkTotal(site int) {
+	s := t.sites[site]
+	c := s.count.Query()
+	d := c - t.total.chats[site]
+	if math.Abs(d) > t.eps/2*c || (c == 0 && t.total.chats[site] != 0) {
+		t.net.Up(protocol.ScalarWords)
+		t.total.chats[site] = c
+		t.total.est += d
+	}
+}
+
+func (t *FrequencyTracker) sampleSpace(s *freqSite) {
+	var words int64
+	for _, it := range s.items {
+		words += int64(it.hist.Buckets())*3 + 2
+	}
+	words += int64(s.count.Buckets()) * 3
+	t.net.SampleSiteSpace(words)
+}
+
+// Estimate returns the coordinator's frequency estimate for item x,
+// within ε·N of the truth.
+func (t *FrequencyTracker) Estimate(x int64) float64 { return t.est[x] }
+
+// Total returns N̂, the estimated number of active items.
+func (t *FrequencyTracker) Total() float64 { return t.total.est }
+
+// ItemCount is one (item, estimated frequency) pair.
+type ItemCount struct {
+	Item int64
+	Freq float64
+}
+
+// TopK returns the k items with the largest estimated frequencies, in
+// decreasing order — the heavy hitters of the window.
+func (t *FrequencyTracker) TopK(k int) []ItemCount {
+	out := make([]ItemCount, 0, len(t.est))
+	for x, f := range t.est {
+		out = append(out, ItemCount{x, f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Item < out[j].Item
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package freq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distwindow/internal/protocol"
+)
+
+// exactFreq replays (t, site, item) records for ground truth.
+type rec struct {
+	t    int64
+	item int64
+}
+
+func exactFreq(items []rec, now, w int64) map[int64]float64 {
+	out := map[int64]float64{}
+	for _, r := range items {
+		if r.t > now-w && r.t <= now {
+			out[r.item]++
+		}
+	}
+	return out
+}
+
+func TestFrequencyBasic(t *testing.T) {
+	net := protocol.NewNetwork(2)
+	ft, err := NewFrequency(100, 0.1, 2, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 10; i++ {
+		ft.Observe(int(i)%2, i, 7)
+	}
+	if got := ft.Estimate(7); math.Abs(got-10) > 2 {
+		t.Fatalf("Estimate(7) = %v, want ≈10", got)
+	}
+	if ft.Estimate(99) != 0 {
+		t.Fatal("unseen item should estimate 0")
+	}
+}
+
+func TestFrequencyErrorBound(t *testing.T) {
+	const (
+		w   = int64(2000)
+		eps = 0.1
+		m   = 4
+	)
+	net := protocol.NewNetwork(m)
+	ft, _ := NewFrequency(w, eps, m, net)
+	rng := rand.New(rand.NewSource(1))
+	var items []rec
+	zipf := rand.NewZipf(rng, 1.3, 1, 50)
+	for i := int64(1); i <= 8000; i++ {
+		x := int64(zipf.Uint64())
+		ft.Observe(rng.Intn(m), i, x)
+		items = append(items, rec{i, x})
+		if i%1000 == 0 {
+			truth := exactFreq(items, i, w)
+			var n float64
+			for _, f := range truth {
+				n += f
+			}
+			for x, f := range truth {
+				if got := ft.Estimate(x); math.Abs(got-f) > 2*eps*n {
+					t.Fatalf("t=%d item %d: estimate %v vs truth %v (N=%v)", i, x, got, f, n)
+				}
+			}
+		}
+	}
+}
+
+func TestFrequencyExpiry(t *testing.T) {
+	net := protocol.NewNetwork(1)
+	ft, _ := NewFrequency(50, 0.1, 1, net)
+	for i := int64(1); i <= 30; i++ {
+		ft.Observe(0, i, 5)
+	}
+	ft.Advance(10_000)
+	if got := ft.Estimate(5); math.Abs(got) > 1 {
+		t.Fatalf("Estimate after expiry = %v, want ≈0", got)
+	}
+	if tot := ft.Total(); math.Abs(tot) > 1 {
+		t.Fatalf("Total after expiry = %v", tot)
+	}
+}
+
+func TestFrequencyTopK(t *testing.T) {
+	net := protocol.NewNetwork(1)
+	ft, _ := NewFrequency(10_000, 0.05, 1, net)
+	now := int64(0)
+	emit := func(x int64, c int) {
+		for i := 0; i < c; i++ {
+			now++
+			ft.Observe(0, now, x)
+		}
+	}
+	emit(1, 100)
+	emit(2, 50)
+	emit(3, 10)
+	top := ft.TopK(2)
+	if len(top) != 2 || top[0].Item != 1 || top[1].Item != 2 {
+		t.Fatalf("TopK = %+v", top)
+	}
+	if top[0].Freq < 80 {
+		t.Fatalf("heavy hitter frequency %v too low", top[0].Freq)
+	}
+}
+
+func TestFrequencyCommunicationSublinear(t *testing.T) {
+	const m = 2
+	net := protocol.NewNetwork(m)
+	ft, _ := NewFrequency(5_000, 0.1, m, net)
+	rng := rand.New(rand.NewSource(2))
+	n := int64(20_000)
+	for i := int64(1); i <= n; i++ {
+		ft.Observe(rng.Intn(m), i, int64(rng.Intn(5)))
+	}
+	if msgs := net.Stats().MsgsUp; msgs > n/5 {
+		t.Fatalf("sent %d messages for %d items — should be far sublinear", msgs, n)
+	}
+}
+
+func TestFrequencyValidation(t *testing.T) {
+	net := protocol.NewNetwork(1)
+	if _, err := NewFrequency(0, 0.1, 1, net); err == nil {
+		t.Fatal("want error for w=0")
+	}
+	if _, err := NewFrequency(10, 1.5, 1, net); err == nil {
+		t.Fatal("want error for eps out of range")
+	}
+}
+
+// --- Quantiles ---
+
+func TestQuantileRankUniform(t *testing.T) {
+	const (
+		w   = int64(4000)
+		eps = 0.1
+		m   = 3
+	)
+	net := protocol.NewNetwork(m)
+	qt, err := NewQuantile(w, eps, m, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var vals []struct {
+		t int64
+		v float64
+	}
+	for i := int64(1); i <= 10_000; i++ {
+		v := rng.Float64()
+		qt.Observe(rng.Intn(m), i, v)
+		vals = append(vals, struct {
+			t int64
+			v float64
+		}{i, v})
+	}
+	now := int64(10_000)
+	var n float64
+	truthRank := func(x float64) float64 {
+		var r float64
+		for _, rec := range vals {
+			if rec.t > now-w {
+				if rec.v < x {
+					r++
+				}
+			}
+		}
+		return r
+	}
+	for _, rec := range vals {
+		if rec.t > now-w {
+			n++
+		}
+	}
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got := qt.Rank(x)
+		want := truthRank(x)
+		if math.Abs(got-want) > 2*eps*n {
+			t.Fatalf("Rank(%v) = %v, want %v ± %v", x, got, want, 2*eps*n)
+		}
+	}
+}
+
+func TestQuantileQuery(t *testing.T) {
+	const eps = 0.1
+	net := protocol.NewNetwork(2)
+	qt, _ := NewQuantile(100_000, eps, 2, net)
+	rng := rand.New(rand.NewSource(4))
+	for i := int64(1); i <= 5_000; i++ {
+		qt.Observe(rng.Intn(2), i, rng.Float64())
+	}
+	// Uniform data: φ-quantile ≈ φ.
+	for _, phi := range []float64{0.25, 0.5, 0.9} {
+		if q := qt.Quantile(phi); math.Abs(q-phi) > 3*eps {
+			t.Fatalf("Quantile(%v) = %v", phi, q)
+		}
+	}
+}
+
+func TestQuantileSkewedValues(t *testing.T) {
+	const eps = 0.1
+	net := protocol.NewNetwork(2)
+	qt, _ := NewQuantile(100_000, eps, 2, net)
+	rng := rand.New(rand.NewSource(5))
+	// 90% of mass below 0.1.
+	for i := int64(1); i <= 5_000; i++ {
+		v := rng.Float64() * 0.1
+		if rng.Intn(10) == 0 {
+			v = 0.1 + rng.Float64()*0.9
+		}
+		qt.Observe(rng.Intn(2), i, v)
+	}
+	if q := qt.Quantile(0.5); q > 0.15 {
+		t.Fatalf("median of skewed data = %v, want < 0.15", q)
+	}
+}
+
+func TestQuantileSlidingExpiry(t *testing.T) {
+	const eps = 0.15
+	w := int64(1000)
+	net := protocol.NewNetwork(1)
+	qt, _ := NewQuantile(w, eps, 1, net)
+	rng := rand.New(rand.NewSource(6))
+	// First 2000 ticks: small values; then 2000 ticks: large values. After
+	// the window slides past the first phase, the median must be large.
+	for i := int64(1); i <= 2000; i++ {
+		qt.Observe(0, i, rng.Float64()*0.2)
+	}
+	for i := int64(2001); i <= 4000; i++ {
+		qt.Observe(0, i, 0.8+rng.Float64()*0.19)
+	}
+	if q := qt.Quantile(0.5); q < 0.6 {
+		t.Fatalf("median after regime change = %v, want > 0.6 (old values expired)", q)
+	}
+}
+
+func TestQuantileRankEdges(t *testing.T) {
+	net := protocol.NewNetwork(1)
+	qt, _ := NewQuantile(100, 0.2, 1, net)
+	qt.Observe(0, 1, 0.5)
+	if qt.Rank(0) != 0 {
+		t.Fatal("Rank(0) must be 0")
+	}
+	if r := qt.Rank(1.5); math.Abs(r-1) > 0.5 {
+		t.Fatalf("Rank(>1) = %v, want ≈1", r)
+	}
+}
+
+func TestQuantileObservePanicsOutOfRange(t *testing.T) {
+	net := protocol.NewNetwork(1)
+	qt, _ := NewQuantile(100, 0.2, 1, net)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	qt.Observe(0, 1, 1.0)
+}
+
+func TestQuantileLevels(t *testing.T) {
+	net := protocol.NewNetwork(1)
+	qt, _ := NewQuantile(100, 0.1, 1, net)
+	if qt.Levels() < 5 {
+		t.Fatalf("levels = %d, want ≥ log2(4/0.1) ≈ 5.3", qt.Levels())
+	}
+}
+
+func TestTopKClamps(t *testing.T) {
+	net := protocol.NewNetwork(1)
+	ft, _ := NewFrequency(100, 0.2, 1, net)
+	ft.Observe(0, 1, 7)
+	if top := ft.TopK(10); len(top) != 1 {
+		t.Fatalf("TopK(10) with one item returned %d", len(top))
+	}
+}

@@ -1,0 +1,242 @@
+package freq
+
+import (
+	"fmt"
+	"math"
+
+	"distwindow/internal/eh"
+	"distwindow/internal/protocol"
+)
+
+// QuantileTracker tracks order statistics of values in [0, 1) over the
+// union window: Rank(x) — the number of active values < x — within ε·N,
+// and therefore φ-quantiles within ε rank error.
+//
+// It is the dyadic-interval instantiation of the paper's deterministic
+// template: values are bucketed into L = ⌈log₂(4/ε)⌉ levels of dyadic
+// intervals; each nonempty interval's window count is held in a site-side
+// gEH and reported when it drifts by more than its share of the budget.
+// A rank query decomposes [0, x) into at most one interval per level, so
+// per-interval errors of (ε/(2L))·N sum to ≤ (ε/2)·N, plus gEH slack.
+type QuantileTracker struct {
+	w      int64
+	eps    float64
+	levels int
+	net    *protocol.Network
+	sites  []*quantSite
+	// est[level][bucket] is the coordinator's count for dyadic interval
+	// [bucket·2^−level, (bucket+1)·2^−level).
+	est   []map[int64]float64
+	total *totalCount
+}
+
+type quantSite struct {
+	// cells[level][bucket] tracks that interval's local window count.
+	cells []map[int64]*itemTracker
+	count *eh.Histogram
+	now   int64
+	obs   int
+}
+
+// NewQuantile returns a tracker over m sites with rank error ε·N.
+func NewQuantile(w int64, eps float64, m int, net *protocol.Network) (*QuantileTracker, error) {
+	if w <= 0 || eps <= 0 || eps >= 1 || m < 1 {
+		return nil, fmt.Errorf("freq: invalid parameters w=%d eps=%v m=%d", w, eps, m)
+	}
+	levels := int(math.Ceil(math.Log2(4 / eps)))
+	if levels < 1 {
+		levels = 1
+	}
+	t := &QuantileTracker{
+		w:      w,
+		eps:    eps,
+		levels: levels,
+		net:    net,
+		est:    make([]map[int64]float64, levels+1),
+		total:  &totalCount{chats: make([]float64, m)},
+	}
+	for l := range t.est {
+		t.est[l] = make(map[int64]float64)
+	}
+	t.sites = make([]*quantSite, m)
+	for i := range t.sites {
+		s := &quantSite{
+			cells: make([]map[int64]*itemTracker, levels+1),
+			count: eh.New(w, eps/4),
+		}
+		for l := range s.cells {
+			s.cells[l] = make(map[int64]*itemTracker)
+		}
+		t.sites[i] = s
+	}
+	return t, nil
+}
+
+// Observe records value v ∈ [0, 1) at the given site and time.
+func (t *QuantileTracker) Observe(site int, now int64, v float64) {
+	if v < 0 || v >= 1 {
+		panic(fmt.Sprintf("freq: quantile value %v outside [0,1)", v))
+	}
+	s := t.sites[site]
+	s.now = now
+	s.count.Insert(now, 1)
+	for l := 0; l <= t.levels; l++ {
+		b := int64(v * math.Exp2(float64(l)))
+		it, ok := s.cells[l][b]
+		if !ok {
+			it = &itemTracker{hist: eh.New(t.w, t.eps/4)}
+			s.cells[l][b] = it
+		}
+		it.hist.Insert(now, 1)
+		t.checkCell(site, l, b, it)
+	}
+	t.checkTotalQ(site)
+	s.obs++
+	if s.obs >= sweepEvery {
+		s.obs = 0
+		t.sweepSiteQ(site)
+		t.sampleSpaceQ(s)
+	}
+}
+
+func (t *QuantileTracker) sampleSpaceQ(s *quantSite) {
+	var words int64
+	for _, cells := range s.cells {
+		for _, it := range cells {
+			words += int64(it.hist.Buckets())*3 + 2
+		}
+	}
+	words += int64(s.count.Buckets()) * 3
+	t.net.SampleSiteSpace(words)
+}
+
+// sweepSiteQ expires and re-checks every cell at one site.
+func (t *QuantileTracker) sweepSiteQ(site int) {
+	s := t.sites[site]
+	for l, cells := range s.cells {
+		for b, it := range cells {
+			it.hist.Advance(s.now)
+			t.checkCell(site, l, b, it)
+			if it.hist.Buckets() == 0 && it.chat == 0 {
+				delete(cells, b)
+			}
+		}
+	}
+}
+
+// Advance moves every site's clock forward.
+func (t *QuantileTracker) Advance(now int64) {
+	for si, s := range t.sites {
+		if now <= s.now {
+			continue
+		}
+		s.now = now
+		s.count.Advance(now)
+		for l, cells := range s.cells {
+			for b, it := range cells {
+				it.hist.Advance(now)
+				t.checkCell(si, l, b, it)
+				if it.hist.Buckets() == 0 && it.chat == 0 {
+					delete(cells, b)
+				}
+			}
+		}
+		t.checkTotalQ(si)
+	}
+}
+
+// checkCell applies the reporting rule for one dyadic interval: budget
+// (ε/(2L))·C_local per cell.
+func (t *QuantileTracker) checkCell(site, level int, b int64, it *itemTracker) {
+	if v := it.hist.Version(); v == it.checked {
+		return
+	} else {
+		it.checked = v
+	}
+	s := t.sites[site]
+	f := it.hist.Query()
+	d := f - it.chat
+	thr := t.eps / (2 * float64(t.levels+1)) * s.count.Query()
+	if math.Abs(d) > thr || (f == 0 && it.chat != 0) {
+		t.net.Up(4) // level + bucket + delta + timestamp
+		it.chat = f
+		t.est[level][b] += d
+		if math.Abs(t.est[level][b]) <= 1e-12 {
+			delete(t.est[level], b)
+		}
+	}
+}
+
+func (t *QuantileTracker) checkTotalQ(site int) {
+	s := t.sites[site]
+	c := s.count.Query()
+	d := c - t.total.chats[site]
+	if math.Abs(d) > t.eps/4*c || (c == 0 && t.total.chats[site] != 0) {
+		t.net.Up(protocol.ScalarWords)
+		t.total.chats[site] = c
+		t.total.est += d
+	}
+}
+
+// Rank returns the estimated number of active values < x, within ε·N.
+func (t *QuantileTracker) Rank(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	// Binary (dyadic) decomposition of [0, x): for each level l ≥ 1 whose
+	// bit is set in x's binary expansion, [0,x) contains one aligned
+	// level-l interval starting at the running prefix — at most one
+	// interval per level, so per-cell errors sum to the ε/2 budget.
+	var rank float64
+	lo := 0.0
+	for l := 1; l <= t.levels; l++ {
+		width := math.Exp2(float64(-l))
+		if lo+width <= x+1e-15 {
+			b := int64(math.Round(lo / width))
+			rank += t.est[l][b]
+			lo += width
+		}
+	}
+	// Remainder inside one finest-level bucket: interpolate (the bucket's
+	// whole count is within the error budget anyway).
+	if lo < x {
+		width := math.Exp2(float64(-t.levels))
+		b := int64(lo / width)
+		rank += t.est[t.levels][b] * (x - lo) / width
+	}
+	if rank < 0 {
+		return 0
+	}
+	return rank
+}
+
+// Quantile returns an x with |Rank(x) − φ·N̂| ≤ ε·N̂, by binary search on
+// the rank function.
+func (t *QuantileTracker) Quantile(phi float64) float64 {
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := phi * t.total.est
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if t.Rank(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Total returns N̂, the estimated number of active values.
+func (t *QuantileTracker) Total() float64 { return t.total.est }
+
+// Levels returns the dyadic depth L (for tests and space accounting).
+func (t *QuantileTracker) Levels() int { return t.levels }

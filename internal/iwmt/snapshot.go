@@ -1,0 +1,39 @@
+package iwmt
+
+import (
+	"fmt"
+
+	"distwindow/internal/fd"
+)
+
+// Snapshot is a serializable copy of a Tracker (minus its threshold
+// callback, which the restorer must re-supply — thresholds are closures
+// over live protocol state).
+type Snapshot struct {
+	D        int
+	Sketch   fd.Snapshot
+	RawSince float64
+	Emitted  int
+	LastT    int64
+}
+
+// Snapshot captures the tracker's state.
+func (tr *Tracker) Snapshot() Snapshot {
+	return Snapshot{D: tr.d, Sketch: tr.sk.Snapshot(), RawSince: tr.rawSince, Emitted: tr.emitted, LastT: tr.lastT}
+}
+
+// Restore rebuilds a tracker from a snapshot with a fresh threshold
+// callback.
+func Restore(sn Snapshot, threshold func() float64) (*Tracker, error) {
+	if threshold == nil {
+		return nil, fmt.Errorf("iwmt: Restore needs a threshold callback")
+	}
+	sk, err := fd.Restore(sn.Sketch)
+	if err != nil {
+		return nil, fmt.Errorf("iwmt: %w", err)
+	}
+	if sn.D != sk.D() {
+		return nil, fmt.Errorf("iwmt: snapshot d=%d vs sketch d=%d", sn.D, sk.D())
+	}
+	return &Tracker{d: sn.D, sk: sk, threshold: threshold, rawSince: sn.RawSince, emitted: sn.Emitted, lastT: sn.LastT}, nil
+}

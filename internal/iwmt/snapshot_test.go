@@ -1,0 +1,51 @@
+package iwmt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	theta := 25.0
+	tr := New(6, 5, func() float64 { return theta })
+	var sent int
+	for i := 0; i < 400; i++ {
+		sent += len(tr.Input(int64(i), randRow(5, rng)))
+	}
+	r, err := Restore(tr.Snapshot(), func() float64 { return theta })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.UnsentFrobSq() != tr.UnsentFrobSq() || r.Emitted() != tr.Emitted() {
+		t.Fatal("restored tracker state differs")
+	}
+	// Continued input must emit identically.
+	for i := 400; i < 600; i++ {
+		v := randRow(5, rng)
+		a := tr.Input(int64(i), v)
+		b := r.Input(int64(i), v)
+		if len(a) != len(b) {
+			t.Fatalf("step %d: %d vs %d emissions", i, len(a), len(b))
+		}
+		for j := range a {
+			for k := range a[j].V {
+				if a[j].V[k] != b[j].V[k] {
+					t.Fatal("emitted rows differ")
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRestoreValidation(t *testing.T) {
+	tr := New(3, 4, func() float64 { return 1 })
+	if _, err := Restore(tr.Snapshot(), nil); err == nil {
+		t.Fatal("want error for nil threshold")
+	}
+	sn := tr.Snapshot()
+	sn.Sketch.Buf = []float64{1} // corrupt
+	if _, err := Restore(sn, func() float64 { return 1 }); err == nil {
+		t.Fatal("want error for corrupt sketch")
+	}
+}

@@ -1,0 +1,254 @@
+// Package meh implements a matrix exponential histogram (mEH) after Wei et
+// al. (SIGMOD 2016): a per-site structure that maintains, over a
+// time-based sliding window, (1) an O(ε)-covariance sketch of the window
+// matrix and (2) an ε-relative estimate of its squared Frobenius norm, in
+// O(d/ε² · log(NR)) words.
+//
+// The structure is an exponential histogram whose buckets carry Frequent
+// Directions sketches instead of scalar sums. Buckets merge under the same
+// suffix rule as the scalar gEH (package eh): two adjacent buckets merge
+// only when their combined Frobenius mass is at most (ε/2)× the mass of
+// all strictly newer buckets — an invariant that holds for the merged
+// bucket's whole lifetime because newer mass only grows while it lives.
+// Merging FD sketches adds their error bounds, but also their masses, so
+// each bucket's sketch stays within F_b²/ℓ covariance error. At query time
+// only the oldest bucket can straddle the window boundary; including it
+// wholesale adds at most its mass ≤ (ε/2)‖A_w‖_F² of covariance error,
+// giving O(ε)‖A_w‖_F² total.
+package meh
+
+import (
+	"math"
+
+	"distwindow/internal/fd"
+	"distwindow/mat"
+)
+
+// Histogram is an mEH. Add must be called with non-decreasing timestamps.
+// Construct with New.
+type Histogram struct {
+	w       int64
+	d       int
+	eps2    float64 // ε/2 merge threshold factor
+	ell     int     // FD sketch size per bucket
+	buckets []bucket
+	pending int
+}
+
+type bucket struct {
+	sk     *fd.Sketch
+	row    []float64 // set while the bucket holds exactly one row (lazy sketch)
+	frobSq float64
+	newest int64
+	oldest int64
+}
+
+// compactEvery bounds the raw buckets accumulated between compaction
+// passes, keeping amortized cost constant.
+const compactEvery = 32
+
+// New returns an mEH for d-dimensional rows over a window of w ticks with
+// error parameter eps in (0, 1). Per-bucket FD size is ⌈1/eps⌉ so the
+// summed FD error across buckets is at most eps·‖A_w‖_F².
+func New(w int64, d int, eps float64) *Histogram {
+	if w <= 0 {
+		panic("meh: window must be positive")
+	}
+	if eps <= 0 || eps >= 1 {
+		panic("meh: eps must be in (0,1)")
+	}
+	if d < 1 {
+		panic("meh: d must be positive")
+	}
+	return &Histogram{w: w, d: d, eps2: eps / 2, ell: int(math.Ceil(1 / eps))}
+}
+
+// D returns the row dimension.
+func (h *Histogram) D() int { return h.d }
+
+// Add inserts a row with timestamp t and expires out-of-window buckets.
+// Zero rows are ignored (they carry no covariance mass).
+func (h *Histogram) Add(t int64, v []float64) {
+	w := mat.VecNormSq(v)
+	if w == 0 {
+		h.Advance(t)
+		return
+	}
+	row := make([]float64, len(v))
+	copy(row, v)
+	h.buckets = append(h.buckets, bucket{row: row, frobSq: w, newest: t, oldest: t})
+	h.pending++
+	if h.pending >= compactEvery {
+		h.compact()
+	}
+	h.Advance(t)
+}
+
+// sketch materializes the bucket's FD sketch, absorbing a lazy single row.
+func (b *bucket) sketch(ell, d int) *fd.Sketch {
+	if b.sk == nil {
+		b.sk = fd.New(ell, d)
+		if b.row != nil {
+			b.sk.Update(b.row)
+			b.row = nil
+		}
+	} else if b.row != nil {
+		b.sk.Update(b.row)
+		b.row = nil
+	}
+	return b.sk
+}
+
+// single reports whether the bucket still holds exactly one row.
+func (b *bucket) single() bool { return b.row != nil && b.sk == nil }
+
+func (h *Histogram) compact() {
+	h.pending = 0
+	n := len(h.buckets)
+	if n < 2 {
+		return
+	}
+	out := make([]bucket, 0, n)
+	suffix := 0.0
+	cur := h.buckets[n-1]
+	for i := n - 2; i >= 0; i-- {
+		b := h.buckets[i]
+		if cur.frobSq+b.frobSq <= h.eps2*suffix {
+			// Merge older bucket b into cur.
+			cs := cur.sketch(h.ell, h.d)
+			if b.single() {
+				cs.Update(b.row)
+			} else {
+				cs.Merge(b.sketch(h.ell, h.d))
+			}
+			cur.frobSq += b.frobSq
+			cur.oldest = b.oldest
+			continue
+		}
+		out = append(out, cur)
+		suffix += cur.frobSq
+		cur = b
+	}
+	out = append(out, cur)
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	h.buckets = out
+}
+
+// Advance expires buckets whose newest row timestamp is ≤ now−w.
+func (h *Histogram) Advance(now int64) {
+	cut := now - h.w
+	i := 0
+	for i < len(h.buckets) && h.buckets[i].newest <= cut {
+		i++
+	}
+	if i > 0 {
+		h.buckets = h.buckets[i:]
+	}
+}
+
+// FrobSqEstimate returns the gEH-style estimate of ‖A_w‖_F²: full mass of
+// all buckets except a straddling (multi-row) oldest bucket, which
+// contributes half.
+func (h *Histogram) FrobSqEstimate() float64 {
+	if len(h.buckets) == 0 {
+		return 0
+	}
+	var s float64
+	for i := 1; i < len(h.buckets); i++ {
+		s += h.buckets[i].frobSq
+	}
+	ob := &h.buckets[0]
+	if ob.single() || ob.oldest == ob.newest {
+		s += ob.frobSq
+	} else {
+		s += ob.frobSq / 2
+	}
+	return s
+}
+
+// SketchRows returns the stacked rows of all bucket sketches — a matrix B
+// with ‖A_wᵀA_w − BᵀB‖₂ = O(ε)·‖A_w‖_F².
+func (h *Histogram) SketchRows() *mat.Dense {
+	parts := make([]*mat.Dense, 0, len(h.buckets))
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		if b.single() {
+			parts = append(parts, mat.FromRows([][]float64{b.row}))
+		} else {
+			parts = append(parts, b.sketch(h.ell, h.d).Rows())
+		}
+	}
+	return mat.Stack(parts...)
+}
+
+// ApplyGram computes y = BᵀB·x over the stacked bucket sketches without
+// materializing them; x and y must have length D.
+func (h *Histogram) ApplyGram(x, y []float64) {
+	for i := range y {
+		y[i] = 0
+	}
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		if b.single() {
+			c := mat.Dot(b.row, x)
+			if c != 0 {
+				mat.Axpy(c, b.row, y)
+			}
+		} else {
+			b.sketch(h.ell, h.d).ApplyGramAdd(x, y)
+		}
+	}
+}
+
+// Gram returns BᵀB of the stacked sketch — an O(ε)-covariance
+// approximation of A_wᵀA_w — computed fresh on each call.
+func (h *Histogram) Gram() *mat.Dense {
+	g := mat.NewDense(h.d, h.d)
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		if b.single() {
+			mat.OuterAdd(g, b.row, 1)
+		} else {
+			mat.GramAdd(g, b.sketch(h.ell, h.d).Rows(), 1)
+		}
+	}
+	return g
+}
+
+// Buckets returns the number of live buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// SpaceWords estimates the structure's space usage in words: sketch rows
+// plus per-bucket bookkeeping.
+func (h *Histogram) SpaceWords() int {
+	words := 0
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		if b.single() {
+			words += h.d + 4
+		} else {
+			words += b.sketch(h.ell, h.d).Rows().Rows()*h.d + 4
+		}
+	}
+	return words
+}
+
+// RowsInReverse feeds every sketch row to fn in reverse time order (newest
+// bucket first), tagging each row with its bucket's oldest timestamp. DA2
+// uses this to replay a closed window backwards through an IWMT instance
+// when the site does not retain raw rows.
+func (h *Histogram) RowsInReverse(fn func(t int64, v []float64)) {
+	for i := len(h.buckets) - 1; i >= 0; i-- {
+		b := &h.buckets[i]
+		if b.single() {
+			fn(b.oldest, b.row)
+			continue
+		}
+		rows := b.sketch(h.ell, h.d).Rows()
+		for r := 0; r < rows.Rows(); r++ {
+			fn(b.oldest, rows.Row(r))
+		}
+	}
+}

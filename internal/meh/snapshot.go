@@ -1,0 +1,74 @@
+package meh
+
+import (
+	"fmt"
+
+	"distwindow/internal/fd"
+)
+
+// BucketSnapshot is one serialized mEH bucket: either a single lazy row or
+// a full FD sketch.
+type BucketSnapshot struct {
+	Row            []float64 // non-nil for single-row buckets
+	Sketch         *fd.Snapshot
+	FrobSq         float64
+	Newest, Oldest int64
+}
+
+// Snapshot is a serializable copy of a Histogram.
+type Snapshot struct {
+	W       int64
+	D       int
+	Eps2    float64
+	Ell     int
+	Buckets []BucketSnapshot
+	Pending int
+}
+
+// Snapshot captures the histogram's state.
+func (h *Histogram) Snapshot() Snapshot {
+	bs := make([]BucketSnapshot, len(h.buckets))
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		snap := BucketSnapshot{FrobSq: b.frobSq, Newest: b.newest, Oldest: b.oldest}
+		if b.row != nil {
+			snap.Row = append([]float64(nil), b.row...)
+		}
+		if b.sk != nil {
+			s := b.sk.Snapshot()
+			snap.Sketch = &s
+		}
+		bs[i] = snap
+	}
+	return Snapshot{W: h.w, D: h.d, Eps2: h.eps2, Ell: h.ell, Buckets: bs, Pending: h.pending}
+}
+
+// Restore rebuilds a histogram from a snapshot.
+func Restore(sn Snapshot) (*Histogram, error) {
+	if sn.W <= 0 || sn.D < 1 || sn.Ell < 1 || sn.Eps2 <= 0 {
+		return nil, fmt.Errorf("meh: invalid snapshot w=%d d=%d ℓ=%d", sn.W, sn.D, sn.Ell)
+	}
+	h := &Histogram{w: sn.W, d: sn.D, eps2: sn.Eps2, ell: sn.Ell, pending: sn.Pending}
+	h.buckets = make([]bucket, len(sn.Buckets))
+	for i, b := range sn.Buckets {
+		nb := bucket{frobSq: b.FrobSq, newest: b.Newest, oldest: b.Oldest}
+		if b.Row != nil {
+			if len(b.Row) != sn.D {
+				return nil, fmt.Errorf("meh: snapshot bucket %d row length %d", i, len(b.Row))
+			}
+			nb.row = append([]float64(nil), b.Row...)
+		}
+		if b.Sketch != nil {
+			sk, err := fd.Restore(*b.Sketch)
+			if err != nil {
+				return nil, fmt.Errorf("meh: snapshot bucket %d: %w", i, err)
+			}
+			nb.sk = sk
+		}
+		if nb.row == nil && nb.sk == nil {
+			return nil, fmt.Errorf("meh: snapshot bucket %d empty", i)
+		}
+		h.buckets[i] = nb
+	}
+	return h, nil
+}

@@ -1,0 +1,47 @@
+package meh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := New(1000, 4, 0.2)
+	for i := int64(1); i <= 800; i++ {
+		h.Add(i, []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()})
+	}
+	r, err := Restore(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SketchRows().Equal(h.SketchRows()) {
+		t.Fatal("restored sketch rows differ")
+	}
+	if r.FrobSqEstimate() != h.FrobSqEstimate() || r.Buckets() != h.Buckets() {
+		t.Fatal("restored estimates differ")
+	}
+	for i := int64(801); i <= 1100; i++ {
+		v := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		h.Add(i, v)
+		r.Add(i, v)
+	}
+	if !r.SketchRows().Equal(h.SketchRows()) {
+		t.Fatal("restored histogram diverged after more rows")
+	}
+}
+
+func TestSnapshotRestoreRejectsCorrupt(t *testing.T) {
+	cases := []Snapshot{
+		{W: 0, D: 3, Eps2: 0.1, Ell: 5},
+		{W: 10, D: 0, Eps2: 0.1, Ell: 5},
+		{W: 10, D: 3, Eps2: 0.1, Ell: 0},
+		{W: 10, D: 3, Eps2: 0.1, Ell: 5, Buckets: []BucketSnapshot{{FrobSq: 1}}},                    // empty bucket
+		{W: 10, D: 3, Eps2: 0.1, Ell: 5, Buckets: []BucketSnapshot{{Row: []float64{1}, FrobSq: 1}}}, // wrong row len
+	}
+	for i, c := range cases {
+		if _, err := Restore(c); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package protocol provides the distributed-monitoring fabric the tracking
+// protocols run on: a simulated two-way communication channel between m
+// sites and one coordinator with word-level cost accounting, plus the
+// common Tracker interface every protocol implements and the metrics the
+// paper's experiments report.
+//
+// The simulation is single-process and synchronous (the standard
+// methodology in the distributed monitoring literature, and the one the
+// paper uses): protocol logic invokes each other's handlers directly and
+// reports every transmission to the Network so that communication cost is
+// measured exactly as the paper counts it — one word per real number or
+// integer transmitted.
+package protocol
+
+import (
+	"distwindow/internal/stream"
+	"distwindow/mat"
+)
+
+// Tracker is a complete distributed sliding-window tracking protocol:
+// sites plus coordinator wired to a Network.
+type Tracker interface {
+	// Observe delivers a row to the given site. Timestamps must be
+	// non-decreasing across successive calls.
+	Observe(site int, r stream.Row)
+	// AdvanceTime moves the global clock forward without new data so that
+	// expirations and the resulting renegotiations happen.
+	AdvanceTime(now int64)
+	// Sketch returns the coordinator's current covariance sketch B of the
+	// union window matrix A_w.
+	Sketch() *mat.Dense
+	// Stats returns the communication and space counters accumulated so
+	// far.
+	Stats() Stats
+	// Name identifies the protocol in experiment output.
+	Name() string
+}
+
+// Stats aggregates the cost metrics of a protocol run, in words (one word
+// per float64/int64 transmitted, the paper's unit).
+type Stats struct {
+	// WordsUp counts words sent from sites to the coordinator.
+	WordsUp int64
+	// WordsDown counts words sent from the coordinator to sites
+	// (broadcasts count m× their payload).
+	WordsDown int64
+	// MsgsUp and MsgsDown count discrete messages in each direction.
+	MsgsUp, MsgsDown int64
+	// Broadcasts counts coordinator broadcasts (threshold updates).
+	Broadcasts int64
+	// MaxSiteWords is the maximum words of state held by any single site
+	// at any sampled instant.
+	MaxSiteWords int64
+	// CoordWords is the maximum words of state held by the coordinator at
+	// any sampled instant.
+	CoordWords int64
+}
+
+// TotalWords returns all communication in both directions.
+func (s Stats) TotalWords() int64 { return s.WordsUp + s.WordsDown }
+
+// Network accounts for all transmissions between sites and coordinator.
+// Protocols must report every logical message they exchange.
+type Network struct {
+	m     int
+	stats Stats
+}
+
+// NewNetwork returns a fabric connecting m sites to one coordinator.
+func NewNetwork(m int) *Network {
+	if m < 1 {
+		panic("protocol: need at least one site")
+	}
+	return &Network{m: m}
+}
+
+// Sites returns the number of sites m.
+func (n *Network) Sites() int { return n.m }
+
+// Up records a site→coordinator message of the given word count.
+func (n *Network) Up(words int64) {
+	n.stats.WordsUp += words
+	n.stats.MsgsUp++
+}
+
+// Down records a coordinator→site message of the given word count.
+func (n *Network) Down(words int64) {
+	n.stats.WordsDown += words
+	n.stats.MsgsDown++
+}
+
+// Broadcast records a coordinator→all-sites broadcast: the payload is
+// charged once per site.
+func (n *Network) Broadcast(words int64) {
+	n.stats.WordsDown += words * int64(n.m)
+	n.stats.MsgsDown += int64(n.m)
+	n.stats.Broadcasts++
+}
+
+// SampleSiteSpace records the instantaneous space usage (words) of one
+// site, keeping the running maximum.
+func (n *Network) SampleSiteSpace(words int64) {
+	if words > n.stats.MaxSiteWords {
+		n.stats.MaxSiteWords = words
+	}
+}
+
+// SampleCoordSpace records the coordinator's instantaneous space usage.
+func (n *Network) SampleCoordSpace(words int64) {
+	if words > n.stats.CoordWords {
+		n.stats.CoordWords = words
+	}
+}
+
+// Stats returns a copy of the accumulated counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Reset zeroes all counters (space maxima included).
+func (n *Network) Reset() { n.stats = Stats{} }
+
+// RowWords is the cost of shipping one d-dimensional row with its
+// timestamp and priority/flag, matching the paper's "each real number
+// takes 1 word" accounting.
+func RowWords(d int) int64 { return int64(d) + 2 }
+
+// ScalarWords is the cost of one scalar update (value + timestamp).
+const ScalarWords = 2
+
+// DirectionWords is the cost of shipping one eigen-direction (λ, v) or one
+// signed sketch row (row + flag + timestamp).
+func DirectionWords(d int) int64 { return int64(d) + 2 }

@@ -1,0 +1,82 @@
+package protocol
+
+import "testing"
+
+func TestNetworkUpDown(t *testing.T) {
+	n := NewNetwork(4)
+	n.Up(10)
+	n.Up(5)
+	n.Down(3)
+	s := n.Stats()
+	if s.WordsUp != 15 || s.MsgsUp != 2 {
+		t.Fatalf("up: %+v", s)
+	}
+	if s.WordsDown != 3 || s.MsgsDown != 1 {
+		t.Fatalf("down: %+v", s)
+	}
+	if s.TotalWords() != 18 {
+		t.Fatalf("TotalWords = %d, want 18", s.TotalWords())
+	}
+}
+
+func TestNetworkBroadcastChargesPerSite(t *testing.T) {
+	n := NewNetwork(5)
+	n.Broadcast(2)
+	s := n.Stats()
+	if s.WordsDown != 10 {
+		t.Fatalf("broadcast words = %d, want 10 (2 words × 5 sites)", s.WordsDown)
+	}
+	if s.Broadcasts != 1 {
+		t.Fatalf("Broadcasts = %d, want 1", s.Broadcasts)
+	}
+	if s.MsgsDown != 5 {
+		t.Fatalf("MsgsDown = %d, want 5", s.MsgsDown)
+	}
+}
+
+func TestNetworkSpaceSampling(t *testing.T) {
+	n := NewNetwork(2)
+	n.SampleSiteSpace(100)
+	n.SampleSiteSpace(50) // smaller samples must not lower the max
+	n.SampleCoordSpace(7)
+	n.SampleCoordSpace(9)
+	s := n.Stats()
+	if s.MaxSiteWords != 100 {
+		t.Fatalf("MaxSiteWords = %d, want 100", s.MaxSiteWords)
+	}
+	if s.CoordWords != 9 {
+		t.Fatalf("CoordWords = %d, want 9", s.CoordWords)
+	}
+}
+
+func TestNetworkReset(t *testing.T) {
+	n := NewNetwork(2)
+	n.Up(5)
+	n.Broadcast(1)
+	n.SampleSiteSpace(10)
+	n.Reset()
+	if n.Stats() != (Stats{}) {
+		t.Fatalf("Reset left counters: %+v", n.Stats())
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNetwork(0)
+}
+
+func TestWordCosts(t *testing.T) {
+	if RowWords(43) != 45 {
+		t.Fatalf("RowWords(43) = %d, want 45", RowWords(43))
+	}
+	if DirectionWords(10) != 12 {
+		t.Fatalf("DirectionWords(10) = %d, want 12", DirectionWords(10))
+	}
+	if ScalarWords != 2 {
+		t.Fatalf("ScalarWords = %d, want 2", ScalarWords)
+	}
+}

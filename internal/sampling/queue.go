@@ -1,0 +1,162 @@
+package sampling
+
+// Queue is the site-side structure of Algorithms 1–2: it holds observed
+// rows that were not immediately forwarded (priority below the threshold),
+// discarding a row as soon as it expires or becomes right ℓ-dominated —
+// i.e. ℓ rows arriving later carry higher priorities, which by
+// Definition 1 means the row can never re-enter the global top-ℓ before it
+// expires.
+//
+// Dominance counting is batched: instead of touching every queued entry on
+// every arrival (the paper's literal lines 6–11, O(|Q|) per row), the
+// queue buffers recent arrivals' (index, priority) pairs and charges them
+// to entries in one pass every batchSize arrivals. Counts are exact —
+// each entry is charged only by strictly later arrivals — they are merely
+// applied up to batchSize arrivals late, so an entry may linger slightly
+// longer than in the literal protocol. Entries are never dropped early, so
+// correctness is unaffected; the space bound gains an additive
+// O(batchSize).
+type Queue struct {
+	ell     int
+	arrival int64 // global arrival counter
+	entries []entry
+	batch   []arrivalRec
+}
+
+type entry struct {
+	it    Item
+	idx   int64 // arrival index of this row
+	count int
+}
+
+type arrivalRec struct {
+	idx int64
+	rho float64
+}
+
+// batchSize balances the amortized cost of dominance counting against the
+// extra O(batchSize) rows a site may hold.
+const batchSize = 64
+
+// NewQueue returns a queue with dominance parameter ℓ.
+func NewQueue(ell int) *Queue {
+	if ell < 1 {
+		panic("sampling: queue ℓ must be positive")
+	}
+	return &Queue{ell: ell}
+}
+
+// Push appends a row that was not forwarded. Call Observe for every
+// arrival (queued or not) afterwards so dominance counts accumulate.
+func (q *Queue) Push(it Item) {
+	q.entries = append(q.entries, entry{it: it, idx: q.arrival})
+}
+
+// Observe records the priority of a newly arrived row (whether or not it
+// was queued) so older queued entries accumulate dominance counts.
+func (q *Queue) Observe(rho float64) {
+	q.batch = append(q.batch, arrivalRec{idx: q.arrival, rho: rho})
+	q.arrival++
+	if len(q.batch) >= batchSize {
+		q.flushBatch()
+	}
+}
+
+// flushBatch charges buffered priorities to entries that arrived strictly
+// earlier, dropping entries that reach ℓ dominators.
+func (q *Queue) flushBatch() {
+	if len(q.batch) == 0 {
+		return
+	}
+	keep := q.entries[:0]
+	for _, e := range q.entries {
+		for _, a := range q.batch {
+			if e.count >= q.ell {
+				break
+			}
+			if a.idx > e.idx && a.rho >= e.it.Rho {
+				e.count++
+			}
+		}
+		if e.count < q.ell {
+			keep = append(keep, e)
+		}
+	}
+	q.entries = keep
+	q.batch = q.batch[:0]
+}
+
+// Expire removes entries whose timestamp is ≤ now−w.
+func (q *Queue) Expire(now, w int64) {
+	keep := q.entries[:0]
+	for _, e := range q.entries {
+		if e.it.T > now-w {
+			keep = append(keep, e)
+		}
+	}
+	q.entries = keep
+}
+
+// PopQualifying removes and returns all entries with priority ≥ tau, in
+// arrival order — the site's response to a threshold decrease.
+func (q *Queue) PopQualifying(tau float64) []Item {
+	q.flushBatch()
+	var out []Item
+	keep := q.entries[:0]
+	for _, e := range q.entries {
+		if e.it.Rho >= tau {
+			out = append(out, e.it)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	q.entries = keep
+	return out
+}
+
+// MaxPriority returns the highest priority currently queued and true, or
+// (0, false) when the queue is empty.
+func (q *Queue) MaxPriority() (float64, bool) {
+	q.flushBatch()
+	if len(q.entries) == 0 {
+		return 0, false
+	}
+	best := q.entries[0].it.Rho
+	for _, e := range q.entries[1:] {
+		if e.it.Rho > best {
+			best = e.it.Rho
+		}
+	}
+	return best, true
+}
+
+// PopMax removes and returns the entry with the highest priority. It
+// panics on an empty queue.
+func (q *Queue) PopMax() Item {
+	q.flushBatch()
+	if len(q.entries) == 0 {
+		panic("sampling: PopMax on empty queue")
+	}
+	best := 0
+	for i := range q.entries[1:] {
+		if q.entries[i+1].it.Rho > q.entries[best].it.Rho {
+			best = i + 1
+		}
+	}
+	it := q.entries[best].it
+	q.entries = append(q.entries[:best], q.entries[best+1:]...)
+	return it
+}
+
+// Len returns the number of queued rows (buffered dominance counts are
+// applied first so the answer reflects all arrivals).
+func (q *Queue) Len() int {
+	q.flushBatch()
+	return len(q.entries)
+}
+
+// SpaceWords returns the queue's storage cost in words (each entry: row +
+// priority + timestamp + counter).
+func (q *Queue) SpaceWords(d int) int64 {
+	return int64(len(q.entries)) * int64(d+3)
+}

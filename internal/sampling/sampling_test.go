@@ -1,0 +1,332 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"distwindow/mat"
+)
+
+func TestPrioritySchemeMonotoneInWeight(t *testing.T) {
+	p := Priority{}
+	if p.Priority(10, 0.5) <= p.Priority(1, 0.5) {
+		t.Fatal("higher weight should give higher priority at equal u")
+	}
+	if p.Priority(4, 0.5) != 8 {
+		t.Fatalf("Priority(4,0.5) = %v, want 8", p.Priority(4, 0.5))
+	}
+}
+
+func TestESSchemeRange(t *testing.T) {
+	e := ES{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		rho := e.Priority(1+rng.Float64()*100, u)
+		if rho <= 0 || rho >= 1 {
+			t.Fatalf("ES priority %v out of (0,1)", rho)
+		}
+	}
+}
+
+func TestESSchemeMonotoneInWeight(t *testing.T) {
+	e := ES{}
+	if e.Priority(10, 0.5) <= e.Priority(1, 0.5) {
+		t.Fatal("higher weight should give higher ES priority at equal u")
+	}
+}
+
+func TestDrawAvoidsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		rho := Draw(Priority{}, 1, rng)
+		if math.IsInf(rho, 1) || rho <= 0 {
+			t.Fatalf("Draw produced %v", rho)
+		}
+	}
+}
+
+// TestPrioritySamplingSelectsHeavyRows verifies the fundamental property
+// that motivates weighted sampling for covariance sketching: rows with
+// large norms appear in the top-ℓ far more often than uniform sampling.
+func TestPrioritySamplingSelectsHeavyRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, trials = 1000, 200
+	heavyHits := 0
+	for tr := 0; tr < trials; tr++ {
+		// One heavy row (weight n) among n−1 unit rows.
+		type pr struct {
+			rho   float64
+			heavy bool
+		}
+		ps := make([]pr, n)
+		ps[0] = pr{Draw(Priority{}, float64(n), rng), true}
+		for i := 1; i < n; i++ {
+			ps[i] = pr{Draw(Priority{}, 1, rng), false}
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i].rho > ps[j].rho })
+		for _, p := range ps[:10] {
+			if p.heavy {
+				heavyHits++
+			}
+		}
+	}
+	// P[heavy in top-10] ≈ 1 for weight n=1000 vs uniform P ≈ 10/1000.
+	if heavyHits < trials*9/10 {
+		t.Fatalf("heavy row hit top-10 only %d/%d times", heavyHits, trials)
+	}
+}
+
+func TestESSamplingInclusionProbability(t *testing.T) {
+	// For ES sampling with ℓ=1, P[item i selected] = wᵢ/Σw exactly.
+	rng := rand.New(rand.NewSource(4))
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const trials = 30000
+	for tr := 0; tr < trials; tr++ {
+		best, bestRho := -1, -1.0
+		for i, w := range weights {
+			rho := Draw(ES{}, w, rng)
+			if rho > bestRho {
+				best, bestRho = i, rho
+			}
+		}
+		counts[best]++
+	}
+	for i, w := range weights {
+		want := w / 10 * trials
+		if math.Abs(float64(counts[i])-want) > 0.1*trials {
+			t.Fatalf("item %d selected %d times, want ≈%v", i, counts[i], want)
+		}
+	}
+}
+
+func TestItemWeight(t *testing.T) {
+	it := Item{V: []float64{3, 4}}
+	if it.Weight() != 25 {
+		t.Fatalf("Weight = %v, want 25", it.Weight())
+	}
+}
+
+func TestRescalePriorityCeiling(t *testing.T) {
+	it := Item{V: []float64{3, 4}} // w = 25
+	// τℓ below w: row unchanged.
+	r := RescalePriority(it, 10)
+	if math.Abs(mat.VecNormSq(r)-25) > 1e-12 {
+		t.Fatalf("‖r‖² = %v, want 25", mat.VecNormSq(r))
+	}
+	// τℓ above w: squared norm becomes τℓ.
+	r = RescalePriority(it, 100)
+	if math.Abs(mat.VecNormSq(r)-100) > 1e-9 {
+		t.Fatalf("‖r‖² = %v, want 100", mat.VecNormSq(r))
+	}
+	// Direction preserved.
+	if math.Abs(r[0]/r[1]-0.75) > 1e-12 {
+		t.Fatal("rescaling must preserve direction")
+	}
+}
+
+func TestRescalePriorityZeroRow(t *testing.T) {
+	r := RescalePriority(Item{V: []float64{0, 0}}, 5)
+	if mat.VecNormSq(r) != 0 {
+		t.Fatal("zero row should stay zero")
+	}
+}
+
+func TestRescaleESEqualMass(t *testing.T) {
+	frobSq := 400.0
+	ell := 4
+	for _, v := range [][]float64{{1, 0}, {0, 10}, {3, 4}} {
+		r := RescaleES(Item{V: v}, frobSq, ell)
+		if math.Abs(mat.VecNormSq(r)-100) > 1e-9 {
+			t.Fatalf("‖r‖² = %v, want F²/ℓ = 100", mat.VecNormSq(r))
+		}
+	}
+}
+
+func TestRescaleESDegenerate(t *testing.T) {
+	if mat.VecNormSq(RescaleES(Item{V: []float64{1, 1}}, 0, 4)) != 0 {
+		t.Fatal("zero F² should produce zero row")
+	}
+}
+
+func TestSampleSizeDecreasingInEps(t *testing.T) {
+	if SampleSize(0.05) <= SampleSize(0.1) {
+		t.Fatal("smaller eps needs more samples")
+	}
+	if SampleSize(0.5) < 8 {
+		t.Fatal("SampleSize should be at least 8")
+	}
+}
+
+func TestSampleSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SampleSize(0)
+}
+
+// --- Queue tests ---
+
+func TestQueuePushAndLen(t *testing.T) {
+	q := NewQueue(2)
+	q.Push(Item{V: []float64{1}, Rho: 5, T: 1})
+	q.Observe(5)
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestQueueDominanceEviction(t *testing.T) {
+	q := NewQueue(2)
+	q.Push(Item{V: []float64{1}, Rho: 1, T: 1})
+	q.Observe(1)
+	// Two later arrivals with higher priority evict the entry (ℓ=2).
+	q.Observe(5)
+	q.Observe(7)
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 after ℓ-domination", q.Len())
+	}
+}
+
+func TestQueueNotDominatedByEarlier(t *testing.T) {
+	q := NewQueue(1)
+	// A high-priority arrival BEFORE the push must not count.
+	q.Observe(100)
+	q.Push(Item{V: []float64{1}, Rho: 1, T: 2})
+	q.Observe(1)
+	if q.Len() != 1 {
+		t.Fatal("entry dominated by an earlier arrival — counts must be causal")
+	}
+	// One later arrival evicts it (ℓ=1).
+	q.Observe(50)
+	if q.Len() != 0 {
+		t.Fatal("entry should be dominated by one later arrival at ℓ=1")
+	}
+}
+
+func TestQueueSelfNoDomination(t *testing.T) {
+	q := NewQueue(1)
+	q.Push(Item{V: []float64{1}, Rho: 3, T: 1})
+	q.Observe(3) // its own arrival record
+	if q.Len() != 1 {
+		t.Fatal("a row must not dominate itself")
+	}
+}
+
+func TestQueueLowerPriorityDoesNotDominate(t *testing.T) {
+	q := NewQueue(1)
+	q.Push(Item{V: []float64{1}, Rho: 10, T: 1})
+	q.Observe(10)
+	for i := 0; i < 200; i++ {
+		q.Observe(1)
+	}
+	if q.Len() != 1 {
+		t.Fatal("lower priorities must not dominate")
+	}
+}
+
+func TestQueueExpire(t *testing.T) {
+	q := NewQueue(3)
+	q.Push(Item{V: []float64{1}, Rho: 1, T: 10})
+	q.Observe(1)
+	q.Push(Item{V: []float64{1}, Rho: 2, T: 20})
+	q.Observe(2)
+	q.Expire(25, 10) // cut = 15: T=10 expires
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestQueuePopQualifying(t *testing.T) {
+	q := NewQueue(5)
+	for i, rho := range []float64{1, 5, 3, 9} {
+		q.Push(Item{V: []float64{1}, Rho: rho, T: int64(i)})
+		q.Observe(rho)
+	}
+	got := q.PopQualifying(4)
+	if len(got) != 2 {
+		t.Fatalf("PopQualifying returned %d items, want 2", len(got))
+	}
+	if got[0].Rho != 5 || got[1].Rho != 9 {
+		t.Fatalf("wrong items: %+v", got)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("remaining = %d, want 2", q.Len())
+	}
+}
+
+func TestQueueMaxPriorityAndPopMax(t *testing.T) {
+	q := NewQueue(5)
+	for i, rho := range []float64{2, 8, 4} {
+		q.Push(Item{V: []float64{1}, Rho: rho, T: int64(i)})
+		q.Observe(rho)
+	}
+	if mx, ok := q.MaxPriority(); !ok || mx != 8 {
+		t.Fatalf("MaxPriority = %v %v, want 8 true", mx, ok)
+	}
+	it := q.PopMax()
+	if it.Rho != 8 {
+		t.Fatalf("PopMax Rho = %v, want 8", it.Rho)
+	}
+	if mx, _ := q.MaxPriority(); mx != 4 {
+		t.Fatalf("next MaxPriority = %v, want 4", mx)
+	}
+}
+
+func TestQueueMaxPriorityEmpty(t *testing.T) {
+	q := NewQueue(2)
+	if _, ok := q.MaxPriority(); ok {
+		t.Fatal("empty queue should report no max")
+	}
+}
+
+func TestQueuePopMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQueue(2).PopMax()
+}
+
+func TestQueueSpaceBoundUnderRandomPriorities(t *testing.T) {
+	// With ℓ=8 and n=5000 random arrivals all queued, the queue should
+	// hold O(ℓ·log(n/ℓ)) rows, far below n.
+	rng := rand.New(rand.NewSource(5))
+	q := NewQueue(8)
+	for i := 0; i < 5000; i++ {
+		rho := Draw(Priority{}, 1, rng)
+		q.Push(Item{V: []float64{1}, Rho: rho, T: int64(i)})
+		q.Observe(rho)
+	}
+	// ℓ·ln(n/ℓ) ≈ 8·6.4 ≈ 51; allow generous slack + batch residue.
+	if q.Len() > 300 {
+		t.Fatalf("queue holds %d rows, want O(ℓ·log(n/ℓ))", q.Len())
+	}
+}
+
+func TestQueueSpaceWords(t *testing.T) {
+	q := NewQueue(2)
+	q.Push(Item{V: []float64{1, 2, 3}, Rho: 1, T: 1})
+	q.Observe(1)
+	if q.SpaceWords(3) != 6 {
+		t.Fatalf("SpaceWords = %d, want 6", q.SpaceWords(3))
+	}
+}
+
+func TestNewQueueValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQueue(0)
+}

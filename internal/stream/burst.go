@@ -1,0 +1,159 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// MMPPArrivals is a two-state Markov-modulated Poisson process: arrivals
+// alternate between a quiet regime (rate LambdaLow) and a bursty regime
+// (rate LambdaHigh), with exponentially distributed sojourn times. It
+// models the bursty traffic of real monitoring feeds (WIKI edits, network
+// flows) that a time-based window must absorb — the row count per window
+// varies drastically, exactly the situation the paper contrasts against
+// sequence-based windows.
+type MMPPArrivals struct {
+	LambdaLow    float64
+	LambdaHigh   float64
+	MeanSojourn  float64 // mean time units spent in a regime
+	TicksPerUnit float64
+
+	rng        *rand.Rand
+	now        float64
+	inBurst    bool
+	regimeLeft float64
+}
+
+// NewMMPPArrivals returns a bursty arrival process starting in the quiet
+// regime at time 0.
+func NewMMPPArrivals(lambdaLow, lambdaHigh, meanSojourn float64, rng *rand.Rand) *MMPPArrivals {
+	if lambdaLow <= 0 || lambdaHigh <= 0 || meanSojourn <= 0 {
+		panic(fmt.Sprintf("stream: invalid MMPP rates %v/%v sojourn %v", lambdaLow, lambdaHigh, meanSojourn))
+	}
+	return &MMPPArrivals{
+		LambdaLow:    lambdaLow,
+		LambdaHigh:   lambdaHigh,
+		MeanSojourn:  meanSojourn,
+		TicksPerUnit: 1000,
+		rng:          rng,
+	}
+}
+
+// Next returns the next arrival timestamp in ticks.
+func (p *MMPPArrivals) Next() int64 {
+	for {
+		rate := p.LambdaLow
+		if p.inBurst {
+			rate = p.LambdaHigh
+		}
+		gap := p.rng.ExpFloat64() / rate
+		if p.regimeLeft <= 0 {
+			p.regimeLeft = p.rng.ExpFloat64() * p.MeanSojourn
+		}
+		if gap <= p.regimeLeft {
+			p.regimeLeft -= gap
+			p.now += gap
+			return int64(math.Round(p.now * p.TicksPerUnit))
+		}
+		// The regime flips before the tentative arrival: consume the
+		// remaining sojourn and redraw in the new regime.
+		p.now += p.regimeLeft
+		p.regimeLeft = 0
+		p.inBurst = !p.inBurst
+	}
+}
+
+// SkewBuffer re-orders rows whose timestamps arrive out of order within a
+// bounded clock skew: a row is held until every possible earlier row
+// (timestamp > r.T − MaxSkew cannot appear later) has been released. In a
+// real deployment each site front-ends its tracker with one of these —
+// the protocols require non-decreasing timestamps.
+type SkewBuffer struct {
+	maxSkew int64
+	heap    []Row // min-heap on T
+	highest int64
+}
+
+// NewSkewBuffer returns a buffer tolerating timestamps up to maxSkew ticks
+// out of order.
+func NewSkewBuffer(maxSkew int64) *SkewBuffer {
+	if maxSkew < 0 {
+		panic("stream: negative skew")
+	}
+	return &SkewBuffer{maxSkew: maxSkew, highest: math.MinInt64}
+}
+
+// Add inserts a row and returns the rows that are now safe to release, in
+// timestamp order. A row older than the skew horizon is rejected (false).
+func (b *SkewBuffer) Add(r Row) (released []Row, ok bool) {
+	if b.highest != math.MinInt64 && r.T <= b.highest-b.maxSkew {
+		return nil, false // arrived too late even for the skew bound
+	}
+	b.push(r)
+	if r.T > b.highest {
+		b.highest = r.T
+	}
+	return b.release(b.highest - b.maxSkew), true
+}
+
+// Flush releases everything still buffered, in timestamp order.
+func (b *SkewBuffer) Flush() []Row {
+	return b.release(math.MaxInt64)
+}
+
+// Len returns the number of buffered rows.
+func (b *SkewBuffer) Len() int { return len(b.heap) }
+
+// release pops rows with T ≤ horizon in order.
+func (b *SkewBuffer) release(horizon int64) []Row {
+	var out []Row
+	for len(b.heap) > 0 && b.heap[0].T <= horizon {
+		out = append(out, b.pop())
+	}
+	return out
+}
+
+func (b *SkewBuffer) push(r Row) {
+	b.heap = append(b.heap, r)
+	i := len(b.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if b.heap[parent].T <= b.heap[i].T {
+			break
+		}
+		b.heap[parent], b.heap[i] = b.heap[i], b.heap[parent]
+		i = parent
+	}
+}
+
+func (b *SkewBuffer) pop() Row {
+	top := b.heap[0]
+	last := len(b.heap) - 1
+	b.heap[0] = b.heap[last]
+	b.heap = b.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(b.heap) && b.heap[l].T < b.heap[small].T {
+			small = l
+		}
+		if r < len(b.heap) && b.heap[r].T < b.heap[small].T {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		b.heap[i], b.heap[small] = b.heap[small], b.heap[i]
+		i = small
+	}
+	return top
+}
+
+// SortEvents orders an event slice by timestamp (stable), a convenience
+// for merging independently generated site streams.
+func SortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Row.T < evs[j].Row.T })
+}

@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMMPPMonotone(t *testing.T) {
+	p := NewMMPPArrivals(0.2, 10, 50, rand.New(rand.NewSource(1)))
+	prev := int64(-1)
+	for i := 0; i < 5000; i++ {
+		tt := p.Next()
+		if tt < prev {
+			t.Fatalf("timestamps must be non-decreasing: %d after %d", tt, prev)
+		}
+		prev = tt
+	}
+}
+
+func TestMMPPBurstier(t *testing.T) {
+	// The MMPP's inter-arrival variance must exceed a Poisson process of
+	// the same mean rate (index of dispersion > 1).
+	rng := rand.New(rand.NewSource(2))
+	p := NewMMPPArrivals(0.2, 10, 50, rng)
+	n := 20000
+	gaps := make([]float64, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		tt := p.Next()
+		gaps[i] = float64(tt - prev)
+		prev = tt
+	}
+	var mean float64
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(n)
+	var varr float64
+	for _, g := range gaps {
+		varr += (g - mean) * (g - mean)
+	}
+	varr /= float64(n)
+	// For exponential gaps var = mean²; MMPP mixes two rates → var ≫ mean².
+	if varr < 1.5*mean*mean {
+		t.Fatalf("gap variance %v vs mean² %v — not bursty", varr, mean*mean)
+	}
+}
+
+func TestMMPPValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMMPPArrivals(0, 1, 1, rand.New(rand.NewSource(3)))
+}
+
+func TestSkewBufferInOrderPassThrough(t *testing.T) {
+	b := NewSkewBuffer(10)
+	var got []int64
+	for i := int64(1); i <= 50; i++ {
+		rel, ok := b.Add(Row{T: i})
+		if !ok {
+			t.Fatalf("in-order row %d rejected", i)
+		}
+		for _, r := range rel {
+			got = append(got, r.T)
+		}
+	}
+	got = append(got, timestamps(b.Flush())...)
+	if len(got) != 50 {
+		t.Fatalf("released %d rows, want 50", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("released out of order: %v", got)
+		}
+	}
+}
+
+func TestSkewBufferReorders(t *testing.T) {
+	b := NewSkewBuffer(5)
+	order := []int64{3, 1, 2, 7, 5, 6, 4, 10, 9, 8, 20}
+	var got []int64
+	for _, tt := range order {
+		rel, ok := b.Add(Row{T: tt})
+		if !ok {
+			t.Fatalf("row %d rejected (within skew)", tt)
+		}
+		got = append(got, timestamps(rel)...)
+	}
+	got = append(got, timestamps(b.Flush())...)
+	if len(got) != len(order) {
+		t.Fatalf("released %d of %d rows", len(got), len(order))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("released out of order: %v", got)
+		}
+	}
+}
+
+func TestSkewBufferRejectsTooLate(t *testing.T) {
+	b := NewSkewBuffer(5)
+	b.Add(Row{T: 100})
+	if _, ok := b.Add(Row{T: 94}); ok {
+		t.Fatal("row beyond the skew horizon must be rejected")
+	}
+	if _, ok := b.Add(Row{T: 96}); !ok {
+		t.Fatal("row inside the skew horizon must be accepted")
+	}
+}
+
+func TestSkewBufferHoldsWithinHorizon(t *testing.T) {
+	b := NewSkewBuffer(10)
+	rel, _ := b.Add(Row{T: 5})
+	if len(rel) != 0 {
+		t.Fatal("row within horizon should be held")
+	}
+	rel, _ = b.Add(Row{T: 20})
+	// horizon = 20−10 = 10 → row at 5 releases.
+	if len(rel) != 1 || rel[0].T != 5 {
+		t.Fatalf("released %v, want [5]", timestamps(rel))
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (row at 20 held)", b.Len())
+	}
+}
+
+func TestSkewBufferZeroSkew(t *testing.T) {
+	b := NewSkewBuffer(0)
+	rel, ok := b.Add(Row{T: 1})
+	if !ok || len(rel) != 1 {
+		t.Fatal("zero skew should release immediately")
+	}
+	if _, ok := b.Add(Row{T: 0}); ok {
+		t.Fatal("earlier row must be rejected at zero skew")
+	}
+}
+
+func TestSkewBufferRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := NewSkewBuffer(20)
+	var released []int64
+	accepted := 0
+	base := int64(0)
+	for i := 0; i < 5000; i++ {
+		base += int64(rng.Intn(3))
+		tt := base - int64(rng.Intn(15)) // jitter within the skew bound
+		rel, ok := b.Add(Row{T: tt})
+		if ok {
+			accepted++
+		}
+		released = append(released, timestamps(rel)...)
+	}
+	released = append(released, timestamps(b.Flush())...)
+	if len(released) != accepted {
+		t.Fatalf("released %d of %d accepted rows", len(released), accepted)
+	}
+	for i := 1; i < len(released); i++ {
+		if released[i] < released[i-1] {
+			t.Fatal("randomized stream released out of order")
+		}
+	}
+}
+
+func TestSortEvents(t *testing.T) {
+	evs := []Event{
+		{Row: Row{T: 5}}, {Row: Row{T: 1}}, {Row: Row{T: 3}},
+	}
+	SortEvents(evs)
+	if evs[0].Row.T != 1 || evs[2].Row.T != 5 {
+		t.Fatalf("SortEvents wrong: %+v", evs)
+	}
+}
+
+func timestamps(rows []Row) []int64 {
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r.T
+	}
+	return out
+}

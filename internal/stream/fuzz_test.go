@@ -1,0 +1,39 @@
+package stream
+
+import "testing"
+
+// FuzzSkewBufferOrdering checks that whatever arrival pattern the fuzzer
+// produces, accepted rows come out in non-decreasing timestamp order and
+// nothing accepted is lost.
+func FuzzSkewBufferOrdering(f *testing.F) {
+	f.Add([]byte{5, 3, 9, 1, 12, 7})
+	f.Add([]byte{0, 0, 0, 255, 255, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewSkewBuffer(16)
+		accepted := 0
+		var out []int64
+		base := int64(0)
+		for _, by := range data {
+			base += int64(by % 4)
+			tt := base - int64(by%16)
+			rel, ok := b.Add(Row{T: tt})
+			if ok {
+				accepted++
+			}
+			for _, r := range rel {
+				out = append(out, r.T)
+			}
+		}
+		for _, r := range b.Flush() {
+			out = append(out, r.T)
+		}
+		if len(out) != accepted {
+			t.Fatalf("released %d of %d accepted rows", len(out), accepted)
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1] {
+				t.Fatalf("out of order at %d: %v", i, out)
+			}
+		}
+	})
+}

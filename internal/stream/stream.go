@@ -1,0 +1,147 @@
+// Package stream defines the row-update stream model used throughout the
+// repository: timestamped d-dimensional rows, arrival processes, and
+// assignment of rows to distributed sites.
+//
+// Timestamps are int64 ticks. A row with timestamp t is active in the
+// window of size W at time now iff t ∈ (now−W, now], matching the paper's
+// time-based sliding window definition.
+package stream
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Row is one item of a matrix stream: a d-dimensional record V observed at
+// time T.
+type Row struct {
+	T int64
+	V []float64
+}
+
+// NormSq returns ‖V‖², the row's weight in the weighted-sampling protocols.
+func (r Row) NormSq() float64 {
+	var s float64
+	for _, v := range r.V {
+		s += v * v
+	}
+	return s
+}
+
+// Active reports whether the row is inside the window (now−w, now].
+func (r Row) Active(now, w int64) bool {
+	return r.T > now-w && r.T <= now
+}
+
+// Event is a row routed to a specific site.
+type Event struct {
+	Site int
+	Row  Row
+}
+
+// PoissonArrivals stamps consecutive arrival times with exponential
+// inter-arrival gaps of rate lambda (the paper's Poisson arrival process
+// with λ=1), quantized to integer ticks via a configurable tick scale.
+//
+// With TicksPerUnit=1000 and λ=1 the mean gap is 1000 ticks, so integer
+// rounding distorts the process by less than 0.1%.
+type PoissonArrivals struct {
+	Lambda       float64
+	TicksPerUnit float64
+	rng          *rand.Rand
+	now          float64
+}
+
+// NewPoissonArrivals returns an arrival process starting at time 0.
+func NewPoissonArrivals(lambda float64, rng *rand.Rand) *PoissonArrivals {
+	return &PoissonArrivals{Lambda: lambda, TicksPerUnit: 1000, rng: rng}
+}
+
+// Next returns the next arrival timestamp in ticks.
+func (p *PoissonArrivals) Next() int64 {
+	gap := p.rng.ExpFloat64() / p.Lambda
+	p.now += gap
+	return int64(math.Round(p.now * p.TicksPerUnit))
+}
+
+// UniformArrivals stamps one arrival every Gap ticks — a deterministic
+// arrival process useful in tests.
+type UniformArrivals struct {
+	Gap int64
+	now int64
+}
+
+// Next returns the next arrival timestamp in ticks.
+func (u *UniformArrivals) Next() int64 {
+	u.now += u.Gap
+	return u.now
+}
+
+// Assigner routes successive rows to sites.
+type Assigner interface {
+	// Next returns the site index for the next row.
+	Next() int
+}
+
+// RandomAssigner routes each row to a uniformly random site, the standard
+// model for distributed monitoring experiments.
+type RandomAssigner struct {
+	Sites int
+	rng   *rand.Rand
+}
+
+// NewRandomAssigner returns an assigner over m sites.
+func NewRandomAssigner(m int, rng *rand.Rand) *RandomAssigner {
+	return &RandomAssigner{Sites: m, rng: rng}
+}
+
+// Next returns a uniformly random site index.
+func (a *RandomAssigner) Next() int { return a.rng.Intn(a.Sites) }
+
+// RoundRobinAssigner routes rows to sites cyclically; deterministic, used
+// in tests.
+type RoundRobinAssigner struct {
+	Sites int
+	next  int
+}
+
+// Next returns the next site index in cyclic order.
+func (a *RoundRobinAssigner) Next() int {
+	s := a.next
+	a.next = (a.next + 1) % a.Sites
+	return s
+}
+
+// Stamp attaches timestamps from the given arrival process and site
+// assignments to the rows of data (each a d-dimensional slice), producing a
+// replayable event sequence.
+func Stamp(data [][]float64, arrivals interface{ Next() int64 }, assign Assigner) []Event {
+	evs := make([]Event, len(data))
+	for i, v := range data {
+		evs[i] = Event{Site: assign.Next(), Row: Row{T: arrivals.Next(), V: v}}
+	}
+	return evs
+}
+
+// MaxNormRatio returns R, the maximum ratio of squared norms between any
+// two rows of the event sequence (ignoring zero rows). It returns 1 for
+// fewer than two nonzero rows.
+func MaxNormRatio(evs []Event) float64 {
+	min, max := math.Inf(1), 0.0
+	for _, e := range evs {
+		w := e.Row.NormSq()
+		if w == 0 {
+			continue
+		}
+		if w < min {
+			min = w
+		}
+		if w > max {
+			max = w
+		}
+	}
+	if max == 0 || math.IsInf(min, 1) {
+		return 1
+	}
+	return max / min
+}

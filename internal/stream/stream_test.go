@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRowNormSq(t *testing.T) {
+	r := Row{T: 1, V: []float64{3, 4}}
+	if r.NormSq() != 25 {
+		t.Fatalf("NormSq = %v, want 25", r.NormSq())
+	}
+}
+
+func TestRowActive(t *testing.T) {
+	r := Row{T: 100}
+	if !r.Active(100, 10) {
+		t.Fatal("row at now should be active")
+	}
+	if !r.Active(109, 10) {
+		t.Fatal("row at now-9 with w=10 should be active")
+	}
+	if r.Active(110, 10) {
+		t.Fatal("row at exactly now-w should be expired")
+	}
+	if r.Active(99, 10) {
+		t.Fatal("future row should not be active")
+	}
+}
+
+func TestPoissonArrivalsMonotone(t *testing.T) {
+	p := NewPoissonArrivals(1, rand.New(rand.NewSource(1)))
+	prev := int64(-1)
+	for i := 0; i < 1000; i++ {
+		tt := p.Next()
+		if tt < prev {
+			t.Fatalf("timestamps must be non-decreasing: %d after %d", tt, prev)
+		}
+		prev = tt
+	}
+}
+
+func TestPoissonArrivalsMeanGap(t *testing.T) {
+	p := NewPoissonArrivals(1, rand.New(rand.NewSource(2)))
+	n := 20000
+	var last int64
+	for i := 0; i < n; i++ {
+		last = p.Next()
+	}
+	mean := float64(last) / float64(n)
+	// λ=1, TicksPerUnit=1000 → mean gap 1000 ticks (±5% over 20k samples).
+	if math.Abs(mean-1000) > 50 {
+		t.Fatalf("mean gap = %v ticks, want ≈1000", mean)
+	}
+}
+
+func TestPoissonArrivalsLambdaScales(t *testing.T) {
+	p := NewPoissonArrivals(2, rand.New(rand.NewSource(3)))
+	n := 20000
+	var last int64
+	for i := 0; i < n; i++ {
+		last = p.Next()
+	}
+	mean := float64(last) / float64(n)
+	if math.Abs(mean-500) > 30 {
+		t.Fatalf("mean gap = %v ticks, want ≈500 for λ=2", mean)
+	}
+}
+
+func TestUniformArrivals(t *testing.T) {
+	u := &UniformArrivals{Gap: 7}
+	if u.Next() != 7 || u.Next() != 14 {
+		t.Fatal("UniformArrivals should step by Gap")
+	}
+}
+
+func TestRandomAssignerRange(t *testing.T) {
+	a := NewRandomAssigner(5, rand.New(rand.NewSource(4)))
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		s := a.Next()
+		if s < 0 || s >= 5 {
+			t.Fatalf("site %d out of range", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("only %d sites hit in 1000 draws", len(seen))
+	}
+}
+
+func TestRandomAssignerRoughlyUniform(t *testing.T) {
+	a := NewRandomAssigner(4, rand.New(rand.NewSource(5)))
+	counts := make([]int, 4)
+	n := 40000
+	for i := 0; i < n; i++ {
+		counts[a.Next()]++
+	}
+	for s, c := range counts {
+		if math.Abs(float64(c)-float64(n)/4) > float64(n)/20 {
+			t.Fatalf("site %d got %d of %d rows, far from uniform", s, c, n)
+		}
+	}
+}
+
+func TestRoundRobinAssigner(t *testing.T) {
+	a := &RoundRobinAssigner{Sites: 3}
+	want := []int{0, 1, 2, 0, 1}
+	for i, w := range want {
+		if got := a.Next(); got != w {
+			t.Fatalf("Next()[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestStamp(t *testing.T) {
+	data := [][]float64{{1}, {2}, {3}}
+	evs := Stamp(data, &UniformArrivals{Gap: 10}, &RoundRobinAssigner{Sites: 2})
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[2].Row.T != 30 || evs[2].Site != 0 {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+	if evs[1].Row.V[0] != 2 {
+		t.Fatal("row data should be preserved")
+	}
+}
+
+func TestMaxNormRatio(t *testing.T) {
+	evs := []Event{
+		{Row: Row{V: []float64{1, 0}}}, // w=1
+		{Row: Row{V: []float64{0, 3}}}, // w=9
+		{Row: Row{V: []float64{0, 0}}}, // zero rows ignored
+	}
+	if r := MaxNormRatio(evs); r != 9 {
+		t.Fatalf("MaxNormRatio = %v, want 9", r)
+	}
+}
+
+func TestMaxNormRatioDegenerate(t *testing.T) {
+	if r := MaxNormRatio(nil); r != 1 {
+		t.Fatalf("empty ratio = %v, want 1", r)
+	}
+	if r := MaxNormRatio([]Event{{Row: Row{V: []float64{0}}}}); r != 1 {
+		t.Fatalf("all-zero ratio = %v, want 1", r)
+	}
+}

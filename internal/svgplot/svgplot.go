@@ -1,0 +1,208 @@
+// Package svgplot renders simple line charts as standalone SVG documents
+// using only the standard library — enough to turn the experiment
+// harness's CSV output back into the paper's figures (log-scale axes,
+// one series per protocol, legend).
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named polyline.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Plot is a chart specification. Render produces the SVG.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX/LogY select logarithmic axes (points with non-positive
+	// coordinates are dropped on that axis).
+	LogX, LogY bool
+	Series     []Series
+
+	// W, H are the canvas size in pixels (defaults 640×420).
+	W, H int
+}
+
+// palette holds distinguishable series colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+	"#17becf", "#e377c2", "#7f7f7f", "#bcbd22",
+}
+
+const margin = 60
+
+// Render returns the chart as a complete SVG document.
+func (p Plot) Render() string {
+	w, h := p.W, p.H
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+	xmin, xmax, ymin, ymax := p.bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14" font-weight="bold">%s</text>`+"\n", w/2, esc(p.Title))
+
+	// Plot area.
+	px0, py0 := margin, h-margin
+	px1, py1 := w-margin, margin/2+10
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#444"/>`+"\n",
+		px0, py1, px1-px0, py0-py1)
+
+	sx := func(x float64) float64 {
+		x = p.tx(x)
+		return float64(px0) + (x-xmin)/(xmax-xmin)*float64(px1-px0)
+	}
+	sy := func(y float64) float64 {
+		y = p.ty(y)
+		return float64(py0) - (y-ymin)/(ymax-ymin)*float64(py0-py1)
+	}
+
+	// Ticks: 5 per axis, labeled in original units.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		xpix := float64(px0) + float64(px1-px0)*float64(i)/4
+		ypix := float64(py0) - float64(py0-py1)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#444"/>`+"\n", xpix, py0, xpix, py0+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n", xpix, py0+18, fmtTick(p.ux(fx)))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#444"/>`+"\n", px0-5, ypix, px0, ypix)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n", px0-8, ypix, fmtTick(p.uy(fy)))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", (px0+px1)/2, h-12, esc(p.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		(py0+py1)/2, (py0+py1)/2, esc(p.YLabel))
+
+	// Series.
+	for si, s := range p.Series {
+		color := palette[si%len(palette)]
+		pts := p.clean(s.Points)
+		if len(pts) == 0 {
+			continue
+		}
+		var poly strings.Builder
+		for _, pt := range pts {
+			fmt.Fprintf(&poly, "%.1f,%.1f ", sx(pt.X), sy(pt.Y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.TrimSpace(poly.String()), color)
+		for _, pt := range pts {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", sx(pt.X), sy(pt.Y), color)
+		}
+		// Legend entry.
+		ly := py1 + 14 + si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			px1-130, ly, px1-110, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`+"\n", px1-104, ly+1, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// tx/ty transform a coordinate onto the (possibly log) plotting scale.
+func (p Plot) tx(x float64) float64 {
+	if p.LogX {
+		return math.Log10(x)
+	}
+	return x
+}
+
+func (p Plot) ty(y float64) float64 {
+	if p.LogY {
+		return math.Log10(y)
+	}
+	return y
+}
+
+// ux/uy invert the transforms for tick labels.
+func (p Plot) ux(x float64) float64 {
+	if p.LogX {
+		return math.Pow(10, x)
+	}
+	return x
+}
+
+func (p Plot) uy(y float64) float64 {
+	if p.LogY {
+		return math.Pow(10, y)
+	}
+	return y
+}
+
+// clean drops points a log axis cannot show and sorts by x.
+func (p Plot) clean(pts []Point) []Point {
+	out := make([]Point, 0, len(pts))
+	for _, pt := range pts {
+		if p.LogX && pt.X <= 0 {
+			continue
+		}
+		if p.LogY && pt.Y <= 0 {
+			continue
+		}
+		out = append(out, pt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}
+
+// bounds computes padded axis ranges on the plotting scale.
+func (p Plot) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, pt := range p.clean(s.Points) {
+			x, y := p.tx(pt.X), p.ty(pt.Y)
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	padX, padY := (xmax-xmin)*0.05, (ymax-ymin)*0.08
+	return xmin - padX, xmax + padX, ymin - padY, ymax + padY
+}
+
+// fmtTick renders an axis label compactly.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 1:
+		return fmt.Sprintf("%.3g", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,106 @@
+package svgplot
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func samplePlot() Plot {
+	return Plot{
+		Title:  "test figure",
+		XLabel: "epsilon",
+		YLabel: "error",
+		Series: []Series{
+			{Name: "PWOR", Points: []Point{{0.05, 0.01}, {0.1, 0.04}, {0.2, 0.09}}},
+			{Name: "DA1", Points: []Point{{0.05, 0.03}, {0.1, 0.07}, {0.2, 0.12}}},
+		},
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	svg := samplePlot().Render()
+	for _, want := range []string{
+		"<svg", "</svg>", "test figure", "epsilon", "error",
+		"PWOR", "DA1", "<polyline", "<circle",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestRenderLogAxesDropNonPositive(t *testing.T) {
+	p := Plot{
+		LogY: true,
+		Series: []Series{
+			{Name: "s", Points: []Point{{1, 0}, {2, 10}, {3, 100}}}, // y=0 dropped
+		},
+	}
+	svg := p.Render()
+	if strings.Count(svg, "<circle") != 2 {
+		t.Fatalf("log axis should drop the y=0 point; got %d markers", strings.Count(svg, "<circle"))
+	}
+}
+
+func TestRenderEmptyPlot(t *testing.T) {
+	svg := Plot{Title: "empty"}.Render()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty plot should still be a valid SVG document")
+	}
+}
+
+func TestRenderSortsByX(t *testing.T) {
+	p := Plot{Series: []Series{{Name: "s", Points: []Point{{3, 1}, {1, 1}, {2, 1}}}}}
+	svg := p.Render()
+	// The polyline's x coordinates must be non-decreasing.
+	start := strings.Index(svg, `<polyline points="`)
+	if start < 0 {
+		t.Fatal("no polyline")
+	}
+	rest := svg[start+len(`<polyline points="`):]
+	end := strings.Index(rest, `"`)
+	var xs []float64
+	for _, pair := range strings.Fields(rest[:end]) {
+		parts := strings.Split(pair, ",")
+		x, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs = append(xs, x)
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("polyline x not sorted: %v", xs)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	p := Plot{Title: "a<b&c"}
+	svg := p.Render()
+	if strings.Contains(svg, "a<b&c") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;c") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		12_000:    "12.0k",
+		3:         "3",
+		0:         "0",
+		0.05:      "0.05",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package window
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"distwindow/internal/stream"
+	"distwindow/mat"
+)
+
+func TestExactAddAndExpire(t *testing.T) {
+	e := NewExact(10)
+	e.Add(stream.Row{T: 1, V: []float64{1, 0}})
+	e.Add(stream.Row{T: 5, V: []float64{0, 2}})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+	e.Add(stream.Row{T: 11, V: []float64{3, 0}}) // expires t=1 (1 ≤ 11−10)
+	if e.Len() != 2 {
+		t.Fatalf("after expiry Len = %d, want 2", e.Len())
+	}
+	if e.Rows()[0].T != 5 {
+		t.Fatalf("oldest live row T = %d, want 5", e.Rows()[0].T)
+	}
+}
+
+func TestExactBoundaryInclusive(t *testing.T) {
+	// Window (now−w, now]: a row at exactly now−w is expired, now−w+1 lives.
+	e := NewExact(10)
+	e.Add(stream.Row{T: 0, V: []float64{1}})
+	e.Add(stream.Row{T: 1, V: []float64{1}})
+	e.Advance(10)
+	if e.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (row at t=0 expires at now=10)", e.Len())
+	}
+}
+
+func TestExactFrobSqIncremental(t *testing.T) {
+	e := NewExact(100)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		e.Add(stream.Row{T: int64(i), V: []float64{rng.NormFloat64(), rng.NormFloat64()}})
+	}
+	var want float64
+	for _, r := range e.Rows() {
+		want += r.NormSq()
+	}
+	if math.Abs(e.FrobSq()-want) > 1e-9*(1+want) {
+		t.Fatalf("FrobSq = %v, want %v", e.FrobSq(), want)
+	}
+}
+
+func TestExactMatrixAndGram(t *testing.T) {
+	e := NewExact(100)
+	e.Add(stream.Row{T: 1, V: []float64{1, 2}})
+	e.Add(stream.Row{T: 2, V: []float64{3, 4}})
+	m := e.Matrix(2)
+	if m.Rows() != 2 || m.At(1, 1) != 4 {
+		t.Fatalf("Matrix wrong: %v", m)
+	}
+	g := e.Gram(2)
+	if !g.EqualApprox(mat.Gram(m), 1e-12) {
+		t.Fatal("Gram should match Gram(Matrix)")
+	}
+}
+
+func TestExactEmptyWindow(t *testing.T) {
+	e := NewExact(10)
+	if e.Len() != 0 || e.FrobSq() != 0 {
+		t.Fatal("empty window should have no mass")
+	}
+	m := e.Matrix(3)
+	if m.Rows() != 0 || m.Cols() != 3 {
+		t.Fatal("empty Matrix should be 0×d")
+	}
+}
+
+func TestExactAllExpire(t *testing.T) {
+	e := NewExact(5)
+	e.Add(stream.Row{T: 1, V: []float64{2}})
+	e.Advance(100)
+	if e.Len() != 0 {
+		t.Fatal("all rows should expire")
+	}
+	if math.Abs(e.FrobSq()) > 1e-12 {
+		t.Fatalf("FrobSq = %v after full expiry", e.FrobSq())
+	}
+}
+
+func TestExactCompaction(t *testing.T) {
+	// Push enough churn to trigger the internal slice compaction and check
+	// correctness is preserved.
+	e := NewExact(10)
+	for i := 0; i < 20000; i++ {
+		e.Add(stream.Row{T: int64(i), V: []float64{1}})
+	}
+	if e.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", e.Len())
+	}
+	if math.Abs(e.FrobSq()-10) > 1e-9 {
+		t.Fatalf("FrobSq = %v, want 10", e.FrobSq())
+	}
+	if e.Rows()[0].T != 19990 {
+		t.Fatalf("oldest T = %d, want 19990", e.Rows()[0].T)
+	}
+}
+
+func TestCovErrPerfectSketch(t *testing.T) {
+	e := NewExact(1000)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		e.Add(stream.Row{T: int64(i), V: []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}})
+	}
+	b := e.Matrix(3) // sketch = exact matrix
+	if err := e.CovErr(3, b); err > 1e-10 {
+		t.Fatalf("CovErr of exact matrix = %v, want ~0", err)
+	}
+}
+
+func TestCovErrEmptySketchIsBounded(t *testing.T) {
+	e := NewExact(1000)
+	e.Add(stream.Row{T: 1, V: []float64{1, 0}})
+	err := e.CovErr(2, mat.NewDense(0, 2))
+	if err <= 0 || err > 1 {
+		t.Fatalf("CovErr = %v, want in (0,1]", err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := NewUnion(100, 2)
+	u.Add(stream.Row{T: 1, V: []float64{1, 0}})
+	u.Add(stream.Row{T: 2, V: []float64{0, 1}})
+	if u.D() != 2 {
+		t.Fatalf("D = %d", u.D())
+	}
+	if err := u.ErrOf(u.Matrix(2)); err > 1e-10 {
+		t.Fatalf("ErrOf exact = %v", err)
+	}
+}
+
+func TestNewExactPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewExact(0)
+}

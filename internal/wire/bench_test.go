@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDA2SiteObserveLoopback(b *testing.B) {
+	c := NewCoordinator(32)
+	s, err := NewDA2Site(SiteConfig{ID: 0, D: 32, W: 4000, Eps: 0.1}, Loopback{c})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 4096)
+	for i := range rows {
+		rows[i] = randRow(32, rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Observe(int64(i+1), rows[i%len(rows)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoordinatorApply(b *testing.B) {
+	c := NewCoordinator(64)
+	rng := rand.New(rand.NewSource(2))
+	v := randRow(64, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.Apply(Msg{Kind: DirectionAdd, V: v}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

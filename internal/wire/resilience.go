@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ResilientSender wraps dial-on-demand reconnection around a ConnSender:
+// messages that fail to encode are buffered and replayed, in order, once a
+// new connection is established. Because the one-way protocols' messages
+// are pure deltas, replaying the backlog after a reconnect restores the
+// coordinator to the exact state it would have had — provided the
+// transport delivers each accepted message at most once (TCP does; the
+// failure mode covered here is the sender-side connection dying).
+type ResilientSender struct {
+	addr string
+	// DialTimeout bounds each reconnection attempt.
+	DialTimeout time.Duration
+	// MaxBacklog bounds buffered messages; 0 means unlimited. When the
+	// backlog is full, Send reports an error instead of dropping silently.
+	MaxBacklog int
+
+	mu      sync.Mutex
+	conn    io.WriteCloser
+	enc     *gob.Encoder
+	backlog []Msg
+	dial    func() (io.WriteCloser, error)
+}
+
+// NewResilientSender returns a sender that (re)dials addr over TCP.
+func NewResilientSender(addr string) *ResilientSender {
+	s := &ResilientSender{addr: addr, DialTimeout: 5 * time.Second}
+	s.dial = func() (io.WriteCloser, error) {
+		return net.DialTimeout("tcp", addr, s.DialTimeout)
+	}
+	return s
+}
+
+// newResilientSenderFunc is the test seam: dial via an arbitrary factory.
+func newResilientSenderFunc(dial func() (io.WriteCloser, error)) *ResilientSender {
+	return &ResilientSender{dial: dial, DialTimeout: time.Second}
+}
+
+// Send encodes the message, transparently reconnecting and replaying any
+// backlog first. On transport failure the message is buffered and nil is
+// returned (the data is not lost); only a full backlog is an error.
+func (s *ResilientSender) Send(m Msg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.backlog = append(s.backlog, m)
+	if s.MaxBacklog > 0 && len(s.backlog) > s.MaxBacklog {
+		s.backlog = s.backlog[:len(s.backlog)-1]
+		return fmt.Errorf("wire: backlog full (%d messages)", s.MaxBacklog)
+	}
+	s.drainLocked()
+	return nil
+}
+
+// Flush attempts to deliver everything buffered; it returns the number of
+// messages still pending.
+func (s *ResilientSender) Flush() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drainLocked()
+	return len(s.backlog)
+}
+
+// drainLocked sends as much backlog as the current connection accepts,
+// dialing if needed. On error the connection is dropped and the rest stays
+// buffered for the next attempt.
+func (s *ResilientSender) drainLocked() {
+	if s.conn == nil {
+		conn, err := s.dial()
+		if err != nil {
+			return
+		}
+		s.conn = conn
+		s.enc = gob.NewEncoder(conn)
+	}
+	for len(s.backlog) > 0 {
+		if err := s.enc.Encode(s.backlog[0]); err != nil {
+			s.conn.Close()
+			s.conn = nil
+			s.enc = nil
+			return
+		}
+		s.backlog = s.backlog[1:]
+	}
+}
+
+// Pending returns the number of buffered (undelivered) messages.
+func (s *ResilientSender) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.backlog)
+}
+
+// Close closes the current connection; buffered messages are discarded.
+func (s *ResilientSender) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.backlog = nil
+	if s.conn != nil {
+		err := s.conn.Close()
+		s.conn = nil
+		s.enc = nil
+		return err
+	}
+	return nil
+}
+
+// Snapshot is a serializable copy of a coordinator's state, for failover
+// or checkpoint/restore.
+type Snapshot struct {
+	D     int
+	Chat  []float64
+	Sum   float64
+	Msgs  int64
+	Bytes int64
+}
+
+// Snapshot captures the coordinator's current state.
+func (c *Coordinator) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data := make([]float64, len(c.chat.Data()))
+	copy(data, c.chat.Data())
+	return Snapshot{D: c.d, Chat: data, Sum: c.sum, Msgs: c.msgs, Bytes: c.bytes}
+}
+
+// WriteSnapshot gob-encodes a snapshot to w.
+func (c *Coordinator) WriteSnapshot(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c.Snapshot())
+}
+
+// RestoreCoordinator rebuilds a coordinator from a snapshot.
+func RestoreCoordinator(s Snapshot) (*Coordinator, error) {
+	if s.D < 1 || len(s.Chat) != s.D*s.D {
+		return nil, fmt.Errorf("wire: invalid snapshot d=%d chat=%d", s.D, len(s.Chat))
+	}
+	c := NewCoordinator(s.D)
+	copy(c.chat.Data(), s.Chat)
+	c.sum = s.Sum
+	c.msgs = s.Msgs
+	c.bytes = s.Bytes
+	return c, nil
+}
+
+// ReadSnapshot decodes a snapshot from r and rebuilds the coordinator.
+func ReadSnapshot(r io.Reader) (*Coordinator, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return RestoreCoordinator(s)
+}

@@ -1,0 +1,290 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"distwindow/internal/eh"
+	"distwindow/internal/iwmt"
+	"distwindow/internal/meh"
+	"distwindow/mat"
+)
+
+// SiteConfig parameterizes a networked site.
+type SiteConfig struct {
+	// ID is the site's identifier in messages.
+	ID int
+	// D is the row dimension.
+	D int
+	// W is the window length in ticks.
+	W int64
+	// Eps is the local covariance-error budget; with m sites each running
+	// at ε, the coordinator's global error is ε by the triangle
+	// inequality (§III-B).
+	Eps float64
+}
+
+func (c SiteConfig) validate() error {
+	if c.D < 1 || c.W <= 0 || c.Eps <= 0 || c.Eps >= 1 {
+		return fmt.Errorf("wire: invalid site config %+v", c)
+	}
+	return nil
+}
+
+// DA2Site is the networked DA2 site (ledger-replay variant): IWMT forward
+// tracking of arrivals plus exact subtraction of each ledger message when
+// it expires. One-way: it only ever calls Sender.Send.
+type DA2Site struct {
+	cfg      SiteConfig
+	out      Sender
+	a        *iwmt.Tracker
+	mass     *eh.Histogram
+	ledger   []iwmt.Msg
+	q        []iwmt.Msg
+	boundary int64
+	now      int64
+}
+
+// NewDA2Site returns a site pushing to out.
+func NewDA2Site(cfg SiteConfig, out Sender) (*DA2Site, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &DA2Site{cfg: cfg, out: out, mass: eh.New(cfg.W, cfg.Eps/2), boundary: cfg.W}
+	ell := int(math.Ceil(1 / cfg.Eps))
+	s.a = iwmt.New(ell, cfg.D, func() float64 { return cfg.Eps * s.mass.Query() })
+	return s, nil
+}
+
+// Observe feeds one local row; timestamps must be non-decreasing.
+func (s *DA2Site) Observe(t int64, v []float64) error {
+	if err := s.advance(t); err != nil {
+		return err
+	}
+	if w := mat.VecNormSq(v); w > 0 {
+		s.mass.Insert(t, w)
+		for _, m := range s.a.Input(t, v) {
+			if err := s.sendA(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Advance moves the site's clock without new data.
+func (s *DA2Site) Advance(t int64) error { return s.advance(t) }
+
+func (s *DA2Site) advance(now int64) error {
+	if now > s.now {
+		s.now = now
+		s.mass.Advance(now)
+	}
+	for now >= s.boundary {
+		b := s.boundary
+		if err := s.expireUpTo(b); err != nil {
+			return err
+		}
+		for _, m := range s.a.Flush(b) {
+			if err := s.sendA(m); err != nil {
+				return err
+			}
+		}
+		s.q = append(s.q, s.ledger...)
+		s.ledger = nil
+		s.boundary += s.cfg.W
+	}
+	return s.expireUpTo(now)
+}
+
+func (s *DA2Site) expireUpTo(now int64) error {
+	cut := now - s.cfg.W
+	for len(s.q) > 0 && s.q[0].T <= cut {
+		m := s.q[0]
+		s.q = s.q[1:]
+		if err := s.out.Send(Msg{Site: s.cfg.ID, Kind: DirectionRemove, T: m.T, V: m.V}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *DA2Site) sendA(m iwmt.Msg) error {
+	s.ledger = append(s.ledger, m)
+	return s.out.Send(Msg{Site: s.cfg.ID, Kind: DirectionAdd, T: m.T, V: m.V})
+}
+
+// DA1Site is the networked DA1 site: an mEH plus a replica of the
+// coordinator's Ĉ⁽ʲ⁾, shipping significant eigendirections on trigger.
+type DA1Site struct {
+	cfg   SiteConfig
+	out   Sender
+	hist  *meh.Histogram
+	chat  *mat.Dense
+	churn float64
+	lastF float64
+	pv    []float64
+	now   int64
+}
+
+// NewDA1Site returns a site pushing to out.
+func NewDA1Site(cfg SiteConfig, out Sender) (*DA1Site, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &DA1Site{
+		cfg:  cfg,
+		out:  out,
+		hist: meh.New(cfg.W, cfg.D, cfg.Eps/2),
+		chat: mat.NewDense(cfg.D, cfg.D),
+		pv:   make([]float64, cfg.D),
+	}, nil
+}
+
+// Observe feeds one local row.
+func (s *DA1Site) Observe(t int64, v []float64) error {
+	s.now = t
+	s.hist.Add(t, v)
+	added := mat.VecNormSq(v)
+	est := s.hist.FrobSqEstimate()
+	expired := s.lastF + added - est
+	if expired < 0 {
+		expired = 0
+	}
+	s.churn += added + expired
+	s.lastF = est
+	return s.maybeReport()
+}
+
+// Advance moves the site's clock without new data.
+func (s *DA1Site) Advance(t int64) error {
+	if t <= s.now {
+		return nil
+	}
+	s.now = t
+	s.hist.Advance(t)
+	est := s.hist.FrobSqEstimate()
+	if d := s.lastF - est; d > 0 {
+		s.churn += d
+	}
+	s.lastF = est
+	return s.maybeReport()
+}
+
+func (s *DA1Site) maybeReport() error {
+	fhat := s.lastF
+	if fhat <= 0 {
+		if mat.FrobSq(s.chat) > 0 {
+			return s.sendDiff(mat.Scale(-1, s.chat), 0)
+		}
+		s.churn = 0
+		return nil
+	}
+	if s.churn < s.cfg.Eps/4*fhat {
+		return nil
+	}
+	s.churn = 0
+	norm := mat.OpSymNormWarm(s.cfg.D, s.pv, 8, func(x, y []float64) {
+		s.hist.ApplyGram(x, y)
+		cx := mat.MulVec(s.chat, x)
+		for i := range y {
+			y[i] -= cx[i]
+		}
+	})
+	if norm <= s.cfg.Eps*fhat {
+		return nil
+	}
+	diff := s.hist.Gram()
+	mat.SubInPlace(diff, s.chat)
+	return s.sendDiff(diff, s.cfg.Eps*fhat)
+}
+
+func (s *DA1Site) sendDiff(diff *mat.Dense, cutoff float64) error {
+	eig := mat.EigSym(diff)
+	sent := 0
+	send := func(i int) error {
+		lam := eig.Values[i]
+		v := eig.Vectors.Row(i)
+		scaled := make([]float64, len(v))
+		f := math.Sqrt(math.Abs(lam))
+		for j := range v {
+			scaled[j] = f * v[j]
+		}
+		kind := DirectionAdd
+		if lam < 0 {
+			kind = DirectionRemove
+		}
+		mat.OuterAdd(s.chat, v, lam)
+		sent++
+		return s.out.Send(Msg{Site: s.cfg.ID, Kind: kind, T: s.now, V: scaled})
+	}
+	for i, lam := range eig.Values {
+		if lam == 0 || math.Abs(lam) < cutoff {
+			continue
+		}
+		if err := send(i); err != nil {
+			return err
+		}
+	}
+	if sent == 0 && cutoff > 0 {
+		best, bl := -1, 0.0
+		for i, lam := range eig.Values {
+			if a := math.Abs(lam); a > bl {
+				best, bl = i, a
+			}
+		}
+		if best >= 0 && bl > 0 {
+			return send(best)
+		}
+	}
+	return nil
+}
+
+// SumSite is the networked Algorithm-3 site.
+type SumSite struct {
+	cfg  SiteConfig
+	out  Sender
+	hist *eh.Histogram
+	chat float64
+	now  int64
+}
+
+// NewSumSite returns a site pushing scalar deltas to out.
+func NewSumSite(cfg SiteConfig, out Sender) (*SumSite, error) {
+	cfg.D = 1
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &SumSite{cfg: cfg, out: out, hist: eh.New(cfg.W, cfg.Eps/2)}, nil
+}
+
+// Observe records a positive weight.
+func (s *SumSite) Observe(t int64, w float64) error {
+	s.now = t
+	if w > 0 {
+		s.hist.Insert(t, w)
+	} else {
+		s.hist.Advance(t)
+	}
+	return s.check()
+}
+
+// Advance moves the clock without new data.
+func (s *SumSite) Advance(t int64) error {
+	if t <= s.now {
+		return nil
+	}
+	s.now = t
+	s.hist.Advance(t)
+	return s.check()
+}
+
+func (s *SumSite) check() error {
+	c := s.hist.Query()
+	d := c - s.chat
+	if math.Abs(d) > s.cfg.Eps*c || (c == 0 && s.chat != 0) {
+		s.chat = c
+		return s.out.Send(Msg{Site: s.cfg.ID, Kind: SumDelta, T: s.now, Delta: d})
+	}
+	return nil
+}

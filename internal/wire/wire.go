@@ -1,0 +1,210 @@
+// Package wire runs the one-way deterministic protocols (SUM, DA1, DA2)
+// over real network connections — the deployment the paper leaves as
+// future work ("implementing distributed monitoring algorithms in a real
+// distributed system"). Sites hold their protocol state locally and push
+// gob-encoded messages to a coordinator over TCP (or any net.Conn); the
+// coordinator folds them into its covariance estimate and answers sketch
+// queries concurrently.
+//
+// Only the one-way family is wired: its sites never wait for coordinator
+// responses, so a site is just an encoder over a persistent connection.
+// The sampling protocols' threshold negotiation is a synchronous two-way
+// exchange and stays in the in-process simulation (package core).
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"distwindow/mat"
+)
+
+// Msg is the single message type of the one-way protocols.
+type Msg struct {
+	// Site identifies the sender.
+	Site int
+	// Kind selects the payload.
+	Kind Kind
+	// T is the triggering timestamp.
+	T int64
+	// V is a direction row (Direction kinds).
+	V []float64
+	// Delta is a scalar update (SumDelta kind).
+	Delta float64
+}
+
+// Kind enumerates message payloads.
+type Kind uint8
+
+// Message kinds: directions add/remove vᵀv from the coordinator's Ĉ;
+// SumDelta adjusts the scalar estimate.
+const (
+	DirectionAdd Kind = iota
+	DirectionRemove
+	SumDelta
+)
+
+// Coordinator receives messages from any number of sites and maintains
+// Ĉ = Σ flag·vᵀv plus the scalar sum estimate. Safe for concurrent use.
+type Coordinator struct {
+	d  int
+	mu sync.Mutex
+
+	chat *mat.Dense
+	sum  float64
+
+	msgs  int64
+	bytes int64
+
+	wg     sync.WaitGroup
+	lnMu   sync.Mutex
+	ln     net.Listener
+	closed bool
+}
+
+// NewCoordinator returns a coordinator for d-dimensional directions.
+func NewCoordinator(d int) *Coordinator {
+	if d < 1 {
+		panic("wire: d must be positive")
+	}
+	return &Coordinator{d: d, chat: mat.NewDense(d, d)}
+}
+
+// Apply folds one message into the coordinator state.
+func (c *Coordinator) Apply(m Msg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs++
+	switch m.Kind {
+	case DirectionAdd, DirectionRemove:
+		if len(m.V) != c.d {
+			return fmt.Errorf("wire: direction length %d, want %d", len(m.V), c.d)
+		}
+		flag := 1.0
+		if m.Kind == DirectionRemove {
+			flag = -1
+		}
+		mat.OuterAdd(c.chat, m.V, flag)
+		c.bytes += int64(8 * (len(m.V) + 3))
+	case SumDelta:
+		c.sum += m.Delta
+		c.bytes += 8 * 3
+	default:
+		return fmt.Errorf("wire: unknown message kind %d", m.Kind)
+	}
+	return nil
+}
+
+// Sketch returns B = Σ^{1/2}Vᵀ of the PSD-clipped Ĉ.
+func (c *Coordinator) Sketch() *mat.Dense {
+	c.mu.Lock()
+	chat := c.chat.Clone()
+	c.mu.Unlock()
+	return mat.PSDSqrt(chat)
+}
+
+// Sum returns the scalar estimate.
+func (c *Coordinator) Sum() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sum
+}
+
+// Stats returns messages received and approximate payload bytes.
+func (c *Coordinator) Stats() (msgs, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgs, c.bytes
+}
+
+// HandleConn decodes messages from one connection until EOF or error.
+func (c *Coordinator) HandleConn(conn io.Reader) error {
+	dec := gob.NewDecoder(conn)
+	for {
+		var m Msg
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if err := c.Apply(m); err != nil {
+			return err
+		}
+	}
+}
+
+// Serve accepts site connections on l until Close. Each connection is
+// handled on its own goroutine; decoding errors end only that connection.
+func (c *Coordinator) Serve(l net.Listener) {
+	c.lnMu.Lock()
+	c.ln = l
+	closed := c.closed
+	c.lnMu.Unlock()
+	if closed {
+		l.Close()
+		return
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			_ = c.HandleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (c *Coordinator) Close() {
+	c.lnMu.Lock()
+	c.closed = true
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	c.lnMu.Unlock()
+	c.wg.Wait()
+}
+
+// Sender pushes messages toward a coordinator. Implementations: ConnSender
+// over a net.Conn, or the coordinator itself in process via Loopback.
+type Sender interface {
+	Send(Msg) error
+}
+
+// ConnSender gob-encodes messages onto a stream.
+type ConnSender struct {
+	mu   sync.Mutex
+	enc  *gob.Encoder
+	conn io.WriteCloser
+}
+
+// NewConnSender wraps a connection.
+func NewConnSender(conn io.WriteCloser) *ConnSender {
+	return &ConnSender{enc: gob.NewEncoder(conn), conn: conn}
+}
+
+// Send encodes one message.
+func (s *ConnSender) Send(m Msg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(m)
+}
+
+// Close closes the underlying connection.
+func (s *ConnSender) Close() error { return s.conn.Close() }
+
+// Loopback delivers messages to a coordinator in process — useful in
+// tests and single-binary deployments.
+type Loopback struct{ C *Coordinator }
+
+// Send applies the message directly.
+func (l Loopback) Send(m Msg) error { return l.C.Apply(m) }

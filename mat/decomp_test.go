@@ -1,0 +1,375 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSym returns a random symmetric n×n matrix.
+func randSym(n int, rng *rand.Rand) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestEigSymDiagonal(t *testing.T) {
+	m := FromRows([][]float64{{3, 0, 0}, {0, -1, 0}, {0, 0, 2}})
+	e := EigSym(m)
+	want := []float64{3, 2, -1}
+	for i, v := range want {
+		if math.Abs(e.Values[i]-v) > 1e-12 {
+			t.Fatalf("Values[%d] = %v, want %v", i, e.Values[i], v)
+		}
+	}
+}
+
+func TestEigSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	e := EigSym(FromRows([][]float64{{2, 1}, {1, 2}}))
+	if math.Abs(e.Values[0]-3) > 1e-12 || math.Abs(e.Values[1]-1) > 1e-12 {
+		t.Fatalf("Values = %v, want [3 1]", e.Values)
+	}
+}
+
+func TestEigSymReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 2, 5, 20} {
+		m := randSym(n, rng)
+		e := EigSym(m)
+		if !e.Reconstruct().EqualApprox(m, 1e-9*(1+Frob(m))) {
+			t.Fatalf("n=%d: reconstruction mismatch", n)
+		}
+	}
+}
+
+func TestEigSymOrthonormalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randSym(12, rng)
+	e := EigSym(m)
+	if !IsOrthonormalRows(e.Vectors, 1e-9) {
+		t.Fatal("eigenvectors should be orthonormal")
+	}
+}
+
+func TestEigSymSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	e := EigSym(randSym(15, rng))
+	for i := 1; i < len(e.Values); i++ {
+		if e.Values[i] > e.Values[i-1]+1e-12 {
+			t.Fatalf("Values not sorted: %v", e.Values)
+		}
+	}
+}
+
+func TestEigSymTracePreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randSym(9, rng)
+	e := EigSym(m)
+	var sum float64
+	for _, v := range e.Values {
+		sum += v
+	}
+	if math.Abs(sum-Trace(m)) > 1e-9 {
+		t.Fatalf("eigenvalue sum %v != trace %v", sum, Trace(m))
+	}
+}
+
+func TestEigSymZeroMatrix(t *testing.T) {
+	e := EigSym(NewDense(4, 4))
+	for _, v := range e.Values {
+		if v != 0 {
+			t.Fatalf("zero matrix should have zero eigenvalues, got %v", e.Values)
+		}
+	}
+}
+
+func TestEigSymNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EigSym(NewDense(2, 3))
+}
+
+func TestThinSVDReconstructWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randMat(5, 12, rng) // n < d
+	s := ThinSVD(a)
+	if !s.Reconstruct().EqualApprox(a, 1e-8*(1+Frob(a))) {
+		t.Fatal("wide SVD reconstruction mismatch")
+	}
+}
+
+func TestThinSVDReconstructTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randMat(12, 5, rng) // n > d
+	s := ThinSVD(a)
+	if !s.Reconstruct().EqualApprox(a, 1e-8*(1+Frob(a))) {
+		t.Fatal("tall SVD reconstruction mismatch")
+	}
+}
+
+func TestThinSVDSingularValuesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	s := ThinSVD(randMat(8, 8, rng))
+	for i := 1; i < len(s.S); i++ {
+		if s.S[i] > s.S[i-1]+1e-12 {
+			t.Fatalf("singular values not sorted: %v", s.S)
+		}
+		if s.S[i] < 0 {
+			t.Fatal("singular values must be nonnegative")
+		}
+	}
+}
+
+func TestThinSVDFrobeniusIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randMat(6, 9, rng)
+	s := ThinSVD(a)
+	var sum float64
+	for _, v := range s.S {
+		sum += v * v
+	}
+	if math.Abs(sum-FrobSq(a)) > 1e-8*(1+FrobSq(a)) {
+		t.Fatalf("Σσ² = %v, want ‖A‖_F² = %v", sum, FrobSq(a))
+	}
+}
+
+func TestThinSVDVtOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	a := randMat(4, 10, rng)
+	s := ThinSVD(a)
+	if !IsOrthonormalRows(s.Vt, 1e-8) {
+		t.Fatal("rows of Vt should be orthonormal")
+	}
+}
+
+func TestThinSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: rows are multiples of the same vector.
+	a := FromRows([][]float64{{1, 2, 3}, {2, 4, 6}, {-1, -2, -3}})
+	s := ThinSVD(a)
+	if s.S[0] <= 0 {
+		t.Fatal("rank-1 matrix should have a positive top singular value")
+	}
+	for _, v := range s.S[1:] {
+		if v > 1e-8*s.S[0] {
+			t.Fatalf("rank-1 matrix should have one singular value, got %v", s.S)
+		}
+	}
+	if !s.Reconstruct().EqualApprox(a, 1e-8) {
+		t.Fatal("rank-deficient reconstruction mismatch")
+	}
+}
+
+func TestThinSVDEmpty(t *testing.T) {
+	s := ThinSVD(NewDense(0, 5))
+	if len(s.S) != 0 || s.Vt.Rows() != 0 || s.Vt.Cols() != 5 {
+		t.Fatal("empty SVD should have no singular values")
+	}
+}
+
+func TestJacobiSVDMatchesThinSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randMat(6, 10, rng)
+	s1 := ThinSVD(a)
+	s2 := JacobiSVD(a)
+	for i := range s2.S {
+		if math.Abs(s1.S[i]-s2.S[i]) > 1e-8*(1+s1.S[0]) {
+			t.Fatalf("σ[%d]: thin %v vs jacobi %v", i, s1.S[i], s2.S[i])
+		}
+	}
+	if !s2.Reconstruct().EqualApprox(a, 1e-9*(1+Frob(a))) {
+		t.Fatal("JacobiSVD reconstruction mismatch")
+	}
+}
+
+func TestJacobiSVDSmallSingularValueAccuracy(t *testing.T) {
+	// Diagonal matrix with a tiny singular value: Jacobi should recover it
+	// with high relative accuracy.
+	a := FromRows([][]float64{{1, 0, 0}, {0, 1e-7, 0}})
+	s := JacobiSVD(a)
+	if math.Abs(s.S[1]-1e-7) > 1e-14 {
+		t.Fatalf("small σ = %v, want 1e-7", s.S[1])
+	}
+}
+
+func TestPSDSqrtRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := randMat(10, 6, rng)
+	c := Gram(a)
+	b := PSDSqrt(c)
+	if !Gram(b).EqualApprox(c, 1e-8*(1+Frob(c))) {
+		t.Fatal("BᵀB should reconstruct C")
+	}
+}
+
+func TestPSDSqrtClipsNegative(t *testing.T) {
+	// Slightly indefinite matrix (covariance drift in protocols).
+	c := FromRows([][]float64{{1, 0}, {0, -1e-9}})
+	b := PSDSqrt(c)
+	if b.Rows() != 1 {
+		t.Fatalf("negative eigenvalue should be clipped, got %d rows", b.Rows())
+	}
+	g := Gram(b)
+	if math.Abs(g.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("positive part should survive: %v", g)
+	}
+}
+
+func TestPSDSqrtZero(t *testing.T) {
+	b := PSDSqrt(NewDense(3, 3))
+	if b.Rows() != 0 || b.Cols() != 3 {
+		t.Fatalf("sqrt of zero matrix should be 0×3, got %d×%d", b.Rows(), b.Cols())
+	}
+}
+
+func TestHouseholderQRReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, dims := range [][2]int{{6, 4}, {4, 6}, {5, 5}, {1, 3}} {
+		a := randMat(dims[0], dims[1], rng)
+		qr := HouseholderQR(a)
+		if !Mul(qr.Q, qr.R).EqualApprox(a, 1e-9*(1+Frob(a))) {
+			t.Fatalf("QR reconstruction mismatch for %v", dims)
+		}
+	}
+}
+
+func TestHouseholderQROrthonormalColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randMat(8, 5, rng)
+	qr := HouseholderQR(a)
+	qtq := Mul(qr.Q.T(), qr.Q)
+	if !qtq.EqualApprox(Identity(5), 1e-9) {
+		t.Fatal("QᵀQ should be identity")
+	}
+}
+
+func TestHouseholderQRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	qr := HouseholderQR(randMat(6, 6, rng))
+	for i := 0; i < 6; i++ {
+		for j := 0; j < i; j++ {
+			if qr.R.At(i, j) != 0 {
+				t.Fatal("R should be upper triangular")
+			}
+		}
+	}
+}
+
+func TestRandomOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	u := RandomOrthonormal(10, rng)
+	if !Mul(u, u.T()).EqualApprox(Identity(10), 1e-9) {
+		t.Fatal("UUᵀ should be identity")
+	}
+	if !Mul(u.T(), u).EqualApprox(Identity(10), 1e-9) {
+		t.Fatal("UᵀU should be identity")
+	}
+}
+
+func TestSymSpectralNormKnown(t *testing.T) {
+	m := FromRows([][]float64{{0, 2}, {2, 0}}) // eigenvalues ±2
+	if v := SymSpectralNorm(m); math.Abs(v-2) > 1e-8 {
+		t.Fatalf("SymSpectralNorm = %v, want 2", v)
+	}
+}
+
+func TestSymSpectralNormDominantNegative(t *testing.T) {
+	m := FromRows([][]float64{{-5, 0}, {0, 1}})
+	if v := SymSpectralNorm(m); math.Abs(v-5) > 1e-8 {
+		t.Fatalf("SymSpectralNorm = %v, want 5 (|−5|)", v)
+	}
+}
+
+func TestSymSpectralNormMatchesEig(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 5; trial++ {
+		m := randSym(10, rng)
+		e := EigSym(m)
+		want := math.Max(math.Abs(e.Values[0]), math.Abs(e.Values[len(e.Values)-1]))
+		got := SymSpectralNorm(m)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: SymSpectralNorm = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestSymSpectralNormZero(t *testing.T) {
+	if SymSpectralNorm(NewDense(3, 3)) != 0 {
+		t.Fatal("zero matrix should have zero norm")
+	}
+	if SymSpectralNorm(NewDense(0, 0)) != 0 {
+		t.Fatal("empty matrix should have zero norm")
+	}
+}
+
+func TestSpectralNormMatchesTopSingularValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	a := randMat(7, 4, rng)
+	want := ThinSVD(a).S[0]
+	got := SpectralNorm(a)
+	if math.Abs(got-want) > 1e-6*(1+want) {
+		t.Fatalf("SpectralNorm = %v, want %v", got, want)
+	}
+}
+
+func TestCovErrIdenticalIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	a := randMat(9, 4, rng)
+	if e := CovErr(a, a.Clone()); e > 1e-10 {
+		t.Fatalf("CovErr(A,A) = %v, want ~0", e)
+	}
+}
+
+func TestCovErrEmptySketch(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	a := randMat(9, 4, rng)
+	e := CovErr(a, NewDense(0, 4))
+	// ‖AᵀA‖/‖A‖_F² ∈ (0, 1]
+	if e <= 0 || e > 1 {
+		t.Fatalf("CovErr(A, empty) = %v, want in (0,1]", e)
+	}
+}
+
+func TestCovErrEmptyTarget(t *testing.T) {
+	if e := CovErr(NewDense(0, 3), NewDense(0, 3)); e != 0 {
+		t.Fatalf("CovErr(empty, empty) = %v, want 0", e)
+	}
+	if e := CovErr(NewDense(0, 3), FromRows([][]float64{{1, 0, 0}})); !math.IsInf(e, 1) {
+		t.Fatalf("CovErr(empty, nonzero) = %v, want +Inf", e)
+	}
+}
+
+func TestCovErrGramMatchesCovErr(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := randMat(8, 5, rng)
+	b := randMat(3, 5, rng)
+	e1 := CovErr(a, b)
+	e2 := CovErrGram(Gram(a), FrobSq(a), b)
+	if math.Abs(e1-e2) > 1e-9 {
+		t.Fatalf("CovErr %v vs CovErrGram %v", e1, e2)
+	}
+}
+
+func TestVecNormOverflowSafe(t *testing.T) {
+	x := []float64{1e200, 1e200}
+	if v := VecNorm(x); math.IsInf(v, 1) {
+		t.Fatal("VecNorm should not overflow")
+	} else if math.Abs(v-1e200*math.Sqrt2) > 1e187 {
+		t.Fatalf("VecNorm = %v", v)
+	}
+}
+
+func TestVecNormZero(t *testing.T) {
+	if VecNorm(nil) != 0 || VecNorm([]float64{0, 0}) != 0 {
+		t.Fatal("VecNorm of zero vector should be 0")
+	}
+}

@@ -1,0 +1,264 @@
+package mat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	r, c := m.Dims()
+	if r != 3 || c != 4 {
+		t.Fatalf("Dims() = %d×%d, want 3×4", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewDensePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative dimension")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestNewDenseDataWrapsWithoutCopy(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	m := NewDenseData(2, 3, d)
+	m.Set(0, 0, 42)
+	if d[0] != 42 {
+		t.Fatal("NewDenseData should not copy the backing slice")
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+}
+
+func TestNewDenseDataPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	NewDenseData(2, 3, []float64{1, 2, 3})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("Identity(3).At(%d,%d) = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims = %d×%d, want 3×2", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("FromRows(nil) dims = %d×%d, want 0×0", m.Rows(), m.Cols())
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestRowSharesStorage(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Row(1)[0] = 99
+	if m.At(1, 0) != 99 {
+		t.Fatal("Row must share storage with the matrix")
+	}
+}
+
+func TestRowCopyIsolated(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.RowCopy(0)
+	r[0] = 77
+	if m.At(0, 0) != 1 {
+		t.Fatal("RowCopy must not share storage")
+	}
+}
+
+func TestSetRow(t *testing.T) {
+	m := NewDense(2, 3)
+	m.SetRow(1, []float64{7, 8, 9})
+	if m.At(1, 2) != 9 {
+		t.Fatalf("At(1,2) = %v, want 9", m.At(1, 2))
+	}
+}
+
+func TestSetRowPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 3).SetRow(0, []float64{1})
+}
+
+func TestCol(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	c := m.Col(1)
+	want := []float64{2, 4, 6}
+	for i, v := range want {
+		if c[i] != v {
+			t.Fatalf("Col(1)[%d] = %v, want %v", i, c[i], v)
+		}
+	}
+}
+
+func TestCloneIsolated(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	n := m.Clone()
+	n.Set(0, 0, 100)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := NewDense(2, 2)
+	b := FromRows([][]float64{{1, 2}, {3, 4}})
+	a.CopyFrom(b)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom should make matrices equal")
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Zero()
+	if FrobSq(m) != 0 {
+		t.Fatal("Zero should clear all elements")
+	}
+}
+
+func TestSliceRowsView(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	s := m.SliceRows(1, 3)
+	if s.Rows() != 2 || s.At(0, 0) != 3 {
+		t.Fatalf("SliceRows wrong content: %v", s)
+	}
+	s.Set(0, 0, -1)
+	if m.At(1, 0) != -1 {
+		t.Fatal("SliceRows must be a view")
+	}
+}
+
+func TestStack(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	s := Stack(a, nil, b)
+	if s.Rows() != 3 || s.At(2, 1) != 6 {
+		t.Fatalf("Stack wrong: %v", s)
+	}
+}
+
+func TestStackEmpty(t *testing.T) {
+	s := Stack()
+	if s.Rows() != 0 || s.Cols() != 0 {
+		t.Fatal("Stack() should be 0×0")
+	}
+}
+
+func TestStackMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Stack(NewDense(1, 2), NewDense(1, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatalf("T dims = %d×%d, want 3×2", mt.Rows(), mt.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if !m.T().T().Equal(m) {
+		t.Fatal("(Aᵀ)ᵀ should equal A")
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1.0000001, 2}})
+	if !a.EqualApprox(b, 1e-5) {
+		t.Fatal("should be approx equal at 1e-5")
+	}
+	if a.EqualApprox(b, 1e-9) {
+		t.Fatal("should not be approx equal at 1e-9")
+	}
+	if a.EqualApprox(NewDense(2, 1), 1) {
+		t.Fatal("different shapes are never equal")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromRows([][]float64{{1, 2}})
+	if !strings.Contains(small.String(), "1") {
+		t.Fatalf("small String should show entries: %q", small.String())
+	}
+	large := NewDense(20, 20)
+	if strings.Contains(large.String(), "\n") {
+		t.Fatal("large String should be elided")
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestNaNPropagation(t *testing.T) {
+	m := FromRows([][]float64{{math.NaN()}})
+	if !math.IsNaN(FrobSq(m)) {
+		t.Fatal("FrobSq of NaN matrix should be NaN")
+	}
+}

@@ -1,0 +1,139 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix S = VᵀΛV where
+// the rows of Vectors are orthonormal eigenvectors: S = Σᵢ λᵢ·vᵢᵀvᵢ.
+// Values are sorted by decreasing value (not absolute value).
+type Eigen struct {
+	// Values are the eigenvalues in decreasing order.
+	Values []float64
+	// Vectors has the eigenvector for Values[i] in row i.
+	Vectors *Dense
+}
+
+// jacobiSweepsMax bounds the cyclic Jacobi iteration; convergence is
+// quadratic, so well under this for any practical dimension.
+const jacobiSweepsMax = 60
+
+// EigSym computes the full eigendecomposition of the symmetric matrix s
+// using cyclic Jacobi rotations. Only the lower triangle is read;
+// asymmetric input is treated as its symmetrized part.
+//
+// Jacobi is O(d³) per sweep with a handful of sweeps; it is the right
+// trade-off here because the protocols decompose d×d covariance
+// differences with d ≤ a few thousand, and Jacobi's high relative accuracy
+// keeps sketch error measurements trustworthy.
+func EigSym(s *Dense) Eigen {
+	if s.rows != s.cols {
+		panic("mat: EigSym of non-square matrix")
+	}
+	n := s.rows
+	a := s.Clone()
+	// Symmetrize to guard against drift in accumulated covariance updates.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 0.5 * (a.data[i*n+j] + a.data[j*n+i])
+			a.data[i*n+j] = v
+			a.data[j*n+i] = v
+		}
+	}
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += a.data[i*n+j] * a.data[i*n+j]
+			}
+		}
+		return s
+	}
+	var frob float64
+	for _, x := range a.data {
+		frob += x * x
+	}
+	tol := 1e-28 * (frob + 1e-300)
+
+	for sweep := 0; sweep < jacobiSweepsMax && offDiag() > tol; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.data[p*n+q]
+				if apq == 0 {
+					continue
+				}
+				app := a.data[p*n+p]
+				aqq := a.data[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e150 {
+					t = 1 / (2 * theta)
+				} else {
+					t = math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				sn := t * c
+				rotate(a, v, p, q, c, sn)
+			}
+		}
+	}
+
+	eig := Eigen{Values: make([]float64, n), Vectors: NewDense(n, n)}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		return a.data[idx[x]*n+idx[x]] > a.data[idx[y]*n+idx[y]]
+	})
+	for r, i := range idx {
+		eig.Values[r] = a.data[i*n+i]
+		// Eigenvectors are the columns of the accumulated rotation matrix;
+		// store them as rows of the output.
+		for j := 0; j < n; j++ {
+			eig.Vectors.data[r*n+j] = v.data[j*n+i]
+		}
+	}
+	return eig
+}
+
+// rotate applies the Jacobi rotation J(p,q,θ) to a (two-sided) and
+// accumulates it into v (one-sided, columns).
+func rotate(a, v *Dense, p, q int, c, s float64) {
+	n := a.rows
+	for i := 0; i < n; i++ {
+		aip := a.data[i*n+p]
+		aiq := a.data[i*n+q]
+		a.data[i*n+p] = c*aip - s*aiq
+		a.data[i*n+q] = s*aip + c*aiq
+	}
+	for j := 0; j < n; j++ {
+		apj := a.data[p*n+j]
+		aqj := a.data[q*n+j]
+		a.data[p*n+j] = c*apj - s*aqj
+		a.data[q*n+j] = s*apj + c*aqj
+	}
+	for i := 0; i < n; i++ {
+		vip := v.data[i*n+p]
+		viq := v.data[i*n+q]
+		v.data[i*n+p] = c*vip - s*viq
+		v.data[i*n+q] = s*vip + c*viq
+	}
+}
+
+// Reconstruct returns Σᵢ values[i]·vᵢᵀvᵢ for the rows vᵢ of vectors —
+// the inverse of EigSym up to floating-point error.
+func (e Eigen) Reconstruct() *Dense {
+	n := e.Vectors.cols
+	out := NewDense(n, n)
+	for i, lam := range e.Values {
+		if lam == 0 {
+			continue
+		}
+		addOuter(out.data, e.Vectors.Row(i), lam)
+	}
+	return out
+}

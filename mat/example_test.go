@@ -1,0 +1,51 @@
+package mat_test
+
+import (
+	"fmt"
+
+	"distwindow/mat"
+)
+
+// ExampleEigSym decomposes a symmetric matrix and reconstructs it.
+func ExampleEigSym() {
+	s := mat.FromRows([][]float64{{2, 1}, {1, 2}})
+	e := mat.EigSym(s)
+	fmt.Printf("λ = %.0f, %.0f\n", e.Values[0], e.Values[1])
+	fmt.Printf("reconstructs: %v\n", e.Reconstruct().EqualApprox(s, 1e-12))
+	// Output:
+	// λ = 3, 1
+	// reconstructs: true
+}
+
+// ExampleThinSVD factors a rank-1 matrix.
+func ExampleThinSVD() {
+	a := mat.FromRows([][]float64{{3, 4}, {6, 8}})
+	svd := mat.ThinSVD(a)
+	fmt.Printf("rank-1: σ₂ ≈ 0 is %v\n", svd.S[1] < 1e-9)
+	fmt.Printf("σ₁² = %.0f\n", svd.S[0]*svd.S[0]) // ‖A‖_F² for rank 1
+	// Output:
+	// rank-1: σ₂ ≈ 0 is true
+	// σ₁² = 125
+}
+
+// ExampleCovErr measures sketch quality.
+func ExampleCovErr() {
+	a := mat.FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	fmt.Printf("perfect sketch: %.0f\n", mat.CovErr(a, a.Clone()))
+	// Empty sketch: ‖AᵀA‖₂/‖A‖_F² = 3/4.
+	e := mat.CovErr(a, mat.NewDense(0, 2))
+	fmt.Printf("empty sketch ≈ 0.75: %v\n", e > 0.74 && e < 0.76)
+	// Output:
+	// perfect sketch: 0
+	// empty sketch ≈ 0.75: true
+}
+
+// ExamplePSDSqrt factors a covariance matrix back into row form.
+func ExamplePSDSqrt() {
+	a := mat.FromRows([][]float64{{2, 0}, {0, 3}})
+	c := mat.Gram(a)
+	b := mat.PSDSqrt(c)
+	fmt.Printf("BᵀB = AᵀA: %v\n", mat.Gram(b).EqualApprox(c, 1e-9))
+	// Output:
+	// BᵀB = AᵀA: true
+}

@@ -1,0 +1,84 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOpSymNormMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := randSym(12, rng)
+	want := SymSpectralNorm(s)
+	got := OpSymNorm(12, func(x, y []float64) { symMulVec(s, x, y) })
+	if math.Abs(got-want) > 1e-6*(1+want) {
+		t.Fatalf("OpSymNorm = %v, want %v", got, want)
+	}
+}
+
+func TestOpSymNormZeroDim(t *testing.T) {
+	if OpSymNorm(0, nil) != 0 {
+		t.Fatal("zero-dimensional operator should have norm 0")
+	}
+}
+
+func TestOpSymNormTolLooseStillClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := randSym(10, rng)
+	want := SymSpectralNorm(s)
+	got := OpSymNormTol(10, 1e-3, func(x, y []float64) { symMulVec(s, x, y) })
+	if math.Abs(got-want) > 0.05*(1+want) {
+		t.Fatalf("loose OpSymNormTol = %v, want ≈%v", got, want)
+	}
+}
+
+func TestOpSymNormWarmConvergesAcrossCalls(t *testing.T) {
+	// A few warm-started iterations per call must converge to the true
+	// norm over repeated calls on the same operator.
+	rng := rand.New(rand.NewSource(3))
+	s := randSym(15, rng)
+	want := SymSpectralNorm(s)
+	v := make([]float64, 15)
+	var got float64
+	for call := 0; call < 10; call++ {
+		got = OpSymNormWarm(15, v, 4, func(x, y []float64) { symMulVec(s, x, y) })
+	}
+	if math.Abs(got-want) > 0.02*(1+want) {
+		t.Fatalf("warm norm after 10 calls = %v, want %v", got, want)
+	}
+}
+
+func TestOpSymNormWarmLowerBounds(t *testing.T) {
+	// The warm estimate is a Rayleigh-quotient-style lower bound.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		s := randSym(8, rng)
+		want := SymSpectralNorm(s)
+		v := make([]float64, 8)
+		got := OpSymNormWarm(8, v, 3, func(x, y []float64) { symMulVec(s, x, y) })
+		if got > want*(1+1e-9) {
+			t.Fatalf("warm estimate %v exceeds true norm %v", got, want)
+		}
+	}
+}
+
+func TestOpSymNormWarmPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OpSymNormWarm(4, make([]float64, 2), 3, nil)
+}
+
+func TestOpSymNormWarmSeedsZeroVector(t *testing.T) {
+	s := FromRows([][]float64{{3, 0}, {0, 1}})
+	v := make([]float64, 2) // zero start must be seeded internally
+	got := OpSymNormWarm(2, v, 20, func(x, y []float64) { symMulVec(s, x, y) })
+	if math.Abs(got-3) > 1e-6 {
+		t.Fatalf("norm = %v, want 3", got)
+	}
+	if VecNorm(v) == 0 {
+		t.Fatal("warm vector should have been updated")
+	}
+}

@@ -1,0 +1,189 @@
+package mat
+
+import "fmt"
+
+// Add returns a + b as a new matrix. Dimensions must match.
+func Add(a, b *Dense) *Dense {
+	checkSame(a, b, "Add")
+	out := NewDense(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v + b.data[i]
+	}
+	return out
+}
+
+// Sub returns a - b as a new matrix. Dimensions must match.
+func Sub(a, b *Dense) *Dense {
+	checkSame(a, b, "Sub")
+	out := NewDense(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = v - b.data[i]
+	}
+	return out
+}
+
+// AddInPlace sets a += b. Dimensions must match.
+func AddInPlace(a, b *Dense) {
+	checkSame(a, b, "AddInPlace")
+	for i, v := range b.data {
+		a.data[i] += v
+	}
+}
+
+// SubInPlace sets a -= b. Dimensions must match.
+func SubInPlace(a, b *Dense) {
+	checkSame(a, b, "SubInPlace")
+	for i, v := range b.data {
+		a.data[i] -= v
+	}
+}
+
+// Scale returns s*a as a new matrix.
+func Scale(s float64, a *Dense) *Dense {
+	out := NewDense(a.rows, a.cols)
+	for i, v := range a.data {
+		out.data[i] = s * v
+	}
+	return out
+}
+
+// ScaleInPlace sets a *= s.
+func ScaleInPlace(a *Dense, s float64) {
+	for i := range a.data {
+		a.data[i] *= s
+	}
+}
+
+func checkSame(a, b *Dense, op string) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("mat: %s dimension mismatch %d×%d vs %d×%d", op, a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// Mul returns the matrix product a*b as a new matrix.
+// It panics unless a.Cols() == b.Rows().
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols)
+	// ikj loop order keeps the inner loop streaming over contiguous rows.
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*b.cols : (i+1)*b.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a*x.
+// It panics unless len(x) == a.Cols().
+func MulVec(a *Dense, x []float64) []float64 {
+	if len(x) != a.cols {
+		panic(fmt.Sprintf("mat: MulVec length %d != cols %d", len(x), a.cols))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		out[i] = Dot(a.data[i*a.cols:(i+1)*a.cols], x)
+	}
+	return out
+}
+
+// MulTVec returns aᵀ*x. It panics unless len(x) == a.Rows().
+func MulTVec(a *Dense, x []float64) []float64 {
+	if len(x) != a.rows {
+		panic(fmt.Sprintf("mat: MulTVec length %d != rows %d", len(x), a.rows))
+	}
+	out := make([]float64, a.cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			out[j] += xv * v
+		}
+	}
+	return out
+}
+
+// Gram returns aᵀa, the d×d covariance (Gram) matrix of the rows of a.
+// The result is symmetric positive semidefinite.
+func Gram(a *Dense) *Dense {
+	out := NewDense(a.cols, a.cols)
+	GramAdd(out, a, 1)
+	return out
+}
+
+// GramAdd accumulates dst += s · aᵀa. dst must be a.Cols()×a.Cols().
+func GramAdd(dst *Dense, a *Dense, s float64) {
+	d := a.cols
+	if dst.rows != d || dst.cols != d {
+		panic(fmt.Sprintf("mat: GramAdd dst %d×%d, want %d×%d", dst.rows, dst.cols, d, d))
+	}
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*d : (i+1)*d]
+		addOuter(dst.data, row, s)
+	}
+}
+
+// OuterAdd accumulates dst += s · vᵀv for a row vector v.
+// dst must be len(v)×len(v).
+func OuterAdd(dst *Dense, v []float64, s float64) {
+	if dst.rows != len(v) || dst.cols != len(v) {
+		panic(fmt.Sprintf("mat: OuterAdd dst %d×%d, want %d×%d", dst.rows, dst.cols, len(v), len(v)))
+	}
+	addOuter(dst.data, v, s)
+}
+
+// addOuter adds s·vᵀv into the row-major d×d buffer dst.
+func addOuter(dst []float64, v []float64, s float64) {
+	d := len(v)
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		c := s * vi
+		row := dst[i*d : (i+1)*d]
+		for j, vj := range v {
+			row[j] += c * vj
+		}
+	}
+}
+
+// Dot returns the inner product of x and y. Lengths must match.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy sets y += a*x. Lengths must match.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec multiplies x by s in place.
+func ScaleVec(s float64, x []float64) {
+	for i := range x {
+		x[i] *= s
+	}
+}

@@ -1,0 +1,130 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+)
+
+// QR holds a thin QR decomposition A = Q·R with Q n×k having orthonormal
+// columns and R k×d upper triangular, k = min(n, d).
+type QR struct {
+	Q *Dense
+	R *Dense
+}
+
+// HouseholderQR computes a thin QR decomposition of a by Householder
+// reflections. It is used for orthonormal basis generation (datagen's
+// random rotation U with U·Uᵀ = I) and as an accuracy cross-check in tests.
+func HouseholderQR(a *Dense) QR {
+	n, d := a.rows, a.cols
+	k := n
+	if d < k {
+		k = d
+	}
+	r := a.Clone()
+	// Store the k reflectors; apply them to build Q afterwards.
+	vs := make([][]float64, 0, k)
+	for j := 0; j < k; j++ {
+		// Build the Householder vector for column j below the diagonal.
+		col := make([]float64, n-j)
+		for i := j; i < n; i++ {
+			col[i-j] = r.data[i*d+j]
+		}
+		alpha := VecNorm(col)
+		if alpha == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		if col[0] > 0 {
+			alpha = -alpha
+		}
+		col[0] -= alpha
+		vn := VecNorm(col)
+		if vn == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		for i := range col {
+			col[i] /= vn
+		}
+		// Apply reflector H = I − 2vvᵀ to the trailing submatrix of R.
+		for c := j; c < d; c++ {
+			var dot float64
+			for i := j; i < n; i++ {
+				dot += col[i-j] * r.data[i*d+c]
+			}
+			dot *= 2
+			for i := j; i < n; i++ {
+				r.data[i*d+c] -= dot * col[i-j]
+			}
+		}
+		vs = append(vs, col)
+	}
+	// Zero the strictly-lower part to kill round-off residue.
+	rThin := NewDense(k, d)
+	for i := 0; i < k; i++ {
+		for j := i; j < d; j++ {
+			rThin.data[i*d+j] = r.data[i*d+j]
+		}
+	}
+	// Q = H₀·H₁·…·H_{k−1} · [I_k; 0].
+	q := NewDense(n, k)
+	for i := 0; i < k; i++ {
+		q.data[i*k+i] = 1
+	}
+	for j := k - 1; j >= 0; j-- {
+		v := vs[j]
+		if v == nil {
+			continue
+		}
+		for c := 0; c < k; c++ {
+			var dot float64
+			for i := j; i < n; i++ {
+				dot += v[i-j] * q.data[i*k+c]
+			}
+			dot *= 2
+			for i := j; i < n; i++ {
+				q.data[i*k+c] -= dot * v[i-j]
+			}
+		}
+	}
+	return QR{Q: q, R: rThin}
+}
+
+// RandomOrthonormal returns a d×d orthogonal matrix drawn from the Haar
+// distribution (QR of a Gaussian matrix with sign correction), satisfying
+// U·Uᵀ = UᵀU = I up to floating-point error.
+func RandomOrthonormal(d int, rng *rand.Rand) *Dense {
+	g := NewDense(d, d)
+	for i := range g.data {
+		g.data[i] = rng.NormFloat64()
+	}
+	qr := HouseholderQR(g)
+	// Sign-correct with the diagonal of R for Haar measure.
+	for j := 0; j < d; j++ {
+		if qr.R.data[j*d+j] < 0 {
+			for i := 0; i < d; i++ {
+				qr.Q.data[i*d+j] = -qr.Q.data[i*d+j]
+			}
+		}
+	}
+	return qr.Q
+}
+
+// IsOrthonormalRows reports whether the rows of m are orthonormal within
+// tol, i.e. ‖m·mᵀ − I‖_max ≤ tol.
+func IsOrthonormalRows(m *Dense, tol float64) bool {
+	for i := 0; i < m.rows; i++ {
+		for j := i; j < m.rows; j++ {
+			d := Dot(m.Row(i), m.Row(j))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(d-want) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sparseFixture(d, nnz int, rng *rand.Rand) []float64 {
+	v := make([]float64, d)
+	for k := 0; k < nnz; k++ {
+		v[rng.Intn(d)] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestToSparseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := sparseFixture(64, 10, rng)
+	s := ToSparse(v, 0.5)
+	if s == nil {
+		t.Fatal("sparse vector rejected")
+	}
+	back := s.Dense()
+	for i := range v {
+		if back[i] != v[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestToSparseRejectsDense(t *testing.T) {
+	v := make([]float64, 10)
+	for i := range v {
+		v[i] = 1
+	}
+	if ToSparse(v, 0.5) != nil {
+		t.Fatal("full vector should exceed maxFill 0.5")
+	}
+	if ToSparse(v, 1.0) == nil {
+		t.Fatal("maxFill 1.0 should accept anything")
+	}
+}
+
+func TestSparseNormSqAndDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := sparseFixture(32, 6, rng)
+	s := ToSparse(v, 1)
+	if math.Abs(s.NormSq()-VecNormSq(v)) > 1e-12 {
+		t.Fatal("NormSq mismatch")
+	}
+	x := make([]float64, 32)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	if math.Abs(s.Dot(x)-Dot(v, x)) > 1e-12 {
+		t.Fatal("Dot mismatch")
+	}
+}
+
+func TestSparseAxpyInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := sparseFixture(16, 4, rng)
+	s := ToSparse(v, 1)
+	y1 := make([]float64, 16)
+	y2 := make([]float64, 16)
+	s.AxpyInto(2.5, y1)
+	Axpy(2.5, v, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatal("AxpyInto mismatch")
+		}
+	}
+}
+
+func TestSparseOuterAddIntoMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := sparseFixture(24, 5, rng)
+	s := ToSparse(v, 1)
+	d1 := NewDense(24, 24)
+	d2 := NewDense(24, 24)
+	s.OuterAddInto(d1, -1.5)
+	OuterAdd(d2, v, -1.5)
+	if !d1.EqualApprox(d2, 1e-12) {
+		t.Fatal("sparse outer product differs from dense")
+	}
+}
+
+func TestSparseDimensionPanics(t *testing.T) {
+	s := ToSparse([]float64{1, 0, 2}, 1)
+	for name, f := range map[string]func(){
+		"dot":   func() { s.Dot([]float64{1}) },
+		"axpy":  func() { s.AxpyInto(1, []float64{1}) },
+		"outer": func() { s.OuterAddInto(NewDense(2, 2), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSparseNNZ(t *testing.T) {
+	if n := ToSparse([]float64{0, 1, 0, 2}, 1).NNZ(); n != 2 {
+		t.Fatalf("NNZ = %d, want 2", n)
+	}
+}
+
+func BenchmarkOuterAddDense512(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	v := sparseFixture(512, 60, rng)
+	dst := NewDense(512, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OuterAdd(dst, v, 1)
+	}
+}
+
+func BenchmarkOuterAddSparse512(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	v := sparseFixture(512, 60, rng)
+	s := ToSparse(v, 1)
+	dst := NewDense(512, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.OuterAddInto(dst, 1)
+	}
+}
