@@ -17,7 +17,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/wire/ ./internal/protocol/
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./...

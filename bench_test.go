@@ -11,6 +11,7 @@ package distwindow_test
 // site_words is the maximum per-site space, rows_per_s the update rate.
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -246,4 +247,38 @@ func BenchmarkFig4UpdateRate(b *testing.B) {
 	b.ReportMetric(sHigh.UpdatesPerSec, "sampling_rate_d128")
 	b.ReportMetric(dLow.UpdatesPerSec, "det_rate_d43")
 	b.ReportMetric(dHigh.UpdatesPerSec, "det_rate_d128")
+}
+
+// BenchmarkObserveHotPath isolates the per-row ingest cost with the
+// default (nil) event sink — the guard for the observability layer's
+// <5% instrumentation budget. Rows are pre-generated so the loop measures
+// Observe alone; the trackers copy, so reuse is safe.
+func BenchmarkObserveHotPath(b *testing.B) {
+	const (
+		d     = 32
+		sites = 4
+	)
+	rows := make([][]float64, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range rows {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		rows[i] = v
+	}
+	for _, proto := range []distwindow.Protocol{distwindow.PWOR, distwindow.DA2} {
+		b.Run(string(proto), func(b *testing.B) {
+			tr, err := distwindow.New(distwindow.Config{
+				Protocol: proto, D: d, W: 1 << 20, Eps: 0.1, Sites: sites, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Observe(i%sites, distwindow.Row{T: int64(i + 1), V: rows[i%len(rows)]})
+			}
+		})
+	}
 }

@@ -66,13 +66,13 @@ func Restore(r io.Reader) (*Tracker, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Tracker{inner: inner, net: net, cfg: env.Config}, nil
+		return newTracker(inner, net, env.Config), nil
 	case env.DA2 != nil:
 		inner, err := core.RestoreDA2(*env.DA2, net)
 		if err != nil {
 			return nil, err
 		}
-		return &Tracker{inner: inner, net: net, cfg: env.Config}, nil
+		return newTracker(inner, net, env.Config), nil
 	}
 	return nil, fmt.Errorf("distwindow: checkpoint carries no tracker state")
 }

@@ -15,6 +15,7 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
@@ -25,13 +26,14 @@ import (
 
 func main() {
 	var (
-		proto = flag.String("proto", "da2", "protocol: da1 or da2")
-		m     = flag.Int("sites", 8, "number of site connections")
-		rows  = flag.Int("rows", 30_000, "rows to stream")
-		d     = flag.Int("d", 24, "row dimension")
-		w     = flag.Int64("w", 8_000, "window length in ticks")
-		eps   = flag.Float64("eps", 0.05, "target covariance error")
-		seed  = flag.Int64("seed", 1, "RNG seed")
+		proto   = flag.String("proto", "da2", "protocol: da1 or da2")
+		m       = flag.Int("sites", 8, "number of site connections")
+		rows    = flag.Int("rows", 30_000, "rows to stream")
+		d       = flag.Int("d", 24, "row dimension")
+		w       = flag.Int64("w", 8_000, "window length in ticks")
+		eps     = flag.Float64("eps", 0.05, "target covariance error")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		metrics = flag.String("metrics", "", "serve GET /metrics and /healthz on this address (e.g. :9090) while streaming")
 	)
 	flag.Parse()
 
@@ -42,6 +44,14 @@ func main() {
 	coord := wire.NewCoordinator(*d)
 	go coord.Serve(ln)
 	fmt.Printf("coordinator listening on %s\n", ln.Addr())
+	if *metrics != "" {
+		go func() {
+			if err := http.ListenAndServe(*metrics, coord.MetricsMux()); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", *metrics)
+	}
 
 	// Generate the whole event stream up front so the exact window is
 	// reproducible ground truth.
@@ -115,11 +125,13 @@ func main() {
 		truth.Add(stream.Row{T: e.t, V: e.v})
 	}
 	b := coord.Sketch()
-	msgs, bytes := coord.Stats()
+	cm := coord.Metrics()
 	fmt.Printf("protocol:         %s over TCP, %d sites\n", *proto, *m)
 	fmt.Printf("streamed:         %d rows (d=%d) in %v\n", *rows, *d, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("covariance error: %.4f (target ε=%.3g)\n", truth.CovErr(*d, b), *eps)
-	fmt.Printf("wire traffic:     %d messages, %.1f KiB payload\n", msgs, float64(bytes)/1024)
+	fmt.Printf("wire traffic:     %d messages, %.1f KiB payload\n", cm.Msgs, float64(cm.Bytes)/1024)
+	fmt.Printf("message kinds:    %d direction adds, %d removes, %d sum deltas (%d rejected)\n",
+		cm.DirectionAdds, cm.DirectionRemoves, cm.SumDeltas, cm.BadMsgs)
 	raw := float64(truth.Len()*(*d+2)) * 8 / 1024
 	fmt.Printf("vs. shipping the active window: %.1f KiB\n", raw)
 	coord.Close()

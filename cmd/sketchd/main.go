@@ -16,10 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"sync/atomic"
 
 	"distwindow"
 	"distwindow/internal/csvio"
+	"distwindow/internal/obs"
 	"distwindow/internal/stream"
 	"distwindow/internal/window"
 	"distwindow/mat"
@@ -27,19 +30,42 @@ import (
 
 func main() {
 	var (
-		proto = flag.String("proto", "DA2", "protocol (see distwindow.Protocols)")
-		w     = flag.Int64("w", 1_000_000, "window length in ticks")
-		eps   = flag.Float64("eps", 0.05, "target covariance error")
-		sites = flag.Int("sites", 20, "number of sites (site ids in input must be < this)")
-		ell   = flag.Int("ell", 0, "sample size override for sampling protocols")
-		seed  = flag.Int64("seed", 1, "RNG seed")
-		file  = flag.String("in", "-", "input file, - for stdin")
-		audit = flag.Bool("audit", false, "retain the exact window and print the final covariance error")
-		topk  = flag.Int("top", 5, "print the top-k singular values of the sketch")
-		save  = flag.String("checkpoint", "", "write a checkpoint of the tracker state to this path at exit (DA1/DA2 only)")
-		load  = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
+		proto   = flag.String("proto", "DA2", "protocol (see distwindow.Protocols)")
+		w       = flag.Int64("w", 1_000_000, "window length in ticks")
+		eps     = flag.Float64("eps", 0.05, "target covariance error")
+		sites   = flag.Int("sites", 20, "number of sites (site ids in input must be < this)")
+		ell     = flag.Int("ell", 0, "sample size override for sampling protocols")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		file    = flag.String("in", "-", "input file, - for stdin")
+		audit   = flag.Bool("audit", false, "retain the exact window and print the final covariance error")
+		topk    = flag.Int("top", 5, "print the top-k singular values of the sketch")
+		save    = flag.String("checkpoint", "", "write a checkpoint of the tracker state to this path at exit (DA1/DA2 only)")
+		load    = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
+		metrics = flag.String("metrics", "", "serve GET /metrics and /healthz on this address (e.g. :9090) while ingesting")
 	)
 	flag.Parse()
+
+	// The tracker is built lazily (its dimension comes from the first
+	// event), so the metrics endpoint reads it through an atomic pointer
+	// and answers 503 until the first event arrives.
+	var trP atomic.Pointer[distwindow.Tracker]
+	if *metrics != "" {
+		mux := obs.Mux(
+			func() (any, bool) {
+				t := trP.Load()
+				if t == nil {
+					return nil, false
+				}
+				return t.Metrics(), true
+			},
+			nil,
+		)
+		go func() {
+			if err := http.ListenAndServe(*metrics, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
 
 	in := os.Stdin
 	if *file != "-" {
@@ -71,6 +97,7 @@ func main() {
 		if *audit {
 			log.Fatal("-audit cannot be combined with -resume: the exact window before the checkpoint is gone")
 		}
+		trP.Store(tr)
 	}
 	_, _, err := csvio.Read(in, func(e csvio.Event) error {
 		if tr == nil {
@@ -88,6 +115,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			trP.Store(tr)
 			if *audit {
 				u = window.NewUnion(*w, dim)
 			}

@@ -44,9 +44,14 @@
 package distwindow
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"sort"
+	"time"
 
 	"distwindow/internal/core"
+	"distwindow/internal/obs"
 	"distwindow/internal/protocol"
 	"distwindow/internal/sampling"
 	"distwindow/internal/stream"
@@ -127,13 +132,52 @@ type Config struct {
 
 // Tracker is a live protocol instance: m simulated sites plus the
 // coordinator, with every logical transmission accounted.
+//
+// A Tracker is not safe for concurrent ingestion, but Metrics, Stats and
+// SkewDropped may be called from other goroutines (e.g. an HTTP metrics
+// handler) while one goroutine ingests.
 type Tracker struct {
 	inner protocol.Tracker
 	net   *protocol.Network
 	cfg   Config
 	// skew holds one reorder buffer per site when cfg.MaxSkew > 0.
-	skew    []*stream.SkewBuffer
-	dropped int64
+	skew []*stream.SkewBuffer
+
+	// maxT is the highest timestamp seen by Observe/Advance; delivered is
+	// the highest timestamp handed to the inner protocol (they differ only
+	// while rows sit in the skew buffers). Both start at math.MinInt64.
+	maxT      int64
+	delivered int64
+
+	// buckets is the inner tracker's bucket counter, when it has one.
+	buckets core.BucketCounter
+	sink    obs.Sink
+
+	rows        obs.Counter
+	staleDrops  obs.Counter
+	skewDropped obs.Counter
+	queries     obs.Counter
+	liveBuckets obs.Gauge
+	updateLat   obs.Histogram
+	// latTick drives latency/gauge sampling; touched only by the ingest
+	// goroutine.
+	latTick uint
+}
+
+// newTracker wires the facade bookkeeping around a built protocol; New and
+// Restore share it so the metric fields are always initialized.
+func newTracker(inner protocol.Tracker, net *protocol.Network, cfg Config) *Tracker {
+	t := &Tracker{inner: inner, net: net, cfg: cfg, maxT: math.MinInt64, delivered: math.MinInt64}
+	if bc, ok := inner.(core.BucketCounter); ok {
+		t.buckets = bc
+	}
+	if cfg.MaxSkew > 0 {
+		t.skew = make([]*stream.SkewBuffer, cfg.Sites)
+		for i := range t.skew {
+			t.skew[i] = stream.NewSkewBuffer(cfg.MaxSkew)
+		}
+	}
+	return t
 }
 
 // New builds a tracker.
@@ -181,79 +225,214 @@ func New(cfg Config) (*Tracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Tracker{inner: inner, net: net, cfg: cfg}
-	if cfg.MaxSkew > 0 {
-		t.skew = make([]*stream.SkewBuffer, cfg.Sites)
-		for i := range t.skew {
-			t.skew[i] = stream.NewSkewBuffer(cfg.MaxSkew)
-		}
-	}
-	return t, nil
+	return newTracker(inner, net, cfg), nil
 }
 
-// Observe delivers a row to the given site (0 ≤ site < Sites). Timestamps
-// must be non-decreasing across all Observe and Advance calls unless
-// Config.MaxSkew allows bounded reordering, in which case rows are
-// buffered per site and delivered in order (rows older than the skew
-// horizon are dropped and counted by SkewDropped).
-func (t *Tracker) Observe(site int, r Row) {
+// latSampleMask makes one Observe in 16 pay for two time.Now calls and a
+// bucket-gauge refresh; the rest of the hot path stays untimed.
+const latSampleMask = 15
+
+// TryObserve delivers a row to the given site (0 ≤ site < Sites) and
+// reports delivery problems as errors instead of panicking:
+//
+//   - ErrSiteRange and ErrDimension flag caller bugs; the row was not
+//     consumed and the tracker is unchanged.
+//   - ErrStale flags a row whose timestamp is older than the maximum
+//     already observed (or beyond the skew horizon when Config.MaxSkew is
+//     set). The row is dropped and counted — in Metrics().StaleDrops, or
+//     SkewDropped for skew-horizon rejections — and the tracker remains
+//     consistent, so ingestion can continue.
+//
+// Timestamps must be non-decreasing across all observe and Advance calls;
+// Config.MaxSkew relaxes this to bounded per-site reordering through a
+// reorder buffer.
+//
+// The tracker never retains r.V after the call returns: every layer that
+// outlives the call (samplers, histogram buckets, the skew buffer) copies
+// the values it keeps. Callers may reuse the backing slice freely.
+func (t *Tracker) TryObserve(site int, r Row) error {
 	if site < 0 || site >= t.cfg.Sites {
-		panic(fmt.Sprintf("distwindow: site %d out of range [0,%d)", site, t.cfg.Sites))
+		return fmt.Errorf("%w: site %d not in [0,%d)", ErrSiteRange, site, t.cfg.Sites)
 	}
 	if len(r.V) != t.cfg.D {
-		panic(fmt.Sprintf("distwindow: row dimension %d, want %d", len(r.V), t.cfg.D))
+		return fmt.Errorf("%w: got %d values, want %d", ErrDimension, len(r.V), t.cfg.D)
 	}
 	if t.skew == nil {
-		t.inner.Observe(site, stream.Row{T: r.T, V: r.V})
-		return
+		if r.T < t.maxT {
+			t.staleDrops.Inc()
+			if t.sink != nil {
+				t.sink.OnEvent(obs.Event{Kind: obs.EvSkewDrop, Site: site, T: r.T, N: 1})
+			}
+			return fmt.Errorf("%w: t=%d after t=%d was observed", ErrStale, r.T, t.maxT)
+		}
+		t.maxT = r.T
+		t.deliver(site, stream.Row{T: r.T, V: r.V})
+		return nil
+	}
+	if r.T > t.maxT {
+		t.maxT = r.T
 	}
 	released, ok := t.skew[site].Add(stream.Row{T: r.T, V: append([]float64(nil), r.V...)})
 	if !ok {
-		t.dropped++
-		return
+		t.skewDropped.Inc()
+		if t.sink != nil {
+			t.sink.OnEvent(obs.Event{Kind: obs.EvSkewDrop, Site: site, T: r.T, N: 1})
+		}
+		return fmt.Errorf("%w: t=%d beyond the skew horizon", ErrStale, r.T)
 	}
 	for _, rr := range released {
-		t.inner.Observe(site, rr)
+		t.deliverSkew(site, rr)
 	}
+	return nil
+}
+
+// deliver hands one in-order row to the inner protocol, with sampled
+// latency accounting.
+func (t *Tracker) deliver(site int, r stream.Row) {
+	t.latTick++
+	if t.latTick&latSampleMask != 0 {
+		t.inner.Observe(site, r)
+		t.rows.Inc()
+		t.delivered = r.T
+		return
+	}
+	start := time.Now()
+	t.inner.Observe(site, r)
+	t.updateLat.Observe(time.Since(start))
+	t.rows.Inc()
+	t.delivered = r.T
+	if t.buckets != nil {
+		t.liveBuckets.Set(int64(t.buckets.LiveBuckets()))
+	}
+}
+
+// deliverSkew forwards a buffer-released row, dropping it if delivery
+// would move the inner protocol's clock backwards (a row released late by
+// a lagging site after a faster site already advanced the stream).
+func (t *Tracker) deliverSkew(site int, r stream.Row) {
+	if r.T < t.delivered {
+		t.skewDropped.Inc()
+		if t.sink != nil {
+			t.sink.OnEvent(obs.Event{Kind: obs.EvSkewDrop, Site: site, T: r.T, N: 1})
+		}
+		return
+	}
+	t.deliver(site, r)
+}
+
+// Observe delivers a row to the given site. It is TryObserve with the
+// historical contract: caller bugs (ErrSiteRange, ErrDimension) panic,
+// stale rows are silently dropped and counted. New code that wants to
+// distinguish the cases should call TryObserve.
+func (t *Tracker) Observe(site int, r Row) {
+	if err := t.TryObserve(site, r); err != nil && !errors.Is(err, ErrStale) {
+		panic(err)
+	}
+}
+
+// ObserveBatch delivers rows[0:] in order to the given site and returns
+// how many the protocol accepted. Stale rows are dropped and counted (as
+// in Observe) without stopping the batch; the first structural error
+// (ErrSiteRange, ErrDimension) aborts and is returned, with accepted
+// telling how far the batch got.
+func (t *Tracker) ObserveBatch(site int, rows []Row) (accepted int, err error) {
+	for _, r := range rows {
+		if err := t.TryObserve(site, r); err != nil {
+			if errors.Is(err, ErrStale) {
+				continue
+			}
+			return accepted, err
+		}
+		accepted++
+	}
+	return accepted, nil
 }
 
 // FlushSkew releases every row still held in the reorder buffers (call at
-// end of stream when MaxSkew is set). Released rows are delivered in
-// per-site timestamp order.
+// end of stream when MaxSkew is set). Rows are merged across sites and
+// delivered in global timestamp order — ties broken by site index, so a
+// flush is deterministic — and rows that fell behind the already-delivered
+// stream are dropped and counted in SkewDropped.
 func (t *Tracker) FlushSkew() {
+	if t.skew == nil {
+		return
+	}
+	type tagged struct {
+		site int
+		r    stream.Row
+	}
+	var all []tagged
 	for site, b := range t.skew {
 		for _, rr := range b.Flush() {
-			t.inner.Observe(site, rr)
+			all = append(all, tagged{site: site, r: rr})
 		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].r.T != all[j].r.T {
+			return all[i].r.T < all[j].r.T
+		}
+		return all[i].site < all[j].site
+	})
+	for _, x := range all {
+		t.deliverSkew(x.site, x.r)
 	}
 }
 
-// SkewDropped reports rows rejected for arriving beyond the skew horizon.
-func (t *Tracker) SkewDropped() int64 { return t.dropped }
+// SkewDropped reports rows rejected for arriving beyond the skew horizon
+// or released too late to deliver in order.
+func (t *Tracker) SkewDropped() int64 { return t.skewDropped.Load() }
 
 // Advance moves the global clock forward without new data, processing
-// expirations and any resulting protocol traffic.
-func (t *Tracker) Advance(now int64) { t.inner.AdvanceTime(now) }
+// expirations and any resulting protocol traffic. With MaxSkew set it also
+// commits the clock: buffered rows older than now will be dropped when
+// released.
+func (t *Tracker) Advance(now int64) {
+	if now > t.maxT {
+		t.maxT = now
+	}
+	if now > t.delivered {
+		t.delivered = now
+	}
+	t.inner.AdvanceTime(now)
+}
 
 // Sketch returns the coordinator's current covariance sketch B. The
 // number of rows varies by protocol; the column count is always D.
-func (t *Tracker) Sketch() *mat.Dense { return t.inner.Sketch() }
+func (t *Tracker) Sketch() *mat.Dense {
+	t.countQuery()
+	return t.inner.Sketch()
+}
 
-// gramSketcher is implemented by the deterministic protocols, whose
-// coordinator state is the Gram matrix Ĉ itself.
-type gramSketcher interface {
+// GramSketcher is implemented by trackers whose coordinator state is the
+// Gram matrix Ĉ ≈ A_wᵀA_w itself — the deterministic family (DA1, DA2,
+// DA2-C and the decay tracker). The sampling protocols maintain rows, not
+// a Gram, and do not implement it.
+type GramSketcher interface {
 	SketchGram() *mat.Dense
 }
 
 // SketchGram returns the coordinator's covariance estimate Ĉ ≈ A_wᵀA_w
-// directly, when the protocol maintains one (the deterministic family).
-// Sketch() factors the PSD-clipped Ĉ, an O(d³) step per query that
-// evaluation loops can skip by comparing against Ĉ instead.
+// directly, when the underlying protocol implements GramSketcher (the
+// deterministic family). Sketch() factors the PSD-clipped Ĉ, an O(d³) step
+// per query that evaluation loops can skip by comparing against Ĉ instead.
 func (t *Tracker) SketchGram() (*mat.Dense, bool) {
-	if g, ok := t.inner.(gramSketcher); ok {
+	if g, ok := t.inner.(GramSketcher); ok {
+		t.countQuery()
 		return g.SketchGram(), true
 	}
 	return nil, false
+}
+
+// countQuery records one coordinator query.
+func (t *Tracker) countQuery() {
+	t.queries.Inc()
+	if t.sink != nil {
+		at := t.maxT
+		if at == math.MinInt64 {
+			at = 0
+		}
+		t.sink.OnEvent(obs.Event{Kind: obs.EvSketchQuery, Site: -1, T: at})
+	}
 }
 
 // Stats returns the communication and space counters accumulated so far.
@@ -278,6 +457,10 @@ func CovErr(ref, b *mat.Dense) float64 { return mat.CovErr(ref, b) }
 type AggregateTracker struct {
 	inner *core.SumTracker
 	net   *protocol.Network
+	sites int
+	// lastT tracks each site's clock so stale observations are rejected
+	// before they can corrupt the site's histogram.
+	lastT []int64
 }
 
 // NewAggregate builds a SUM/COUNT tracker; only W, Eps and Sites of cfg
@@ -291,16 +474,56 @@ func NewAggregate(cfg Config) (*AggregateTracker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AggregateTracker{inner: inner, net: net}, nil
+	lastT := make([]int64, cfg.Sites)
+	for i := range lastT {
+		lastT[i] = math.MinInt64
+	}
+	return &AggregateTracker{inner: inner, net: net, sites: cfg.Sites, lastT: lastT}, nil
 }
 
-// Observe records weight w at the given site and time.
-func (t *AggregateTracker) Observe(site int, now int64, w float64) {
+// TryObserve records weight w at the given site and time, reporting
+// delivery problems as errors: ErrSiteRange for a bad site index, ErrStale
+// when now precedes an earlier observation at the same site (the weight is
+// dropped; the tracker is unchanged). Each site's clock is independent —
+// sites may run at different times.
+func (t *AggregateTracker) TryObserve(site int, now int64, w float64) error {
+	if site < 0 || site >= t.sites {
+		return fmt.Errorf("%w: site %d not in [0,%d)", ErrSiteRange, site, t.sites)
+	}
+	if now < t.lastT[site] {
+		return fmt.Errorf("%w: t=%d after t=%d was observed at site %d", ErrStale, now, t.lastT[site], site)
+	}
+	t.lastT[site] = now
 	t.inner.ObserveWeight(site, now, w)
+	return nil
 }
 
-// Advance moves every site's clock forward.
-func (t *AggregateTracker) Advance(now int64) { t.inner.AdvanceAll(now) }
+// Observe records weight w at the given site and time. It is TryObserve
+// with the historical contract: a bad site index panics, stale
+// observations are silently dropped.
+func (t *AggregateTracker) Observe(site int, now int64, w float64) {
+	if err := t.TryObserve(site, now, w); err != nil && !errors.Is(err, ErrStale) {
+		panic(err)
+	}
+}
+
+// SetSink installs an event sink receiving the tracker's message and
+// bucket lifecycle events (nil disables). Install before feeding data.
+func (t *AggregateTracker) SetSink(s Sink) {
+	t.net.SetSink(s)
+	t.inner.SetSink(s)
+}
+
+// Advance moves every site's clock forward; observations older than now
+// are stale afterwards.
+func (t *AggregateTracker) Advance(now int64) {
+	for i := range t.lastT {
+		if now > t.lastT[i] {
+			t.lastT[i] = now
+		}
+	}
+	t.inner.AdvanceAll(now)
+}
 
 // Estimate returns the coordinator's current window-sum estimate, within
 // ε relative error of the truth.

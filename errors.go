@@ -1,0 +1,18 @@
+package distwindow
+
+import "errors"
+
+// Sentinel errors returned (wrapped, with detail) by TryObserve and
+// ObserveBatch. Match with errors.Is.
+var (
+	// ErrSiteRange reports a site index outside [0, Config.Sites).
+	ErrSiteRange = errors.New("distwindow: site index out of range")
+	// ErrDimension reports a row whose length differs from Config.D.
+	ErrDimension = errors.New("distwindow: row dimension mismatch")
+	// ErrStale reports a row that cannot be delivered because its timestamp
+	// is in the past: older than the maximum timestamp already observed
+	// (without MaxSkew), or beyond the skew horizon (with MaxSkew). Stale
+	// rows are dropped and counted in Metrics; they are not an invariant
+	// violation, so Observe swallows them rather than panicking.
+	ErrStale = errors.New("distwindow: stale timestamp")
+)

@@ -35,6 +35,8 @@ type DA1 struct {
 }
 
 type da1Site struct {
+	// idx is the site's index, for per-site communication attribution.
+	idx  int
 	hist *meh.Histogram
 	// win is non-nil in exact-storage mode: the site keeps its raw window
 	// (the paper's "first assume each site is allowed to store all rows")
@@ -70,7 +72,7 @@ func newDA1(cfg Config, net *protocol.Network, exact bool) (*DA1, error) {
 	t := &DA1{cfg: cfg, net: net, chat: mat.NewDense(cfg.D, cfg.D)}
 	t.sites = make([]*da1Site, cfg.Sites)
 	for i := range t.sites {
-		s := &da1Site{chat: mat.NewDense(cfg.D, cfg.D)}
+		s := &da1Site{idx: i, chat: mat.NewDense(cfg.D, cfg.D)}
 		if exact {
 			s.win = window.NewExact(cfg.W)
 		} else {
@@ -235,7 +237,7 @@ func (t *DA1) sendDirections(s *da1Site, diff *mat.Dense, cutoff float64) {
 			continue
 		}
 		v := eig.Vectors.Row(i)
-		t.net.Up(protocol.DirectionWords(t.cfg.D))
+		t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
 		mat.OuterAdd(s.chat, v, lam)
 		mat.OuterAdd(t.chat, v, lam)
 		sent++
@@ -249,7 +251,7 @@ func (t *DA1) sendDirections(s *da1Site, diff *mat.Dense, cutoff float64) {
 		}
 		if best >= 0 && bl > 0 {
 			v := eig.Vectors.Row(best)
-			t.net.Up(protocol.DirectionWords(t.cfg.D))
+			t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
 			mat.OuterAdd(s.chat, v, eig.Values[best])
 			mat.OuterAdd(t.chat, v, eig.Values[best])
 		}

@@ -45,6 +45,8 @@ type DA2 struct {
 
 type da2Site struct {
 	parent *DA2
+	// idx is the site's index, for per-site communication attribution.
+	idx int
 	// a is IWMT_a; ledger records every emitted message of the current
 	// window for backward tracking.
 	a      *iwmt.Tracker
@@ -80,7 +82,7 @@ func newDA2(cfg Config, net *protocol.Network, compress bool) (*DA2, error) {
 	t := &DA2{cfg: cfg, net: net, compress: compress, chat: mat.NewDense(cfg.D, cfg.D)}
 	t.sites = make([]*da2Site, cfg.Sites)
 	for i := range t.sites {
-		s := &da2Site{parent: t, mass: eh.New(cfg.W, cfg.Eps/2), boundary: cfg.W}
+		s := &da2Site{parent: t, idx: i, mass: eh.New(cfg.W, cfg.Eps/2), boundary: cfg.W}
 		s.a = iwmt.New(t.fdEll(), cfg.D, func() float64 { return cfg.Eps * s.mass.Query() })
 		t.sites[i] = s
 	}
@@ -127,7 +129,7 @@ func (t *DA2) AdvanceTime(now int64) {
 
 // sendA ships a (+) message and records it in the ledger.
 func (t *DA2) sendA(s *da2Site, m iwmt.Msg) {
-	t.net.Up(protocol.DirectionWords(t.cfg.D))
+	t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
 	mat.OuterAdd(t.chat, m.V, 1)
 	s.ledger = append(s.ledger, m)
 }
@@ -135,7 +137,7 @@ func (t *DA2) sendA(s *da2Site, m iwmt.Msg) {
 // sendE ships a (−) message. In compress mode the site nets it against the
 // residual of the window currently draining.
 func (t *DA2) sendE(s *da2Site, v []float64) {
-	t.net.Up(protocol.DirectionWords(t.cfg.D))
+	t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
 	mat.OuterAdd(t.chat, v, -1)
 	if s.resid != nil {
 		mat.OuterAdd(s.resid, v, -1)

@@ -40,6 +40,8 @@ type DecayTracker struct {
 }
 
 type decaySite struct {
+	// idx is the site's index, for per-site communication attribution.
+	idx   int
 	c     *mat.Dense
 	chat  *mat.Dense
 	frob  float64 // decayed Frobenius mass, same clock as c
@@ -61,6 +63,7 @@ func NewDecay(cfg Config, gamma float64, net *protocol.Network) (*DecayTracker, 
 	t.sites = make([]*decaySite, cfg.Sites)
 	for i := range t.sites {
 		t.sites[i] = &decaySite{
+			idx:  i,
 			c:    mat.NewDense(cfg.D, cfg.D),
 			chat: mat.NewDense(cfg.D, cfg.D),
 			pv:   make([]float64, cfg.D),
@@ -138,7 +141,7 @@ func (t *DecayTracker) maybeReport(s *decaySite, now int64) {
 	send := func(i int) {
 		lam := eig.Values[i]
 		v := eig.Vectors.Row(i)
-		t.net.Up(protocol.DirectionWords(t.cfg.D))
+		t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
 		mat.OuterAdd(s.chat, v, lam)
 		mat.OuterAdd(t.chat, v, lam)
 		sent++

@@ -137,7 +137,7 @@ func (s *Sampler) Observe(site int, r stream.Row) {
 		rho := sampling.Draw(s.opts.Scheme, w, s.rng)
 		it := sampling.Item{V: append([]float64(nil), r.V...), Rho: rho, T: r.T}
 		if rho >= st.tauJ {
-			s.net.Up(protocol.RowWords(s.cfg.D))
+			s.net.UpFrom(site, protocol.RowWords(s.cfg.D))
 			s.insertS(it)
 		} else {
 			st.q.Push(it)
@@ -235,11 +235,11 @@ func (s *Sampler) broadcastTau(tau float64) {
 	decreased := tau < s.tau
 	s.tau = tau
 	s.net.Broadcast(1)
-	for _, st := range s.sites {
+	for i, st := range s.sites {
 		if decreased && tau < st.tauJ {
 			st.q.Expire(s.now, s.cfg.W)
 			for _, it := range st.q.PopQualifying(tau) {
-				s.net.Up(protocol.RowWords(s.cfg.D))
+				s.net.UpFrom(i, protocol.RowWords(s.cfg.D))
 				s.insertS(it)
 			}
 		}
@@ -299,10 +299,10 @@ func (s *Sampler) negotiate() {
 	}
 	sources := make([]src, 0, len(s.sites)+1)
 	for i, st := range s.sites {
-		s.net.Down(1)
+		s.net.DownTo(i, 1)
 		st.q.Expire(s.now, s.cfg.W)
 		rho, ok := st.q.MaxPriority()
-		s.net.Up(1)
+		s.net.UpFrom(i, 1)
 		sources = append(sources, src{site: i, rho: rho, ok: ok})
 	}
 	spMax := func() (int, float64, bool) {
@@ -337,13 +337,13 @@ func (s *Sampler) negotiate() {
 			c.rho, c.ok = rho, ok
 		} else {
 			st := s.sites[c.site]
-			s.net.Down(1) // retrieve request
+			s.net.DownTo(c.site, 1) // retrieve request
 			it := st.q.PopMax()
-			s.net.Up(protocol.RowWords(s.cfg.D))
+			s.net.UpFrom(c.site, protocol.RowWords(s.cfg.D))
 			s.insertS(it)
-			s.net.Down(1) // next-highest request
+			s.net.DownTo(c.site, 1) // next-highest request
 			rho, ok := st.q.MaxPriority()
-			s.net.Up(1)
+			s.net.UpFrom(c.site, 1)
 			c.rho, c.ok = rho, ok
 		}
 	}

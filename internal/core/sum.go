@@ -93,7 +93,7 @@ func (t *SumTracker) check(site int) {
 	c := s.hist.Query()
 	d := c - s.chat
 	if abs(d) > t.cfg.Eps*c {
-		t.net.Up(protocol.ScalarWords)
+		t.net.UpFrom(site, protocol.ScalarWords)
 		t.est += d
 		s.chat = c
 	}

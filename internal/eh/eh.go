@@ -22,7 +22,11 @@
 // for weight ratio R and window count N.
 package eh
 
-import "math"
+import (
+	"math"
+
+	"distwindow/internal/obs"
+)
 
 // Histogram is a gEH over positive-weight items. Insert must be called
 // with non-decreasing timestamps. The zero value is not usable; construct
@@ -33,6 +37,12 @@ type Histogram struct {
 	buckets []bucket // oldest first
 	pending int      // inserts since last compaction
 	version uint64   // bumped on every structural change
+
+	// sink receives bucket lifecycle events (created/merged/expired); nil
+	// — the default — costs one branch per structural change. site tags
+	// the events with the owning site's index.
+	sink obs.Sink
+	site int
 }
 
 type bucket struct {
@@ -55,7 +65,15 @@ func New(w int64, eps float64) *Histogram {
 	if eps <= 0 || eps >= 1 {
 		panic("eh: eps must be in (0,1)")
 	}
-	return &Histogram{w: w, eps2: eps / 2}
+	return &Histogram{w: w, eps2: eps / 2, site: -1}
+}
+
+// SetSink installs an event sink for bucket lifecycle events, tagging them
+// with the given site index (-1 for "no site"). A nil sink disables
+// events. Install before feeding data; the field is not synchronized.
+func (h *Histogram) SetSink(s obs.Sink, site int) {
+	h.sink = s
+	h.site = site
 }
 
 // Insert adds an item with the given positive weight and timestamp, then
@@ -70,6 +88,9 @@ func (h *Histogram) Insert(t int64, weight float64) {
 	h.buckets = append(h.buckets, bucket{sum: weight, newest: t, oldest: t})
 	h.version++
 	h.pending++
+	if h.sink != nil {
+		h.sink.OnEvent(obs.Event{Kind: obs.EvBucketCreated, Site: h.site, T: t})
+	}
 	if h.pending >= compactEvery {
 		h.compact()
 	}
@@ -105,6 +126,9 @@ func (h *Histogram) compact() {
 	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
 		out[l], out[r] = out[r], out[l]
 	}
+	if merged := n - len(out); merged > 0 && h.sink != nil {
+		h.sink.OnEvent(obs.Event{Kind: obs.EvBucketMerged, Site: h.site, N: merged})
+	}
 	h.buckets = out
 }
 
@@ -118,6 +142,9 @@ func (h *Histogram) Advance(now int64) {
 	if i > 0 {
 		h.buckets = h.buckets[i:]
 		h.version++
+		if h.sink != nil {
+			h.sink.OnEvent(obs.Event{Kind: obs.EvBucketExpired, Site: h.site, T: now, N: i})
+		}
 	}
 }
 

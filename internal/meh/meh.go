@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"distwindow/internal/fd"
+	"distwindow/internal/obs"
 	"distwindow/mat"
 )
 
@@ -33,6 +34,12 @@ type Histogram struct {
 	ell     int     // FD sketch size per bucket
 	buckets []bucket
 	pending int
+
+	// sink receives bucket lifecycle events (created/merged/expired); nil
+	// — the default — costs one branch per structural change. site tags
+	// the events with the owning site's index.
+	sink obs.Sink
+	site int
 }
 
 type bucket struct {
@@ -60,7 +67,15 @@ func New(w int64, d int, eps float64) *Histogram {
 	if d < 1 {
 		panic("meh: d must be positive")
 	}
-	return &Histogram{w: w, d: d, eps2: eps / 2, ell: int(math.Ceil(1 / eps))}
+	return &Histogram{w: w, d: d, eps2: eps / 2, ell: int(math.Ceil(1 / eps)), site: -1}
+}
+
+// SetSink installs an event sink for bucket lifecycle events, tagging them
+// with the given site index (-1 for "no site"). A nil sink disables
+// events. Install before feeding data; the field is not synchronized.
+func (h *Histogram) SetSink(s obs.Sink, site int) {
+	h.sink = s
+	h.site = site
 }
 
 // D returns the row dimension.
@@ -78,6 +93,9 @@ func (h *Histogram) Add(t int64, v []float64) {
 	copy(row, v)
 	h.buckets = append(h.buckets, bucket{row: row, frobSq: w, newest: t, oldest: t})
 	h.pending++
+	if h.sink != nil {
+		h.sink.OnEvent(obs.Event{Kind: obs.EvBucketCreated, Site: h.site, T: t})
+	}
 	if h.pending >= compactEvery {
 		h.compact()
 	}
@@ -133,6 +151,9 @@ func (h *Histogram) compact() {
 	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
 		out[l], out[r] = out[r], out[l]
 	}
+	if merged := n - len(out); merged > 0 && h.sink != nil {
+		h.sink.OnEvent(obs.Event{Kind: obs.EvBucketMerged, Site: h.site, N: merged})
+	}
 	h.buckets = out
 }
 
@@ -145,6 +166,9 @@ func (h *Histogram) Advance(now int64) {
 	}
 	if i > 0 {
 		h.buckets = h.buckets[i:]
+		if h.sink != nil {
+			h.sink.OnEvent(obs.Event{Kind: obs.EvBucketExpired, Site: h.site, T: now, N: i})
+		}
 	}
 }
 

@@ -1,0 +1,138 @@
+package obs
+
+import "sync/atomic"
+
+// EventKind enumerates the typed events the stack emits.
+type EventKind uint8
+
+// The event vocabulary. Producers document which kinds they emit; a Sink
+// must tolerate kinds it does not know (the set can grow).
+const (
+	// EvMsgSent: a site pushed a message toward the coordinator. Site is
+	// the sender (-1 if unknown), Words the payload in the paper's word
+	// accounting (wire senders report bytes via metrics instead).
+	EvMsgSent EventKind = iota
+	// EvMsgReceived: a message arrived at its destination — at a site for
+	// simulated coordinator→site traffic (Site is the receiver), or at the
+	// wire coordinator (Site is the original sender).
+	EvMsgReceived
+	// EvBucketCreated: a sliding-window histogram (gEH/mEH) opened a new
+	// bucket. T is the bucket's timestamp.
+	EvBucketCreated
+	// EvBucketMerged: a compaction pass merged buckets; N is how many
+	// buckets were absorbed.
+	EvBucketMerged
+	// EvBucketExpired: buckets left the window; N is how many.
+	EvBucketExpired
+	// EvSketchQuery: the coordinator answered a sketch (or estimate) query.
+	EvSketchQuery
+	// EvSkewDrop: a row arrived beyond the skew horizon and was dropped.
+	// Site is the target site, T the row's timestamp.
+	EvSkewDrop
+	// EvThresholdRenegotiation: the coordinator broadcast a new sampling
+	// threshold to every site. Words is the per-site payload.
+	EvThresholdRenegotiation
+
+	numEventKinds = iota
+)
+
+// NumEventKinds is the number of defined event kinds.
+const NumEventKinds = int(numEventKinds)
+
+var eventKindNames = [...]string{
+	EvMsgSent:                "msg_sent",
+	EvMsgReceived:            "msg_received",
+	EvBucketCreated:          "bucket_created",
+	EvBucketMerged:           "bucket_merged",
+	EvBucketExpired:          "bucket_expired",
+	EvSketchQuery:            "sketch_query",
+	EvSkewDrop:               "skew_drop",
+	EvThresholdRenegotiation: "threshold_renegotiation",
+}
+
+// String returns the kind's snake_case name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one observability event. Fields beyond Kind are best-effort
+// context; producers leave fields they cannot supply at their zero value
+// (Site uses -1 for "not site-specific").
+type Event struct {
+	// Kind selects the event type.
+	Kind EventKind
+	// Site is the site index the event concerns, -1 when global.
+	Site int
+	// T is the stream timestamp involved, 0 when not applicable.
+	T int64
+	// Words is the message payload in words (message events).
+	Words int64
+	// N is a generic count (buckets merged/expired).
+	N int
+}
+
+// Sink receives events. Implementations must be cheap and non-blocking —
+// hooks fire synchronously on the ingest path — and safe for concurrent
+// use when the producer is concurrent (package wire; the in-process
+// simulation is single-goroutine).
+//
+// A nil Sink disables observation: every producer guards its hook with one
+// nil-check, so the default costs a predictable branch per site.
+type Sink interface {
+	OnEvent(Event)
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(Event)
+
+// OnEvent calls f.
+func (f FuncSink) OnEvent(e Event) { f(e) }
+
+// CountingSink tallies events per kind — the cheapest useful Sink, and the
+// one the facade's Metrics() uses for event totals. Safe for concurrent
+// use.
+type CountingSink struct {
+	counts [numEventKinds]atomic.Int64
+}
+
+// OnEvent increments the kind's tally.
+func (s *CountingSink) OnEvent(e Event) {
+	if int(e.Kind) < len(s.counts) {
+		s.counts[e.Kind].Add(1)
+	}
+}
+
+// Count returns the tally for one kind.
+func (s *CountingSink) Count(k EventKind) int64 {
+	if int(k) >= len(s.counts) {
+		return 0
+	}
+	return s.counts[k].Load()
+}
+
+// Counts returns a name→count map of all kinds seen so far (zero-count
+// kinds are omitted).
+func (s *CountingSink) Counts() map[string]int64 {
+	out := make(map[string]int64)
+	for k := range s.counts {
+		if n := s.counts[k].Load(); n > 0 {
+			out[EventKind(k).String()] = n
+		}
+	}
+	return out
+}
+
+// MultiSink fans events out to several sinks in order.
+type MultiSink []Sink
+
+// OnEvent forwards the event to every non-nil member.
+func (m MultiSink) OnEvent(e Event) {
+	for _, s := range m {
+		if s != nil {
+			s.OnEvent(e)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+)
+
+// Mux returns an HTTP mux serving the two production endpoints:
+//
+//	GET /metrics  — the JSON encoding of snapshot(); 503 while snapshot
+//	                reports not-ready (e.g. no tracker built yet).
+//	GET /healthz  — 200 "ok" while healthy() is true, 503 otherwise. A nil
+//	                healthy always reports healthy (process liveness).
+//
+// It also mounts expvar's /debug/vars so anything published through
+// PublishExpvar (and Go's default memstats/cmdline vars) is reachable from
+// the same listener.
+//
+// snapshot is called per request and must be safe to call concurrently
+// with ingestion — the facade and wire snapshots are built from atomics
+// for exactly this reason.
+func Mux(snapshot func() (any, bool), healthy func() bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := snapshot()
+		if !ok {
+			http.Error(w, `{"error":"metrics not ready"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if healthy != nil && !healthy() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// PublishExpvar registers snapshot under name in the process-global expvar
+// registry, making it visible on /debug/vars. It reports false (instead of
+// expvar.Publish's panic) when the name is already taken, so callers can
+// publish idempotently.
+func PublishExpvar(name string, snapshot func() any) bool {
+	if expvar.Get(name) != nil {
+		return false
+	}
+	expvar.Publish(name, expvar.Func(snapshot))
+	return true
+}

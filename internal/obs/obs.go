@@ -1,0 +1,189 @@
+// Package obs is the repository's observability substrate: allocation-free
+// metric primitives (atomic counters, gauges and fixed-bucket latency
+// histograms) plus a typed event-hook interface (Sink) that the protocol
+// fabric, the sliding-window histograms and the networked deployment feed.
+//
+// Design constraints, in order:
+//
+//  1. The ingest hot path must stay hot. Every hook site guards on a single
+//     nil-check (`if sink != nil`), counters are single atomic adds, and
+//     nothing in this package allocates after construction.
+//  2. Snapshots must be safe to take from another goroutine — a tracker
+//     ingesting on one goroutine can serve /metrics from an HTTP handler
+//     concurrently. All mutable state is atomic.
+//  3. No dependencies beyond the standard library, like the rest of the
+//     repository.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an atomic instantaneous value (live connections, buffered rows,
+// current bucket count).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (use negative deltas to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// MaxGauge keeps a running maximum of sampled values — the space-usage
+// metric of the paper's experiments (max words held by any site).
+type MaxGauge struct{ v atomic.Int64 }
+
+// Observe raises the maximum to n if n exceeds it.
+func (m *MaxGauge) Observe(n int64) {
+	for {
+		cur := m.v.Load()
+		if n <= cur {
+			return
+		}
+		if m.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the maximum observed so far.
+func (m *MaxGauge) Load() int64 { return m.v.Load() }
+
+// Reset zeroes the maximum.
+func (m *MaxGauge) Reset() { m.v.Store(0) }
+
+// histBounds are the latency histogram's fixed bucket upper bounds in
+// nanoseconds: powers of four from 256ns to ~1.07s, then +Inf. Thirteen
+// buckets cover everything from a cache-warm scalar update to a stalled
+// network write with ~2× resolution per decade.
+var histBounds = [...]int64{
+	1 << 8,  // 256ns
+	1 << 10, // ~1µs
+	1 << 12, // ~4µs
+	1 << 14, // ~16µs
+	1 << 16, // ~66µs
+	1 << 18, // ~262µs
+	1 << 20, // ~1ms
+	1 << 22, // ~4.2ms
+	1 << 24, // ~16.8ms
+	1 << 26, // ~67ms
+	1 << 28, // ~268ms
+	1 << 30, // ~1.07s
+}
+
+// HistBuckets is the number of histogram buckets, including the overflow
+// bucket.
+const HistBuckets = len(histBounds) + 1
+
+// Histogram is a fixed-bucket latency histogram. The zero value is ready
+// to use; Observe is lock-free and allocation-free.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for i, b := range histBounds {
+		if ns <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[HistBuckets-1].Add(1)
+}
+
+// HistBucket is one bucket of a histogram snapshot. UpperNs is the bucket's
+// inclusive upper bound in nanoseconds (math.MaxInt64 for the overflow
+// bucket).
+type HistBucket struct {
+	UpperNs int64
+	Count   int64
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram, safe to serialize.
+type HistSnapshot struct {
+	Count   int64
+	SumNs   int64
+	Buckets []HistBucket
+}
+
+// Snapshot copies the histogram's current state. Buckets with zero count
+// are included so consumers see the full fixed scale.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count:   h.count.Load(),
+		SumNs:   h.sumNs.Load(),
+		Buckets: make([]HistBucket, HistBuckets),
+	}
+	for i := range h.buckets {
+		upper := int64(math.MaxInt64)
+		if i < len(histBounds) {
+			upper = histBounds[i]
+		}
+		s.Buckets[i] = HistBucket{UpperNs: upper, Count: h.buckets[i].Load()}
+	}
+	return s
+}
+
+// MeanNs returns the mean observation in nanoseconds (0 when empty).
+func (s HistSnapshot) MeanNs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}
+
+// QuantileUpperNs returns the upper bound of the bucket containing the
+// q-quantile (q in [0,1]) — a conservative estimate of the latency at that
+// quantile. Returns 0 when the histogram is empty.
+func (s HistSnapshot) QuantileUpperNs(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return b.UpperNs
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperNs
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeMaxGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatalf("counter after reset = %d", c.Load())
+	}
+
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Load() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Load())
+	}
+
+	var m MaxGauge
+	for _, v := range []int64{3, 9, 5, 9, 1} {
+		m.Observe(v)
+	}
+	if m.Load() != 9 {
+		t.Fatalf("max gauge = %d, want 9", m.Load())
+	}
+	m.Reset()
+	if m.Load() != 0 {
+		t.Fatalf("max gauge after reset = %d", m.Load())
+	}
+}
+
+func TestMaxGaugeConcurrent(t *testing.T) {
+	var m MaxGauge
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				m.Observe(base*1000 + i)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if m.Load() != 7999 {
+		t.Fatalf("concurrent max = %d, want 7999", m.Load())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond) // first bucket (≤256ns)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(500 * time.Nanosecond) // second bucket (≤1024ns)
+	h.Observe(2 * time.Second)       // overflow
+	h.Observe(-time.Second)          // clamped to 0, first bucket
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if len(s.Buckets) != HistBuckets {
+		t.Fatalf("buckets = %d, want %d", len(s.Buckets), HistBuckets)
+	}
+	if s.Buckets[0].Count != 3 {
+		t.Fatalf("first bucket = %d, want 3", s.Buckets[0].Count)
+	}
+	if s.Buckets[1].Count != 1 {
+		t.Fatalf("second bucket = %d, want 1", s.Buckets[1].Count)
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.Count != 1 || last.UpperNs != math.MaxInt64 {
+		t.Fatalf("overflow bucket = %+v", last)
+	}
+	if s.MeanNs() <= 0 {
+		t.Fatalf("mean = %v, want > 0", s.MeanNs())
+	}
+	// The median falls in the first bucket; the max quantile must report
+	// the overflow bound.
+	if q := s.QuantileUpperNs(0.5); q != 256 {
+		t.Fatalf("p50 upper = %d, want 256", q)
+	}
+	if q := s.QuantileUpperNs(1); q != math.MaxInt64 {
+		t.Fatalf("p100 upper = %d, want MaxInt64", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.MeanNs() != 0 || s.QuantileUpperNs(0.99) != 0 {
+		t.Fatalf("empty histogram mean/quantile = %v/%d", s.MeanNs(), s.QuantileUpperNs(0.99))
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	var s CountingSink
+	s.OnEvent(Event{Kind: EvMsgSent})
+	s.OnEvent(Event{Kind: EvMsgSent})
+	s.OnEvent(Event{Kind: EvBucketMerged, N: 3})
+	s.OnEvent(Event{Kind: EventKind(200)}) // unknown kinds are ignored
+	if s.Count(EvMsgSent) != 2 {
+		t.Fatalf("msg_sent = %d, want 2", s.Count(EvMsgSent))
+	}
+	if s.Count(EvSkewDrop) != 0 {
+		t.Fatalf("skew_drop = %d, want 0", s.Count(EvSkewDrop))
+	}
+	counts := s.Counts()
+	if counts["msg_sent"] != 2 || counts["bucket_merged"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if _, ok := counts["sketch_query"]; ok {
+		t.Fatal("zero-count kind should be omitted")
+	}
+}
+
+func TestFuncAndMultiSink(t *testing.T) {
+	var got []EventKind
+	f := FuncSink(func(e Event) { got = append(got, e.Kind) })
+	var c CountingSink
+	m := MultiSink{f, nil, &c}
+	m.OnEvent(Event{Kind: EvSketchQuery})
+	if len(got) != 1 || got[0] != EvSketchQuery {
+		t.Fatalf("func sink saw %v", got)
+	}
+	if c.Count(EvSketchQuery) != 1 {
+		t.Fatalf("counting sink = %d", c.Count(EvSketchQuery))
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvThresholdRenegotiation.String() != "threshold_renegotiation" {
+		t.Fatalf("name = %q", EvThresholdRenegotiation.String())
+	}
+	if EventKind(250).String() != "unknown" {
+		t.Fatalf("unknown kind = %q", EventKind(250).String())
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	ready := false
+	healthy := true
+	mux := Mux(
+		func() (any, bool) {
+			if !ready {
+				return nil, false
+			}
+			return map[string]int{"rows": 7}, true
+		},
+		func() bool { return healthy },
+	)
+
+	get := func(path string) (int, string) {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	if code, _ := get("/metrics"); code != 503 {
+		t.Fatalf("/metrics before ready = %d, want 503", code)
+	}
+	ready = true
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+	var out map[string]int
+	if err := json.Unmarshal([]byte(body), &out); err != nil || out["rows"] != 7 {
+		t.Fatalf("/metrics body = %q (%v)", body, err)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.HasPrefix(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, _ := get("/healthz"); code != 503 {
+		t.Fatalf("/healthz unhealthy = %d, want 503", code)
+	}
+
+	if code, _ := get("/debug/vars"); code != 200 {
+		t.Fatalf("/debug/vars = %d, want 200", code)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	if !PublishExpvar("obs_test_var", func() any { return 1 }) {
+		t.Fatal("first publish should succeed")
+	}
+	if PublishExpvar("obs_test_var", func() any { return 2 }) {
+		t.Fatal("second publish under the same name should report false")
+	}
+}

@@ -129,7 +129,7 @@ func (c *Coordinator) Snapshot() Snapshot {
 	defer c.mu.Unlock()
 	data := make([]float64, len(c.chat.Data()))
 	copy(data, c.chat.Data())
-	return Snapshot{D: c.d, Chat: data, Sum: c.sum, Msgs: c.msgs, Bytes: c.bytes}
+	return Snapshot{D: c.d, Chat: data, Sum: c.sum, Msgs: c.msgs.Load(), Bytes: c.bytes.Load()}
 }
 
 // WriteSnapshot gob-encodes a snapshot to w.
@@ -145,8 +145,8 @@ func RestoreCoordinator(s Snapshot) (*Coordinator, error) {
 	c := NewCoordinator(s.D)
 	copy(c.chat.Data(), s.Chat)
 	c.sum = s.Sum
-	c.msgs = s.Msgs
-	c.bytes = s.Bytes
+	c.msgs.Add(s.Msgs)
+	c.bytes.Add(s.Bytes)
 	return c, nil
 }
 

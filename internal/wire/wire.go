@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"sync"
+	"time"
 
+	"distwindow/internal/obs"
 	"distwindow/mat"
 )
 
@@ -50,6 +53,10 @@ const (
 
 // Coordinator receives messages from any number of sites and maintains
 // Ĉ = Σ flag·vᵀv plus the scalar sum estimate. Safe for concurrent use.
+//
+// The traffic counters are atomic, so Metrics (and the mux returned by
+// MetricsMux) can be read while connections stream; only the matrix state
+// is behind the mutex.
 type Coordinator struct {
 	d  int
 	mu sync.Mutex
@@ -57,8 +64,12 @@ type Coordinator struct {
 	chat *mat.Dense
 	sum  float64
 
-	msgs  int64
-	bytes int64
+	msgs    obs.Counter
+	bytes   obs.Counter
+	perKind [3]obs.Counter
+	badMsgs obs.Counter
+	conns   obs.Gauge
+	sink    obs.Sink
 
 	wg     sync.WaitGroup
 	lnMu   sync.Mutex
@@ -74,27 +85,42 @@ func NewCoordinator(d int) *Coordinator {
 	return &Coordinator{d: d, chat: mat.NewDense(d, d)}
 }
 
+// SetSink installs an event sink receiving one EvMsgReceived per applied
+// message, with Site set to the original sender (nil disables). Install
+// before serving; the field is read without synchronization.
+func (c *Coordinator) SetSink(s obs.Sink) { c.sink = s }
+
 // Apply folds one message into the coordinator state.
 func (c *Coordinator) Apply(m Msg) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.msgs++
+	var payload int64
 	switch m.Kind {
 	case DirectionAdd, DirectionRemove:
 		if len(m.V) != c.d {
+			c.badMsgs.Inc()
 			return fmt.Errorf("wire: direction length %d, want %d", len(m.V), c.d)
 		}
+		payload = int64(8 * (len(m.V) + 3))
 		flag := 1.0
 		if m.Kind == DirectionRemove {
 			flag = -1
 		}
+		c.mu.Lock()
 		mat.OuterAdd(c.chat, m.V, flag)
-		c.bytes += int64(8 * (len(m.V) + 3))
+		c.mu.Unlock()
 	case SumDelta:
+		payload = 8 * 3
+		c.mu.Lock()
 		c.sum += m.Delta
-		c.bytes += 8 * 3
+		c.mu.Unlock()
 	default:
+		c.badMsgs.Inc()
 		return fmt.Errorf("wire: unknown message kind %d", m.Kind)
+	}
+	c.msgs.Inc()
+	c.bytes.Add(payload)
+	c.perKind[m.Kind].Inc()
+	if c.sink != nil {
+		c.sink.OnEvent(obs.Event{Kind: obs.EvMsgReceived, Site: m.Site, T: m.T, Words: payload / 8})
 	}
 	return nil
 }
@@ -116,9 +142,46 @@ func (c *Coordinator) Sum() float64 {
 
 // Stats returns messages received and approximate payload bytes.
 func (c *Coordinator) Stats() (msgs, bytes int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.msgs, c.bytes
+	return c.msgs.Load(), c.bytes.Load()
+}
+
+// CoordinatorMetrics is a point-in-time snapshot of a coordinator's
+// observable state, serializable as the /metrics payload.
+type CoordinatorMetrics struct {
+	// Msgs and Bytes total all messages folded in (approximate payload
+	// bytes, as in Stats).
+	Msgs, Bytes int64
+	// DirectionAdds, DirectionRemoves and SumDeltas break Msgs down by
+	// message kind.
+	DirectionAdds, DirectionRemoves, SumDeltas int64
+	// BadMsgs counts rejected messages (dimension mismatch, unknown kind).
+	BadMsgs int64
+	// Conns is the number of currently connected sites (Serve only).
+	Conns int64
+}
+
+// Metrics snapshots the coordinator's counters; safe to call while
+// connections stream.
+func (c *Coordinator) Metrics() CoordinatorMetrics {
+	return CoordinatorMetrics{
+		Msgs:             c.msgs.Load(),
+		Bytes:            c.bytes.Load(),
+		DirectionAdds:    c.perKind[DirectionAdd].Load(),
+		DirectionRemoves: c.perKind[DirectionRemove].Load(),
+		SumDeltas:        c.perKind[SumDelta].Load(),
+		BadMsgs:          c.badMsgs.Load(),
+		Conns:            c.conns.Load(),
+	}
+}
+
+// MetricsMux returns an HTTP mux serving GET /metrics (the JSON-encoded
+// CoordinatorMetrics), GET /healthz and /debug/vars, for mounting on an
+// operations listener next to the site listener.
+func (c *Coordinator) MetricsMux() *http.ServeMux {
+	return obs.Mux(
+		func() (any, bool) { return c.Metrics(), true },
+		nil,
+	)
 }
 
 // HandleConn decodes messages from one connection until EOF or error.
@@ -155,8 +218,10 @@ func (c *Coordinator) Serve(l net.Listener) {
 			return
 		}
 		c.wg.Add(1)
+		c.conns.Add(1)
 		go func() {
 			defer c.wg.Done()
+			defer c.conns.Add(-1)
 			defer conn.Close()
 			_ = c.HandleConn(conn)
 		}()
@@ -185,6 +250,9 @@ type ConnSender struct {
 	mu   sync.Mutex
 	enc  *gob.Encoder
 	conn io.WriteCloser
+
+	msgs   obs.Counter
+	encLat obs.Histogram
 }
 
 // NewConnSender wraps a connection.
@@ -196,7 +264,28 @@ func NewConnSender(conn io.WriteCloser) *ConnSender {
 func (s *ConnSender) Send(m Msg) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.enc.Encode(m)
+	start := time.Now()
+	err := s.enc.Encode(m)
+	s.encLat.Observe(time.Since(start))
+	if err == nil {
+		s.msgs.Inc()
+	}
+	return err
+}
+
+// SenderMetrics is a snapshot of one sender's counters.
+type SenderMetrics struct {
+	// Msgs counts successfully encoded messages.
+	Msgs int64
+	// EncodeLatency is the encode+write latency histogram (messages are
+	// rare relative to rows, so every send is timed).
+	EncodeLatency obs.HistSnapshot
+}
+
+// Metrics snapshots the sender's counters; safe to call concurrently with
+// Send.
+func (s *ConnSender) Metrics() SenderMetrics {
+	return SenderMetrics{Msgs: s.msgs.Load(), EncodeLatency: s.encLat.Snapshot()}
 }
 
 // Close closes the underlying connection.

@@ -1,0 +1,135 @@
+package distwindow
+
+import (
+	"net/http"
+
+	"distwindow/internal/core"
+	"distwindow/internal/obs"
+	"distwindow/internal/protocol"
+)
+
+// The observability vocabulary is defined in the internal obs package and
+// re-exported here so callers never import internals. A Sink receives one
+// typed Event per internal occurrence; install it with Tracker.SetSink.
+// The default (no sink) costs one nil-check per hook site.
+type (
+	// Sink receives internal events. Implementations must be fast and must
+	// not call back into the tracker; they may be invoked from the ingest
+	// hot path.
+	Sink = obs.Sink
+	// Event is one internal occurrence; see the Ev* constants for kinds.
+	Event = obs.Event
+	// EventKind enumerates the event types.
+	EventKind = obs.EventKind
+	// FuncSink adapts a function to the Sink interface.
+	FuncSink = obs.FuncSink
+	// CountingSink counts events by kind, atomically; useful in tests and
+	// as a cheap always-on tally.
+	CountingSink = obs.CountingSink
+	// MultiSink fans events out to several sinks.
+	MultiSink = obs.MultiSink
+	// LatencySnapshot is a point-in-time copy of a latency histogram.
+	LatencySnapshot = obs.HistSnapshot
+	// SiteStats is one site's slice of the communication counters.
+	SiteStats = protocol.SiteStats
+)
+
+// Event kinds observable through a Sink.
+const (
+	// EvMsgSent is a site→coordinator message (Words carries its size).
+	EvMsgSent = obs.EvMsgSent
+	// EvMsgReceived is a coordinator→site message.
+	EvMsgReceived = obs.EvMsgReceived
+	// EvBucketCreated is a new histogram bucket at a site.
+	EvBucketCreated = obs.EvBucketCreated
+	// EvBucketMerged is a compaction pass that absorbed N buckets.
+	EvBucketMerged = obs.EvBucketMerged
+	// EvBucketExpired is N buckets sliding out of the window.
+	EvBucketExpired = obs.EvBucketExpired
+	// EvSketchQuery is a coordinator sketch query (Sketch/SketchGram).
+	EvSketchQuery = obs.EvSketchQuery
+	// EvSkewDrop is a row dropped for arriving too late.
+	EvSkewDrop = obs.EvSkewDrop
+	// EvThresholdRenegotiation is a coordinator broadcast (sampling-family
+	// threshold updates).
+	EvThresholdRenegotiation = obs.EvThresholdRenegotiation
+)
+
+// Metrics is a point-in-time snapshot of a Tracker's observable state:
+// ingest counters, the sampled update-latency histogram, and the
+// communication counters (globally and per site). The communication
+// figures are read from the same atomic counters Stats() reports — the
+// paper's word accounting and the metrics layer cannot disagree.
+type Metrics struct {
+	// Protocol is the tracker's display name.
+	Protocol string
+	// Rows counts rows delivered into the protocol.
+	Rows int64
+	// StaleDrops counts rows rejected for out-of-order timestamps
+	// (without MaxSkew).
+	StaleDrops int64
+	// SkewDropped counts rows dropped by the skew machinery (beyond the
+	// horizon, or released too late to deliver in order).
+	SkewDropped int64
+	// Queries counts coordinator sketch queries.
+	Queries int64
+	// LiveBuckets is the latest sampled total histogram bucket count
+	// across sites (0 for protocols without histograms).
+	LiveBuckets int64
+	// UpdateLatency is the sampled per-row protocol update latency (about
+	// one row in 16 is timed).
+	UpdateLatency LatencySnapshot
+	// Net is the communication/space counter snapshot, identical to
+	// Stats().
+	Net Stats
+	// Sites is the per-site communication breakdown, indexed by site.
+	Sites []SiteStats
+}
+
+// Metrics returns a snapshot of the tracker's counters. It is safe to call
+// from another goroutine while the tracker ingests.
+func (t *Tracker) Metrics() Metrics {
+	return Metrics{
+		Protocol:      t.inner.Name(),
+		Rows:          t.rows.Load(),
+		StaleDrops:    t.staleDrops.Load(),
+		SkewDropped:   t.skewDropped.Load(),
+		Queries:       t.queries.Load(),
+		LiveBuckets:   t.liveBuckets.Load(),
+		UpdateLatency: t.updateLat.Snapshot(),
+		Net:           t.net.Stats(),
+		Sites:         t.net.PerSiteStats(),
+	}
+}
+
+// SetSink installs an event sink receiving the tracker's typed events:
+// message traffic, bucket lifecycle, skew drops, sketch queries and
+// threshold renegotiations (nil uninstalls). Install it before feeding
+// data — the sink fields are read without synchronization on the hot path.
+func (t *Tracker) SetSink(s Sink) {
+	t.sink = s
+	t.net.SetSink(s)
+	if ss, ok := t.inner.(core.SinkSetter); ok {
+		ss.SetSink(s)
+	}
+}
+
+// MetricsHandler returns an http.Handler serving the tracker's snapshot:
+// GET /metrics (JSON Metrics), GET /healthz, and expvar under /debug/vars.
+// Mount it on any mux; the handler snapshots atomically, so it is safe
+// while the tracker ingests on another goroutine.
+func (t *Tracker) MetricsHandler() http.Handler {
+	return obs.Mux(
+		func() (any, bool) { return t.Metrics(), true },
+		func() bool { return true },
+	)
+}
+
+// PublishExpvar publishes the tracker's Metrics snapshot as an expvar
+// variable with the given name (served at /debug/vars). It reports false
+// when the name is already taken — expvar names are process-global, so
+// republishing under a fixed name after rebuilding a tracker needs a fresh
+// name or a process restart.
+func (t *Tracker) PublishExpvar(name string) bool {
+	return obs.PublishExpvar(name, func() any { return t.Metrics() })
+}
