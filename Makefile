@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz experiments examples fmt vet clean
+.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples fmt vet clean
 
 all: build test
 
@@ -26,6 +26,12 @@ cover:
 # micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Headline performance figures (ingest rate, words/window, sketch-query
+# latency) on a fixed reference workload, written as BENCH_PR2.json for
+# machine comparison across changes.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
 
 # Short fuzz sessions over the invariant fuzz targets.
 fuzz:

@@ -282,3 +282,44 @@ func BenchmarkObserveHotPath(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkObserveHotPathTraced measures causal tracing's hot-path cost
+// against BenchmarkObserveHotPath: "off" (tracing never enabled) must stay
+// within the <2% budget — one nil-check per hook — and "1in64" head
+// sampling within <10%, paying one atomic add per root plus allocation
+// only on sampled rows.
+func BenchmarkObserveHotPathTraced(b *testing.B) {
+	const (
+		d     = 32
+		sites = 4
+	)
+	rows := make([][]float64, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range rows {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		rows[i] = v
+	}
+	for _, proto := range []distwindow.Protocol{distwindow.PWOR, distwindow.DA2} {
+		for _, variant := range []struct {
+			name  string
+			every int
+		}{{"off", 0}, {"1in64", 64}} {
+			b.Run(string(proto)+"/"+variant.name, func(b *testing.B) {
+				tr, err := distwindow.New(distwindow.Config{
+					Protocol: proto, D: d, W: 1 << 20, Eps: 0.1, Sites: sites, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr.EnableTracing(distwindow.TraceConfig{SampleEvery: variant.every})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr.Observe(i%sites, distwindow.Row{T: int64(i + 1), V: rows[i%len(rows)]})
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command benchjson runs a fixed reference workload through the
+// representative protocols and writes the headline performance figures —
+// ingest update rate, communication words per window, and sketch-query
+// latency — as a JSON document for machine comparison across changes
+// (`make bench-json` → BENCH_PR2.json).
+//
+// The workload is deterministic (fixed seed, synthetic Gaussian rows), so
+// two runs on the same machine differ only by measurement noise; compare
+// figures across commits, not across machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"distwindow"
+)
+
+type result struct {
+	Protocol       string  `json:"protocol"`
+	Rows           int64   `json:"rows"`
+	UpdatesPerSec  float64 `json:"updates_per_sec"`
+	WordsPerWindow float64 `json:"words_per_window"`
+	TotalWords     int64   `json:"total_words"`
+	// SketchQueryMs is the mean wall-clock latency of Tracker.Sketch over
+	// Queries calls at end of stream.
+	SketchQueryMs float64 `json:"sketch_query_ms"`
+	Queries       int     `json:"queries"`
+	// MaxErr/MeanErr are the live auditor's observed covariance errors —
+	// a correctness sanity figure riding along with the perf numbers.
+	MaxErr  float64 `json:"max_err"`
+	MeanErr float64 `json:"mean_err"`
+	Eps     float64 `json:"eps"`
+}
+
+type doc struct {
+	Generated string   `json:"generated"`
+	GoArch    string   `json:"config"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_PR2.json", "output path")
+		rows    = flag.Int64("rows", 200_000, "rows to stream per protocol")
+		d       = flag.Int("d", 32, "row dimension")
+		sites   = flag.Int("sites", 8, "number of sites")
+		w       = flag.Int64("w", 50_000, "window length in ticks")
+		eps     = flag.Float64("eps", 0.1, "target covariance error")
+		queries = flag.Int("queries", 50, "sketch queries to time at end of stream")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	// Pre-generate the rows so the timed loop measures Observe alone.
+	rng := rand.New(rand.NewSource(*seed))
+	vs := make([][]float64, 4096)
+	for i := range vs {
+		v := make([]float64, *d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vs[i] = v
+	}
+	siteOf := make([]int, len(vs))
+	for i := range siteOf {
+		siteOf[i] = rng.Intn(*sites)
+	}
+
+	var results []result
+	for _, proto := range []distwindow.Protocol{distwindow.PWOR, distwindow.DA1, distwindow.DA2} {
+		tr, err := distwindow.New(distwindow.Config{
+			Protocol: proto, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The auditor supplies words/window and the error sanity figures;
+		// audit sparsely so its shadow cost stays out of the update rate.
+		if err := tr.EnableAudit(distwindow.AuditConfig{EveryRows: 1 << 30}); err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for i := int64(1); i <= *rows; i++ {
+			k := int(i) & (len(vs) - 1)
+			tr.Observe(siteOf[k], distwindow.Row{T: i, V: vs[k]})
+		}
+		elapsed := time.Since(start).Seconds()
+		if _, ok := tr.AuditTick(); !ok {
+			log.Fatal("audit tick failed")
+		}
+
+		qStart := time.Now()
+		for i := 0; i < *queries; i++ {
+			_ = tr.Sketch()
+		}
+		qMs := time.Since(qStart).Seconds() * 1e3 / float64(*queries)
+
+		am, _ := tr.Audit()
+		results = append(results, result{
+			Protocol:       string(proto),
+			Rows:           *rows,
+			UpdatesPerSec:  float64(*rows) / elapsed,
+			WordsPerWindow: am.WordsPerWindow,
+			TotalWords:     tr.Stats().TotalWords(),
+			SketchQueryMs:  qMs,
+			Queries:        *queries,
+			MaxErr:         am.MaxErr,
+			MeanErr:        am.MeanErr,
+			Eps:            *eps,
+		})
+		fmt.Printf("%-10s %10.0f rows/s  %12.0f words/window  %8.3f ms/query\n",
+			proto, float64(*rows)/elapsed, am.WordsPerWindow, qMs)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoArch:    fmt.Sprintf("d=%d sites=%d w=%d eps=%g rows=%d", *d, *sites, *w, *eps, *rows),
+		Results:   results,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

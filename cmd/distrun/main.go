@@ -16,10 +16,14 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
+	"distwindow/internal/audit"
+	"distwindow/internal/obs"
 	"distwindow/internal/stream"
+	"distwindow/internal/trace"
 	"distwindow/internal/window"
 	"distwindow/internal/wire"
 )
@@ -34,6 +38,10 @@ func main() {
 		eps     = flag.Float64("eps", 0.05, "target covariance error")
 		seed    = flag.Int64("seed", 1, "RNG seed")
 		metrics = flag.String("metrics", "", "serve GET /metrics and /healthz on this address (e.g. :9090) while streaming")
+		pprofF  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -metrics address")
+		traceN  = flag.Int("trace-sample", 0, "causal tracing: trace 1-in-N ingested rows (0 = off); export at /debug/trace and -trace-out")
+		traceO  = flag.String("trace-out", "", "write the Chrome trace-event JSON to this path at exit (requires -trace-sample)")
+		liveAud = flag.Bool("live-audit", false, "run the live ε-error auditor against the coordinator's sketch; panel at /debug/audit")
 	)
 	flag.Parse()
 
@@ -42,11 +50,48 @@ func main() {
 		log.Fatal(err)
 	}
 	coord := wire.NewCoordinator(*d)
+
+	// Tracing: every site goroutine owns a Tracer (the current-span chain
+	// is single-goroutine) but all record into one shared ring, and the
+	// coordinator's apply spans join the sites' traces via the context the
+	// frames carry.
+	var ring *trace.Ring
+	if *traceN > 0 {
+		ring = trace.NewRing(0)
+		coord.SetTracer(trace.New(ring, *traceN))
+	}
+
+	// The live auditor shadows the exact union window in the coordinator
+	// process and checks the assembled sketch against ε as rows stream in.
+	// Transient violations are expected over a real network: each audit
+	// tick races the frames still in flight between sites and coordinator.
+	var aud *audit.Auditor
+	if *liveAud {
+		aud, err = audit.New(audit.Config{
+			D: *d, W: *w, Eps: *eps,
+			Sketch: coord.Sketch,
+			Words:  func() int64 { _, bytes := coord.Stats(); return bytes / 8 },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	go coord.Serve(ln)
 	fmt.Printf("coordinator listening on %s\n", ln.Addr())
 	if *metrics != "" {
+		var opts []obs.MuxOption
+		if *pprofF {
+			opts = append(opts, obs.WithPprof())
+		}
+		if ring != nil {
+			opts = append(opts, obs.WithHandler("/debug/trace", ring.Handler()))
+		}
+		if aud != nil {
+			opts = append(opts, obs.WithHandler("/debug/audit", aud.Handler()))
+		}
 		go func() {
-			if err := http.ListenAndServe(*metrics, coord.MetricsMux()); err != nil {
+			if err := http.ListenAndServe(*metrics, coord.MetricsMux(opts...)); err != nil {
 				log.Printf("metrics server: %v", err)
 			}
 		}()
@@ -70,15 +115,27 @@ func main() {
 		evs[i] = ev{site: rng.Intn(*m), t: int64(i + 1), v: v}
 	}
 
+	// Stream in global timestamp order: the main loop walks the events and
+	// dispatches each to its site's channel, so the sites progress roughly
+	// in step (and the auditor's shadow window sees rows in order). Each
+	// site goroutine owns its TCP connection and, when tracing, its own
+	// Tracer over the shared ring.
 	start := time.Now()
 	var wg sync.WaitGroup
+	chans := make([]chan ev, *m)
 	for si := 0; si < *m; si++ {
+		chans[si] = make(chan ev, 64)
 		wg.Add(1)
-		go func(si int) {
+		go func(si int, in <-chan ev) {
 			defer wg.Done()
+			drain := func() {
+				for range in {
+				}
+			}
 			conn, err := net.Dial("tcp", ln.Addr().String())
 			if err != nil {
 				log.Printf("site %d: %v", si, err)
+				drain()
 				return
 			}
 			sender := wire.NewConnSender(conn)
@@ -92,29 +149,42 @@ func main() {
 				if err != nil {
 					log.Fatal(err)
 				}
+				if ring != nil {
+					s.SetTracer(trace.New(ring, *traceN))
+				}
 				observe, advance = s.Observe, s.Advance
 			case "da2":
 				s, err := wire.NewDA2Site(cfg, sender)
 				if err != nil {
 					log.Fatal(err)
 				}
+				if ring != nil {
+					s.SetTracer(trace.New(ring, *traceN))
+				}
 				observe, advance = s.Observe, s.Advance
 			default:
 				log.Fatalf("unknown protocol %q", *proto)
 			}
-			for _, e := range evs {
-				if e.site != si {
-					continue
-				}
+			for e := range in {
 				if err := observe(e.t, e.v); err != nil {
 					log.Printf("site %d: %v", si, err)
+					drain()
 					return
 				}
 			}
 			if err := advance(int64(*rows)); err != nil {
 				log.Printf("site %d: %v", si, err)
 			}
-		}(si)
+		}(si, chans[si])
+	}
+	for _, e := range evs {
+		chans[e.site] <- e
+		if aud != nil {
+			aud.Observe(e.t, e.v)
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
 	}
 	wg.Wait()
 	// Let the coordinator drain in-flight frames before measuring.
@@ -134,5 +204,25 @@ func main() {
 		cm.DirectionAdds, cm.DirectionRemoves, cm.SumDeltas, cm.BadMsgs)
 	raw := float64(truth.Len()*(*d+2)) * 8 / 1024
 	fmt.Printf("vs. shipping the active window: %.1f KiB\n", raw)
+	if aud != nil {
+		aud.Advance(int64(*rows))
+		aud.Tick()
+		am := aud.Metrics()
+		fmt.Printf("live audit:       %d ticks, %d violations, last err %.4f, max %.4f (ε=%g)\n",
+			am.Ticks, am.Violations, am.LastErr, am.MaxErr, am.Eps)
+	}
+	if *traceO != "" {
+		if ring == nil {
+			log.Fatal("-trace-out requires -trace-sample")
+		}
+		js, err := ring.ChromeTrace()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*traceO, js, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace:            %s (%d spans recorded)\n", *traceO, ring.Recorded())
+	}
 	coord.Close()
 }

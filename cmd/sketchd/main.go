@@ -42,14 +42,41 @@ func main() {
 		save    = flag.String("checkpoint", "", "write a checkpoint of the tracker state to this path at exit (DA1/DA2 only)")
 		load    = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
 		metrics = flag.String("metrics", "", "serve GET /metrics and /healthz on this address (e.g. :9090) while ingesting")
+		pprofF  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -metrics address")
+		traceN  = flag.Int("trace-sample", 0, "causal tracing: trace 1-in-N ingested rows (0 = off); export at /debug/trace and -trace-out")
+		traceO  = flag.String("trace-out", "", "write the Chrome trace-event JSON to this path at exit (requires -trace-sample)")
+		liveAud = flag.Bool("live-audit", false, "run the live ε-error auditor (shadow exact window); results in /metrics and /debug/audit")
 	)
 	flag.Parse()
 
 	// The tracker is built lazily (its dimension comes from the first
 	// event), so the metrics endpoint reads it through an atomic pointer
-	// and answers 503 until the first event arrives.
+	// and answers 503 until the first event arrives. Debug endpoints that
+	// depend on the tracker resolve the pointer per request.
 	var trP atomic.Pointer[distwindow.Tracker]
 	if *metrics != "" {
+		lazy := func(h func(*distwindow.Tracker) http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				t := trP.Load()
+				if t == nil {
+					http.Error(w, "tracker not built yet", http.StatusServiceUnavailable)
+					return
+				}
+				h(t).ServeHTTP(w, r)
+			})
+		}
+		var opts []obs.MuxOption
+		if *pprofF {
+			opts = append(opts, obs.WithPprof())
+		}
+		if *traceN > 0 {
+			opts = append(opts, obs.WithHandler("/debug/trace",
+				lazy((*distwindow.Tracker).TraceHandler)))
+		}
+		if *liveAud {
+			opts = append(opts, obs.WithHandler("/debug/audit",
+				lazy((*distwindow.Tracker).AuditHandler)))
+		}
 		mux := obs.Mux(
 			func() (any, bool) {
 				t := trP.Load()
@@ -59,6 +86,7 @@ func main() {
 				return t.Metrics(), true
 			},
 			nil,
+			opts...,
 		)
 		go func() {
 			if err := http.ListenAndServe(*metrics, mux); err != nil {
@@ -94,8 +122,11 @@ func main() {
 			log.Fatal(err)
 		}
 		dim = tr.Config().D
-		if *audit {
-			log.Fatal("-audit cannot be combined with -resume: the exact window before the checkpoint is gone")
+		if *audit || *liveAud {
+			log.Fatal("-audit/-live-audit cannot be combined with -resume: the exact window before the checkpoint is gone")
+		}
+		if *traceN > 0 {
+			tr.EnableTracing(distwindow.TraceConfig{SampleEvery: *traceN})
 		}
 		trP.Store(tr)
 	}
@@ -114,6 +145,14 @@ func main() {
 			})
 			if err != nil {
 				return err
+			}
+			if *traceN > 0 {
+				tr.EnableTracing(distwindow.TraceConfig{SampleEvery: *traceN})
+			}
+			if *liveAud {
+				if err := tr.EnableAudit(distwindow.AuditConfig{}); err != nil {
+					return err
+				}
 			}
 			trP.Store(tr)
 			if *audit {
@@ -153,6 +192,20 @@ func main() {
 	fmt.Printf("cost:       %s\n", distwindow.FormatStats(tr.Stats()))
 	if u != nil {
 		fmt.Printf("cov error:  %.5f (target ε=%g)\n", u.ErrOf(b), *eps)
+	}
+	if am, ok := tr.Audit(); ok {
+		fmt.Printf("live audit: %d ticks, %d violations, last err %.5f, max %.5f (ε=%g), %.0f words/window\n",
+			am.Ticks, am.Violations, am.LastErr, am.MaxErr, am.Eps, am.WordsPerWindow)
+	}
+	if *traceO != "" {
+		js, err := tr.TraceChrome()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*traceO, js, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace:      %s (%d spans)\n", *traceO, tr.TraceSpans())
 	}
 	if *save != "" {
 		f, err := os.Create(*save)

@@ -50,11 +50,13 @@ import (
 	"sort"
 	"time"
 
+	"distwindow/internal/audit"
 	"distwindow/internal/core"
 	"distwindow/internal/obs"
 	"distwindow/internal/protocol"
 	"distwindow/internal/sampling"
 	"distwindow/internal/stream"
+	"distwindow/internal/trace"
 	"distwindow/mat"
 )
 
@@ -152,6 +154,13 @@ type Tracker struct {
 	// buckets is the inner tracker's bucket counter, when it has one.
 	buckets core.BucketCounter
 	sink    obs.Sink
+
+	// tracer/traceRing hold the causal-tracing state installed by
+	// EnableTracing; aud is the live ε-error auditor from EnableAudit.
+	// All three are nil by default and cost one nil-check when off.
+	tracer    *trace.Tracer
+	traceRing *trace.Ring
+	aud       *audit.Auditor
 
 	rows        obs.Counter
 	staleDrops  obs.Counter
@@ -287,22 +296,34 @@ func (t *Tracker) TryObserve(site int, r Row) error {
 }
 
 // deliver hands one in-order row to the inner protocol, with sampled
-// latency accounting.
+// latency accounting. A sampled ingest opens the trace root under which
+// the protocol's bucket and message spans attach; the audit shadow runs
+// after the span closes so its O(d²) upkeep never inflates ingest spans.
 func (t *Tracker) deliver(site int, r stream.Row) {
 	t.latTick++
 	if t.latTick&latSampleMask != 0 {
+		sp := t.tracer.Start(trace.OpIngest, site, r.T)
 		t.inner.Observe(site, r)
+		sp.End()
 		t.rows.Inc()
 		t.delivered = r.T
+		if t.aud != nil {
+			t.aud.Observe(r.T, r.V)
+		}
 		return
 	}
+	sp := t.tracer.Start(trace.OpIngest, site, r.T)
 	start := time.Now()
 	t.inner.Observe(site, r)
 	t.updateLat.Observe(time.Since(start))
+	sp.End()
 	t.rows.Inc()
 	t.delivered = r.T
 	if t.buckets != nil {
 		t.liveBuckets.Set(int64(t.buckets.LiveBuckets()))
+	}
+	if t.aud != nil {
+		t.aud.Observe(r.T, r.V)
 	}
 }
 
@@ -394,13 +415,19 @@ func (t *Tracker) Advance(now int64) {
 		t.delivered = now
 	}
 	t.inner.AdvanceTime(now)
+	if t.aud != nil {
+		t.aud.Advance(now)
+	}
 }
 
 // Sketch returns the coordinator's current covariance sketch B. The
 // number of rows varies by protocol; the column count is always D.
 func (t *Tracker) Sketch() *mat.Dense {
 	t.countQuery()
-	return t.inner.Sketch()
+	sp := t.tracer.StartDetached(trace.OpQuery, -1, t.delivered)
+	b := t.inner.Sketch()
+	sp.End()
+	return b
 }
 
 // GramSketcher is implemented by trackers whose coordinator state is the
@@ -418,7 +445,10 @@ type GramSketcher interface {
 func (t *Tracker) SketchGram() (*mat.Dense, bool) {
 	if g, ok := t.inner.(GramSketcher); ok {
 		t.countQuery()
-		return g.SketchGram(), true
+		sp := t.tracer.StartDetached(trace.OpQuery, -1, t.delivered)
+		c := g.SketchGram()
+		sp.End()
+		return c, true
 	}
 	return nil, false
 }

@@ -1,0 +1,297 @@
+// Package audit implements a live ε-error auditor: an opt-in shadow path
+// that keeps the exact windowed covariance next to a running protocol and
+// periodically measures whether the deployed sketch actually honors
+//
+//	err(A_w, B) = ‖A_wᵀA_w − BᵀB‖₂ / ‖A_w‖_F² ≤ ε
+//
+// while it runs — the guarantee the paper proves but offline experiment
+// CSVs only check after the fact. Each audit tick records the observed
+// error, the headroom against the configured ε, and the communication
+// spent per window, so an operator can watch the paper's two axes
+// (error, words/window) live on /metrics and /debug/audit.
+//
+// The auditor is a shadow path by construction: it costs O(window·d)
+// memory and an O(d²)-per-row Gram update, which production deployments
+// of the protocols exist to avoid. Enable it on canary instances, during
+// soak tests, or whenever the error budget is under suspicion.
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"distwindow/internal/obs"
+	"distwindow/mat"
+)
+
+// Config parameterizes an Auditor.
+type Config struct {
+	// D is the row dimension.
+	D int
+	// W is the window length in ticks.
+	W int64
+	// Eps is the deployed protocol's target covariance error.
+	Eps float64
+	// EveryRows is the audit cadence: one error measurement per EveryRows
+	// observed rows (default 512). Each measurement queries the sketch
+	// and runs a power iteration — cheap next to the shadow window's own
+	// upkeep, but not free.
+	EveryRows int
+	// KeepSamples bounds the retained sample history for the /debug/audit
+	// panel (default 512; older samples are dropped).
+	KeepSamples int
+
+	// Sketch returns the coordinator's current sketch B. Required unless
+	// Gram is set.
+	Sketch func() *mat.Dense
+	// Gram, when set, returns the coordinator's covariance estimate
+	// Ĉ ≈ A_wᵀA_w directly, letting each audit skip the O(d³) PSD
+	// factorization (the deterministic protocols expose this).
+	Gram func() *mat.Dense
+	// Words, when set, reports total words communicated so far, enabling
+	// the words-per-window figure.
+	Words func() int64
+}
+
+// Sample is one audit measurement.
+type Sample struct {
+	// T is the stream time of the measurement.
+	T int64
+	// Rows is the total rows observed when the sample was taken.
+	Rows int64
+	// WindowRows is the number of rows in the exact window.
+	WindowRows int64
+	// Err is the observed covariance error err(A_w, B).
+	Err float64
+	// Headroom is Eps − Err (negative on a violation).
+	Headroom float64
+	// WordsPerWindow is total words divided by elapsed windows (0 when no
+	// Words source is configured).
+	WordsPerWindow float64
+}
+
+// Metrics is a point-in-time snapshot of the auditor's counters,
+// serialized into the tracker's /metrics payload.
+type Metrics struct {
+	// Eps is the configured target error.
+	Eps float64
+	// Ticks is the number of audit measurements taken.
+	Ticks int64
+	// Violations counts ticks whose observed error exceeded Eps.
+	Violations int64
+	// Rows is the total rows shadowed.
+	Rows int64
+	// WindowRows is the current exact-window row count.
+	WindowRows int64
+	// LastT is the stream time of the latest measurement.
+	LastT int64
+	// LastErr, MaxErr and MeanErr summarize the observed errors.
+	LastErr, MaxErr, MeanErr float64
+	// Headroom is Eps − LastErr.
+	Headroom float64
+	// WordsPerWindow is the latest communication-per-window figure.
+	WordsPerWindow float64
+	// QueryLatency is the latency histogram of the audit's sketch
+	// queries (the sketch-query cost an operator would see).
+	QueryLatency obs.HistSnapshot
+}
+
+// Auditor maintains the exact window and the audit counters. Safe for
+// concurrent use: wire deployments feed it from several site goroutines.
+type Auditor struct {
+	cfg Config
+
+	mu     sync.Mutex
+	gram   *mat.Dense
+	frobSq float64
+	live   []timedRow
+	head   int
+
+	rows    int64
+	startT  int64
+	haveT   bool
+	lastT   int64
+	ticks   int64
+	viol    int64
+	errSum  float64
+	maxErr  float64
+	lastErr float64
+	lastWPW float64
+
+	samples []Sample
+
+	queryLat obs.Histogram
+}
+
+type timedRow struct {
+	t int64
+	v []float64
+}
+
+// New validates cfg and returns an empty auditor.
+func New(cfg Config) (*Auditor, error) {
+	if cfg.D < 1 || cfg.W <= 0 || cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("audit: invalid config D=%d W=%d Eps=%v", cfg.D, cfg.W, cfg.Eps)
+	}
+	if cfg.Sketch == nil && cfg.Gram == nil {
+		return nil, fmt.Errorf("audit: need a Sketch or Gram source")
+	}
+	if cfg.EveryRows <= 0 {
+		cfg.EveryRows = 512
+	}
+	if cfg.KeepSamples <= 0 {
+		cfg.KeepSamples = 512
+	}
+	return &Auditor{cfg: cfg, gram: mat.NewDense(cfg.D, cfg.D)}, nil
+}
+
+// Observe shadows one row (the value slice is copied) and, every
+// Config.EveryRows rows, takes an audit measurement.
+func (a *Auditor) Observe(t int64, v []float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.haveT {
+		a.haveT = true
+		a.startT = t
+	}
+	a.lastT = t
+	cp := append([]float64(nil), v...)
+	mat.OuterAdd(a.gram, cp, 1)
+	a.frobSq += mat.VecNormSq(cp)
+	a.live = append(a.live, timedRow{t: t, v: cp})
+	a.expireLocked(t)
+	a.rows++
+	if a.rows%int64(a.cfg.EveryRows) == 0 {
+		a.tickLocked()
+	}
+}
+
+// Advance expires shadow rows up to time t without new data.
+func (a *Auditor) Advance(t int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t > a.lastT {
+		a.lastT = t
+	}
+	a.expireLocked(t)
+}
+
+func (a *Auditor) expireLocked(now int64) {
+	cut := now - a.cfg.W
+	for a.head < len(a.live) && a.live[a.head].t <= cut {
+		r := a.live[a.head]
+		mat.OuterAdd(a.gram, r.v, -1)
+		a.frobSq -= mat.VecNormSq(r.v)
+		a.head++
+	}
+	if a.frobSq < 0 {
+		a.frobSq = 0
+	}
+	if a.head > 1024 && a.head*2 > len(a.live) {
+		n := copy(a.live, a.live[a.head:])
+		for i := n; i < len(a.live); i++ {
+			a.live[i] = timedRow{}
+		}
+		a.live = a.live[:n]
+		a.head = 0
+	}
+}
+
+// Tick forces an audit measurement now and returns it.
+func (a *Auditor) Tick() Sample {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tickLocked()
+}
+
+func (a *Auditor) tickLocked() Sample {
+	errObs := a.measureLocked()
+	a.ticks++
+	a.lastErr = errObs
+	a.errSum += errObs
+	if errObs > a.maxErr {
+		a.maxErr = errObs
+	}
+	if errObs > a.cfg.Eps {
+		a.viol++
+	}
+	wpw := 0.0
+	if a.cfg.Words != nil && a.haveT {
+		windows := float64(a.lastT-a.startT) / float64(a.cfg.W)
+		if windows < 1 {
+			windows = 1
+		}
+		wpw = float64(a.cfg.Words()) / windows
+	}
+	a.lastWPW = wpw
+	s := Sample{
+		T:              a.lastT,
+		Rows:           a.rows,
+		WindowRows:     int64(len(a.live) - a.head),
+		Err:            errObs,
+		Headroom:       a.cfg.Eps - errObs,
+		WordsPerWindow: wpw,
+	}
+	a.samples = append(a.samples, s)
+	if len(a.samples) > a.cfg.KeepSamples {
+		a.samples = a.samples[len(a.samples)-a.cfg.KeepSamples:]
+	}
+	return s
+}
+
+// measureLocked computes the observed covariance error. With a Gram
+// source the spectral norm runs in operator form on gram − Ĉ (≈30
+// mat-vecs); otherwise the sketch B is fetched and compared via
+// CovErrGram. The sketch-query time is recorded either way.
+func (a *Auditor) measureLocked() float64 {
+	if a.frobSq <= 0 {
+		return 0
+	}
+	start := time.Now()
+	defer func() { a.queryLat.Observe(time.Since(start)) }()
+	if a.cfg.Gram != nil {
+		chat := a.cfg.Gram()
+		nrm := mat.OpSymNorm(a.cfg.D, func(x, y []float64) {
+			gx := mat.MulVec(a.gram, x)
+			hx := mat.MulVec(chat, x)
+			for i := range y {
+				y[i] = gx[i] - hx[i]
+			}
+		})
+		return nrm / a.frobSq
+	}
+	b := a.cfg.Sketch()
+	return mat.CovErrGram(a.gram, a.frobSq, b)
+}
+
+// Metrics snapshots the audit counters.
+func (a *Auditor) Metrics() Metrics {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := Metrics{
+		Eps:            a.cfg.Eps,
+		Ticks:          a.ticks,
+		Violations:     a.viol,
+		Rows:           a.rows,
+		WindowRows:     int64(len(a.live) - a.head),
+		LastT:          a.lastT,
+		LastErr:        a.lastErr,
+		MaxErr:         a.maxErr,
+		Headroom:       a.cfg.Eps - a.lastErr,
+		WordsPerWindow: a.lastWPW,
+		QueryLatency:   a.queryLat.Snapshot(),
+	}
+	if a.ticks > 0 {
+		m.MeanErr = a.errSum / float64(a.ticks)
+	}
+	return m
+}
+
+// Samples returns a copy of the retained measurement history, oldest
+// first.
+func (a *Auditor) Samples() []Sample {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Sample(nil), a.samples...)
+}

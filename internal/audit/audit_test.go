@@ -1,0 +1,239 @@
+package audit
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"distwindow/internal/stream"
+	"distwindow/internal/window"
+	"distwindow/mat"
+)
+
+func TestConfigValidation(t *testing.T) {
+	sk := func() *mat.Dense { return mat.NewDense(1, 1) }
+	bad := []Config{
+		{D: 0, W: 10, Eps: 0.1, Sketch: sk},
+		{D: 1, W: 0, Eps: 0.1, Sketch: sk},
+		{D: 1, W: 10, Eps: 0, Sketch: sk},
+		{D: 1, W: 10, Eps: 1.5, Sketch: sk},
+		{D: 1, W: 10, Eps: 0.1}, // no sketch source
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{D: 1, W: 10, Eps: 0.1, Sketch: sk}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuditAgainstExactSketch feeds the auditor a shadow of a stream and
+// audits a "protocol" that is itself exact — the observed error must be
+// ~0 and no violations recorded. Then it audits a corrupted sketch and
+// must flag violations.
+func TestAuditAgainstExactSketch(t *testing.T) {
+	const (
+		d = 4
+		w = int64(64)
+	)
+	truth := window.NewExact(w)
+	a, err := New(Config{
+		D: d, W: w, Eps: 0.1, EveryRows: 16,
+		Gram:  func() *mat.Dense { return truth.Gram(d) },
+		Words: func() int64 { return 100 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := int64(1); i <= 300; i++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		truth.Add(stream.Row{T: i, V: v})
+		a.Observe(i, v)
+	}
+	m := a.Metrics()
+	if m.Ticks == 0 {
+		t.Fatal("no audit ticks over 300 rows at EveryRows=16")
+	}
+	if m.Violations != 0 {
+		t.Fatalf("%d violations auditing an exact sketch", m.Violations)
+	}
+	if m.MaxErr > 1e-9 {
+		t.Fatalf("MaxErr = %v auditing an exact sketch", m.MaxErr)
+	}
+	if m.WordsPerWindow <= 0 {
+		t.Fatal("words-per-window not computed despite a Words source")
+	}
+	if m.Rows != 300 {
+		t.Fatalf("Rows = %d, want 300", m.Rows)
+	}
+	if m.QueryLatency.Count != m.Ticks {
+		t.Fatalf("query latency count %d != ticks %d", m.QueryLatency.Count, m.Ticks)
+	}
+	if m.Headroom <= 0 {
+		t.Fatalf("Headroom = %v, want > 0", m.Headroom)
+	}
+}
+
+func TestAuditFlagsViolations(t *testing.T) {
+	const (
+		d = 3
+		w = int64(50)
+	)
+	// The "protocol" reports an empty sketch: the observed error is 1.
+	a, err := New(Config{
+		D: d, W: w, Eps: 0.2, EveryRows: 10,
+		Sketch: func() *mat.Dense { return mat.NewDense(0, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 40; i++ {
+		a.Observe(i, []float64{1, 2, 3})
+	}
+	m := a.Metrics()
+	if m.Ticks != 4 {
+		t.Fatalf("Ticks = %d, want 4", m.Ticks)
+	}
+	if m.Violations != m.Ticks {
+		t.Fatalf("Violations = %d, want every tick (%d)", m.Violations, m.Ticks)
+	}
+	if m.LastErr < 0.99 || m.Headroom > -0.7 {
+		t.Fatalf("LastErr = %v, Headroom = %v", m.LastErr, m.Headroom)
+	}
+}
+
+func TestShadowWindowExpiry(t *testing.T) {
+	const (
+		d = 2
+		w = int64(10)
+	)
+	a, err := New(Config{
+		D: d, W: w, Eps: 0.5,
+		Sketch: func() *mat.Dense { return mat.NewDense(0, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 30; i++ {
+		a.Observe(i, []float64{1, 0})
+	}
+	s := a.Tick()
+	if s.WindowRows != 10 {
+		t.Fatalf("WindowRows = %d, want 10", s.WindowRows)
+	}
+	// Advancing far past the horizon empties the shadow window; the
+	// observed error of an empty window is defined as 0.
+	a.Advance(100)
+	s = a.Tick()
+	if s.WindowRows != 0 {
+		t.Fatalf("WindowRows after expiry = %d, want 0", s.WindowRows)
+	}
+	if s.Err != 0 {
+		t.Fatalf("empty-window err = %v, want 0", s.Err)
+	}
+}
+
+func TestAuditorCopiesRows(t *testing.T) {
+	a, err := New(Config{
+		D: 2, W: 100, Eps: 0.5,
+		Sketch: func() *mat.Dense { return mat.NewDense(0, 2) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []float64{3, 4}
+	a.Observe(1, buf)
+	buf[0], buf[1] = -100, 100
+	a.mu.Lock()
+	frob := a.frobSq
+	a.mu.Unlock()
+	if frob != 25 {
+		t.Fatalf("frobSq = %v after caller clobbered the row; auditor retained the slice", frob)
+	}
+}
+
+func TestSampleHistoryBounded(t *testing.T) {
+	a, err := New(Config{
+		D: 1, W: 1000, Eps: 0.5, EveryRows: 1, KeepSamples: 8,
+		Sketch: func() *mat.Dense { return mat.NewDense(0, 1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 50; i++ {
+		a.Observe(i, []float64{1})
+	}
+	s := a.Samples()
+	if len(s) != 8 {
+		t.Fatalf("retained %d samples, want 8", len(s))
+	}
+	if s[len(s)-1].T != 50 || s[0].T != 43 {
+		t.Fatalf("wrong retained range: first T=%d last T=%d", s[0].T, s[len(s)-1].T)
+	}
+}
+
+func TestConcurrentObserveAndMetrics(t *testing.T) {
+	a, err := New(Config{
+		D: 2, W: 500, Eps: 0.5, EveryRows: 64,
+		Sketch: func() *mat.Dense { return mat.NewDense(0, 2) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := int64(1); i <= 2000; i++ {
+			a.Observe(i, []float64{1, 1})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			a.Metrics()
+			a.Samples()
+		}
+	}()
+	wg.Wait()
+	if got := a.Metrics().Rows; got != 2000 {
+		t.Fatalf("Rows = %d, want 2000", got)
+	}
+}
+
+func TestPanelAndHandler(t *testing.T) {
+	a, err := New(Config{
+		D: 1, W: 100, Eps: 0.3, EveryRows: 5,
+		Sketch: func() *mat.Dense { return mat.NewDense(0, 1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty history still renders a document.
+	if svg := a.Panel(); !strings.Contains(svg, "<svg") {
+		t.Fatal("empty panel is not an SVG document")
+	}
+	for i := int64(1); i <= 25; i++ {
+		a.Observe(i, []float64{1})
+	}
+	rec := httptest.NewRecorder()
+	a.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/audit", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "observed err") || !strings.Contains(body, "target") {
+		t.Fatal("panel missing series legend")
+	}
+}

@@ -1,0 +1,41 @@
+package audit
+
+import (
+	"net/http"
+
+	"distwindow/internal/svgplot"
+)
+
+// Panel renders the retained audit history as an SVG chart: the observed
+// covariance error per tick against the configured ε line, so a glance
+// shows whether the deployment is honoring its budget and with how much
+// headroom.
+func (a *Auditor) Panel() string {
+	samples := a.Samples()
+	errSeries := svgplot.Series{Name: "observed err(A_w,B)"}
+	epsSeries := svgplot.Series{Name: "target ε"}
+	for _, s := range samples {
+		x := float64(s.T)
+		errSeries.Points = append(errSeries.Points, svgplot.Point{X: x, Y: s.Err})
+		epsSeries.Points = append(epsSeries.Points, svgplot.Point{X: x, Y: a.cfg.Eps})
+	}
+	if len(samples) == 0 {
+		// An empty plot still needs the ε reference to render axes.
+		epsSeries.Points = []svgplot.Point{{X: 0, Y: a.cfg.Eps}, {X: 1, Y: a.cfg.Eps}}
+	}
+	p := svgplot.Plot{
+		Title:  "live ε-error audit",
+		XLabel: "stream time",
+		YLabel: "covariance error",
+		Series: []svgplot.Series{errSeries, epsSeries},
+	}
+	return p.Render()
+}
+
+// Handler serves the panel as image/svg+xml — the /debug/audit endpoint.
+func (a *Auditor) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		_, _ = w.Write([]byte(a.Panel()))
+	})
+}

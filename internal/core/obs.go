@@ -1,12 +1,23 @@
 package core
 
-import "distwindow/internal/obs"
+import (
+	"distwindow/internal/obs"
+	"distwindow/internal/trace"
+)
 
 // SinkSetter is implemented by trackers that can forward bucket lifecycle
 // events (and other internal events) to an obs.Sink. Install the sink
 // before feeding data; the trackers do not synchronize the field.
 type SinkSetter interface {
 	SetSink(obs.Sink)
+}
+
+// TracerSetter is implemented by trackers that can forward a causal
+// tracer into their sites' sliding-window histograms, so bucket
+// create/merge/expire instants attach under the facade's ingest spans.
+// Install the tracer before feeding data; the field is not synchronized.
+type TracerSetter interface {
+	SetTracer(*trace.Tracer)
 }
 
 // BucketCounter is implemented by trackers whose sites maintain
@@ -21,6 +32,13 @@ type BucketCounter interface {
 func (t *SumTracker) SetSink(s obs.Sink) {
 	for i, st := range t.sites {
 		st.hist.SetSink(s, i)
+	}
+}
+
+// SetTracer forwards a causal tracer to every site's gEH.
+func (t *SumTracker) SetTracer(tr *trace.Tracer) {
+	for i, st := range t.sites {
+		st.hist.SetTracer(tr, i)
 	}
 }
 
@@ -39,6 +57,16 @@ func (t *DA1) SetSink(s obs.Sink) {
 	for i, st := range t.sites {
 		if st.hist != nil {
 			st.hist.SetSink(s, i)
+		}
+	}
+}
+
+// SetTracer forwards a causal tracer to every site's mEH (exact-storage
+// ablation sites have none).
+func (t *DA1) SetTracer(tr *trace.Tracer) {
+	for i, st := range t.sites {
+		if st.hist != nil {
+			st.hist.SetTracer(tr, i)
 		}
 	}
 }
@@ -64,6 +92,13 @@ func (t *DA2) SetSink(s obs.Sink) {
 	}
 }
 
+// SetTracer forwards a causal tracer to every site's mass gEH.
+func (t *DA2) SetTracer(tr *trace.Tracer) {
+	for i, st := range t.sites {
+		st.mass.SetTracer(tr, i)
+	}
+}
+
 // LiveBuckets returns the total mass-gEH bucket count across sites.
 func (t *DA2) LiveBuckets() int {
 	n := 0
@@ -78,6 +113,13 @@ func (t *DA2) LiveBuckets() int {
 func (s *Sampler) SetSink(sink obs.Sink) {
 	if s.sum != nil {
 		s.sum.SetSink(sink)
+	}
+}
+
+// SetTracer forwards a causal tracer to the embedded Frobenius tracker.
+func (s *Sampler) SetTracer(tr *trace.Tracer) {
+	if s.sum != nil {
+		s.sum.SetTracer(tr)
 	}
 }
 
@@ -102,4 +144,13 @@ func (t *WithReplacement) SetSink(s obs.Sink) {
 // LiveBuckets returns the shared Frobenius tracker's bucket count.
 func (t *WithReplacement) LiveBuckets() int {
 	return t.sum.LiveBuckets()
+}
+
+// SetTracer forwards a causal tracer to the shared Frobenius tracker and
+// every inner sampler.
+func (t *WithReplacement) SetTracer(tr *trace.Tracer) {
+	t.sum.SetTracer(tr)
+	for _, inner := range t.inst {
+		inner.SetTracer(tr)
+	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"distwindow/internal/fd"
 	"distwindow/internal/obs"
+	"distwindow/internal/trace"
 	"distwindow/mat"
 )
 
@@ -40,6 +41,9 @@ type Histogram struct {
 	// the events with the owning site's index.
 	sink obs.Sink
 	site int
+	// tracer records bucket lifecycle instants under the caller's open
+	// ingest span; nil — the default — costs one nil-check per event.
+	tracer *trace.Tracer
 }
 
 type bucket struct {
@@ -78,6 +82,16 @@ func (h *Histogram) SetSink(s obs.Sink, site int) {
 	h.site = site
 }
 
+// SetTracer installs a causal tracer for bucket lifecycle instants
+// (created/merged/expired), tagged with the given site index. The events
+// attach under whatever span the tracer currently has open — the ingest
+// root — and are dropped when none is. Install before feeding data; nil
+// disables.
+func (h *Histogram) SetTracer(tr *trace.Tracer, site int) {
+	h.tracer = tr
+	h.site = site
+}
+
 // D returns the row dimension.
 func (h *Histogram) D() int { return h.d }
 
@@ -96,6 +110,7 @@ func (h *Histogram) Add(t int64, v []float64) {
 	if h.sink != nil {
 		h.sink.OnEvent(obs.Event{Kind: obs.EvBucketCreated, Site: h.site, T: t})
 	}
+	h.tracer.Instant(trace.OpBucketCreate, h.site, t, 1)
 	if h.pending >= compactEvery {
 		h.compact()
 	}
@@ -151,8 +166,11 @@ func (h *Histogram) compact() {
 	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
 		out[l], out[r] = out[r], out[l]
 	}
-	if merged := n - len(out); merged > 0 && h.sink != nil {
-		h.sink.OnEvent(obs.Event{Kind: obs.EvBucketMerged, Site: h.site, N: merged})
+	if merged := n - len(out); merged > 0 {
+		if h.sink != nil {
+			h.sink.OnEvent(obs.Event{Kind: obs.EvBucketMerged, Site: h.site, N: merged})
+		}
+		h.tracer.Instant(trace.OpBucketMerge, h.site, 0, int64(merged))
 	}
 	h.buckets = out
 }
@@ -169,6 +187,7 @@ func (h *Histogram) Advance(now int64) {
 		if h.sink != nil {
 			h.sink.OnEvent(obs.Event{Kind: obs.EvBucketExpired, Site: h.site, T: now, N: i})
 		}
+		h.tracer.Instant(trace.OpBucketExpire, h.site, now, int64(i))
 	}
 }
 

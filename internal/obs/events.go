@@ -32,6 +32,9 @@ const (
 	// EvThresholdRenegotiation: the coordinator broadcast a new sampling
 	// threshold to every site. Words is the per-site payload.
 	EvThresholdRenegotiation
+	// EvMsgRejected: the coordinator rejected a malformed message (wrong
+	// dimension, unknown kind). Site is the claimed sender.
+	EvMsgRejected
 
 	numEventKinds = iota
 )
@@ -48,6 +51,7 @@ var eventKindNames = [...]string{
 	EvSketchQuery:            "sketch_query",
 	EvSkewDrop:               "skew_drop",
 	EvThresholdRenegotiation: "threshold_renegotiation",
+	EvMsgRejected:            "msg_rejected",
 }
 
 // String returns the kind's snake_case name.

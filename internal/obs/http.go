@@ -4,7 +4,38 @@ import (
 	"encoding/json"
 	"expvar"
 	"net/http"
+	"net/http/pprof"
 )
+
+// MuxOption extends the mux returned by Mux with optional debug
+// endpoints.
+type MuxOption func(*http.ServeMux)
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ so CPU and heap
+// profiles are reachable next to /metrics. Opt-in: profiling endpoints
+// expose internals and cost CPU while sampled, so production listeners
+// only get them behind an explicit flag (-pprof in sketchd/distrun).
+func WithPprof() MuxOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// WithHandler mounts an extra handler on the mux — the hook the tracing
+// ring (/debug/trace) and the audit panel (/debug/audit) use. A nil
+// handler is ignored, so callers can pass optional endpoints
+// unconditionally.
+func WithHandler(pattern string, h http.Handler) MuxOption {
+	return func(mux *http.ServeMux) {
+		if h != nil {
+			mux.Handle(pattern, h)
+		}
+	}
+}
 
 // Mux returns an HTTP mux serving the two production endpoints:
 //
@@ -15,12 +46,13 @@ import (
 //
 // It also mounts expvar's /debug/vars so anything published through
 // PublishExpvar (and Go's default memstats/cmdline vars) is reachable from
-// the same listener.
+// the same listener. Options add opt-in debug endpoints: WithPprof for
+// profiles, WithHandler for /debug/trace and /debug/audit.
 //
 // snapshot is called per request and must be safe to call concurrently
 // with ingestion — the facade and wire snapshots are built from atomics
 // for exactly this reason.
-func Mux(snapshot func() (any, bool), healthy func() bool) *http.ServeMux {
+func Mux(snapshot func() (any, bool), healthy func() bool, opts ...MuxOption) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap, ok := snapshot()
@@ -42,6 +74,9 @@ func Mux(snapshot func() (any, bool), healthy func() bool) *http.ServeMux {
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	for _, opt := range opts {
+		opt(mux)
+	}
 	return mux
 }
 

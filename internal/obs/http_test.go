@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, mux *http.ServeMux, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestMuxMetricsServesJSON(t *testing.T) {
+	type snap struct{ Rows int64 }
+	mux := Mux(func() (any, bool) { return snap{Rows: 42}, true }, nil)
+
+	rec := get(t, mux, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics Content-Type = %q, want application/json", ct)
+	}
+	var got snap
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("/metrics body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if got.Rows != 42 {
+		t.Fatalf("decoded Rows = %d, want 42", got.Rows)
+	}
+}
+
+func TestMuxMetricsNotReady(t *testing.T) {
+	mux := Mux(func() (any, bool) { return nil, false }, nil)
+
+	rec := get(t, mux, "/metrics")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/metrics status = %d, want 503", rec.Code)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("503 body is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body["error"] == "" {
+		t.Fatalf("503 body missing error field: %s", rec.Body.String())
+	}
+}
+
+func TestMuxHealthz(t *testing.T) {
+	healthy := true
+	mux := Mux(func() (any, bool) { return struct{}{}, true }, func() bool { return healthy })
+
+	rec := get(t, mux, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy /healthz status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/healthz Content-Type = %q, want text/plain", ct)
+	}
+	if body := rec.Body.String(); body != "ok\n" {
+		t.Fatalf("/healthz body = %q, want \"ok\\n\"", body)
+	}
+
+	healthy = false
+	if rec := get(t, mux, "/healthz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz status = %d, want 503", rec.Code)
+	}
+
+	// A nil healthy func reports process liveness: always 200.
+	alive := Mux(func() (any, bool) { return struct{}{}, true }, nil)
+	if rec := get(t, alive, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("nil-healthy /healthz status = %d, want 200", rec.Code)
+	}
+}
+
+func TestMuxDebugVars(t *testing.T) {
+	mux := Mux(func() (any, bool) { return struct{}{}, true }, nil)
+
+	rec := get(t, mux, "/debug/vars")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d, want 200", rec.Code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("/debug/vars body is not JSON: %v", err)
+	}
+	// Go's expvar always publishes cmdline and memstats.
+	if _, ok := vars["memstats"]; !ok {
+		t.Fatalf("/debug/vars missing memstats: keys %v", len(vars))
+	}
+}
+
+func TestWithPprofMountsEndpoints(t *testing.T) {
+	plain := Mux(func() (any, bool) { return struct{}{}, true }, nil)
+	if rec := get(t, plain, "/debug/pprof/cmdline"); rec.Code == http.StatusOK {
+		t.Fatalf("pprof reachable without WithPprof (status %d)", rec.Code)
+	}
+
+	mux := Mux(func() (any, bool) { return struct{}{}, true }, nil, WithPprof())
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		if rec := get(t, mux, path); rec.Code != http.StatusOK {
+			t.Fatalf("GET %s status = %d, want 200", path, rec.Code)
+		}
+	}
+}
+
+func TestWithHandler(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"traceEvents":[]}`))
+	})
+	mux := Mux(func() (any, bool) { return struct{}{}, true }, nil,
+		WithHandler("/debug/trace", h),
+		WithHandler("/debug/absent", nil), // nil handlers are ignored, not mounted
+	)
+
+	rec := get(t, mux, "/debug/trace")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/trace status = %d, want 200", rec.Code)
+	}
+	if rec.Body.String() != `{"traceEvents":[]}` {
+		t.Fatalf("/debug/trace body = %q", rec.Body.String())
+	}
+	if rec := get(t, mux, "/debug/absent"); rec.Code != http.StatusNotFound {
+		t.Fatalf("nil WithHandler mounted something: status %d", rec.Code)
+	}
+}

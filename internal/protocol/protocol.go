@@ -15,6 +15,7 @@ package protocol
 import (
 	"distwindow/internal/obs"
 	"distwindow/internal/stream"
+	"distwindow/internal/trace"
 	"distwindow/mat"
 )
 
@@ -93,7 +94,8 @@ type Network struct {
 	coordWords         obs.MaxGauge
 	perSite            []siteCounters
 
-	sink obs.Sink
+	sink   obs.Sink
+	tracer *trace.Tracer
 }
 
 // NewNetwork returns a fabric connecting m sites to one coordinator.
@@ -110,6 +112,12 @@ func (n *Network) Sites() int { return n.m }
 // SetSink installs an event sink (nil disables events). Install it before
 // traffic flows; the field itself is not synchronized.
 func (n *Network) SetSink(s obs.Sink) { n.sink = s }
+
+// SetTracer installs a causal tracer: each transmission is recorded as a
+// send/recv instant under the tracer's open ingest span (the simulated
+// fabric is synchronous, so every message fires inside the Observe that
+// caused it). Install before traffic flows; nil disables.
+func (n *Network) SetTracer(tr *trace.Tracer) { n.tracer = tr }
 
 // Up records a site→coordinator message of the given word count from an
 // unidentified site (kept for callers that have no site in scope; prefer
@@ -128,6 +136,7 @@ func (n *Network) UpFrom(site int, words int64) {
 	if n.sink != nil {
 		n.sink.OnEvent(obs.Event{Kind: obs.EvMsgSent, Site: site, Words: words})
 	}
+	n.tracer.Instant(trace.OpSend, site, 0, words)
 }
 
 // Down records a coordinator→site message of the given word count to an
@@ -146,6 +155,7 @@ func (n *Network) DownTo(site int, words int64) {
 	if n.sink != nil {
 		n.sink.OnEvent(obs.Event{Kind: obs.EvMsgReceived, Site: site, Words: words})
 	}
+	n.tracer.Instant(trace.OpRecv, site, 0, words)
 }
 
 // Broadcast records a coordinator→all-sites broadcast: the payload is
@@ -162,6 +172,7 @@ func (n *Network) Broadcast(words int64) {
 	if n.sink != nil {
 		n.sink.OnEvent(obs.Event{Kind: obs.EvThresholdRenegotiation, Site: -1, Words: words})
 	}
+	n.tracer.Instant(trace.OpRecv, -1, 0, words*int64(n.m))
 }
 
 // SampleSiteSpace records the instantaneous space usage (words) of one

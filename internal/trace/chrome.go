@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Chrome trace-event export: the ring's spans rendered in the Trace Event
+// Format's JSON-object form ({"traceEvents":[...]}), loadable in Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing.
+//
+// Mapping: each site becomes a process (pid = site+1; the coordinator,
+// site -1, is pid 0) so the per-site timelines sit side by side; spans
+// are "X" (complete) events, instants are "i" events; trace/span/parent
+// IDs and the stream timestamp ride in args, so a chain can be followed
+// by filtering on args.trace.
+
+// chromeEvent is one Trace Event Format record.
+type chromeEvent struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat,omitempty"`
+	Ph    string  `json:"ph"`
+	Ts    float64 `json:"ts"`
+	Dur   float64 `json:"dur,omitempty"`
+	Pid   int     `json:"pid"`
+	Tid   int     `json:"tid"`
+	Scope string  `json:"s,omitempty"`
+	Args  any     `json:"args,omitempty"`
+}
+
+type chromeSpanArgs struct {
+	Trace  string `json:"trace"`
+	Span   string `json:"span"`
+	Parent string `json:"parent,omitempty"`
+	T      int64  `json:"t,omitempty"`
+	N      int64  `json:"n,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// pid maps a span's site to a Chrome process id (coordinator → 0).
+func pid(site int) int {
+	if site < 0 {
+		return 0
+	}
+	return site + 1
+}
+
+// ChromeTrace renders the ring's current spans as Chrome trace JSON.
+func (r *Ring) ChromeTrace() ([]byte, error) {
+	spans := r.Snapshot()
+	events := make([]chromeEvent, 0, len(spans)+8)
+	seen := map[int]bool{}
+	for _, s := range spans {
+		p := pid(s.Site)
+		if !seen[p] {
+			seen[p] = true
+			name := "coordinator"
+			if s.Site >= 0 {
+				name = fmt.Sprintf("site %d", s.Site)
+			}
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: p, Tid: 0,
+				Args: map[string]string{"name": name},
+			})
+		}
+		ev := chromeEvent{
+			Name: s.Op.String(),
+			Cat:  "protocol",
+			Ph:   "X",
+			Ts:   float64(s.StartNs) / 1e3,
+			Dur:  float64(s.DurNs) / 1e3,
+			Pid:  p,
+			Tid:  1,
+			Args: chromeSpanArgs{
+				Trace:  strconv.FormatUint(s.Trace, 16),
+				Span:   strconv.FormatUint(s.ID, 16),
+				Parent: parentHex(s.Parent),
+				T:      s.T,
+				N:      s.N,
+			},
+		}
+		if s.Instant {
+			ev.Ph, ev.Dur, ev.Scope = "i", 0, "t"
+		}
+		events = append(events, ev)
+	}
+	return json.Marshal(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+func parentHex(p uint64) string {
+	if p == 0 {
+		return ""
+	}
+	return strconv.FormatUint(p, 16)
+}
+
+// Handler serves the ring as Chrome trace JSON — the /debug/trace
+// endpoint. Save the response to a file and open it in Perfetto.
+func (r *Ring) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		buf, err := r.ChromeTrace()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		_, _ = w.Write(buf)
+	})
+}

@@ -7,8 +7,25 @@ import (
 	"distwindow/internal/eh"
 	"distwindow/internal/iwmt"
 	"distwindow/internal/meh"
+	"distwindow/internal/trace"
 	"distwindow/mat"
 )
+
+// sendTraced stamps the current span's context onto m and pushes it: the
+// shared send path of every networked site. A send during a traced
+// Observe becomes a child "send" span whose context rides in the frame;
+// with no tracer (or an unsampled row) the message goes out untraced at
+// the cost of one nil-check.
+func sendTraced(tr *trace.Tracer, out Sender, m Msg) error {
+	sp := tr.Child(trace.OpSend, m.Site, m.T)
+	if sp.Sampled() {
+		ctx := sp.Context()
+		m.Trace, m.Span = ctx.Trace, ctx.Span
+	}
+	err := out.Send(m)
+	sp.End()
+	return err
+}
 
 // SiteConfig parameterizes a networked site.
 type SiteConfig struct {
@@ -43,6 +60,7 @@ type DA2Site struct {
 	q        []iwmt.Msg
 	boundary int64
 	now      int64
+	tr       *trace.Tracer
 }
 
 // NewDA2Site returns a site pushing to out.
@@ -56,8 +74,21 @@ func NewDA2Site(cfg SiteConfig, out Sender) (*DA2Site, error) {
 	return s, nil
 }
 
+// SetTracer installs a causal tracer: each Observe becomes a (sampled)
+// root "ingest" span, sends become child spans whose context rides in
+// the outgoing frames, and the mass histogram's bucket lifecycle is
+// recorded as instants. The site owns the tracer — sites run one
+// goroutine each, so give every site its own Tracer over a shared Ring.
+// Install before feeding data; nil disables.
+func (s *DA2Site) SetTracer(tr *trace.Tracer) {
+	s.tr = tr
+	s.mass.SetTracer(tr, s.cfg.ID)
+}
+
 // Observe feeds one local row; timestamps must be non-decreasing.
 func (s *DA2Site) Observe(t int64, v []float64) error {
+	sp := s.tr.Start(trace.OpIngest, s.cfg.ID, t)
+	defer sp.End()
 	if err := s.advance(t); err != nil {
 		return err
 	}
@@ -102,7 +133,7 @@ func (s *DA2Site) expireUpTo(now int64) error {
 	for len(s.q) > 0 && s.q[0].T <= cut {
 		m := s.q[0]
 		s.q = s.q[1:]
-		if err := s.out.Send(Msg{Site: s.cfg.ID, Kind: DirectionRemove, T: m.T, V: m.V}); err != nil {
+		if err := sendTraced(s.tr, s.out, Msg{Site: s.cfg.ID, Kind: DirectionRemove, T: m.T, V: m.V}); err != nil {
 			return err
 		}
 	}
@@ -111,7 +142,7 @@ func (s *DA2Site) expireUpTo(now int64) error {
 
 func (s *DA2Site) sendA(m iwmt.Msg) error {
 	s.ledger = append(s.ledger, m)
-	return s.out.Send(Msg{Site: s.cfg.ID, Kind: DirectionAdd, T: m.T, V: m.V})
+	return sendTraced(s.tr, s.out, Msg{Site: s.cfg.ID, Kind: DirectionAdd, T: m.T, V: m.V})
 }
 
 // DA1Site is the networked DA1 site: an mEH plus a replica of the
@@ -125,6 +156,7 @@ type DA1Site struct {
 	lastF float64
 	pv    []float64
 	now   int64
+	tr    *trace.Tracer
 }
 
 // NewDA1Site returns a site pushing to out.
@@ -141,8 +173,17 @@ func NewDA1Site(cfg SiteConfig, out Sender) (*DA1Site, error) {
 	}, nil
 }
 
+// SetTracer installs a causal tracer (see DA2Site.SetTracer). Install
+// before feeding data; nil disables.
+func (s *DA1Site) SetTracer(tr *trace.Tracer) {
+	s.tr = tr
+	s.hist.SetTracer(tr, s.cfg.ID)
+}
+
 // Observe feeds one local row.
 func (s *DA1Site) Observe(t int64, v []float64) error {
+	sp := s.tr.Start(trace.OpIngest, s.cfg.ID, t)
+	defer sp.End()
 	s.now = t
 	s.hist.Add(t, v)
 	added := mat.VecNormSq(v)
@@ -216,7 +257,7 @@ func (s *DA1Site) sendDiff(diff *mat.Dense, cutoff float64) error {
 		}
 		mat.OuterAdd(s.chat, v, lam)
 		sent++
-		return s.out.Send(Msg{Site: s.cfg.ID, Kind: kind, T: s.now, V: scaled})
+		return sendTraced(s.tr, s.out, Msg{Site: s.cfg.ID, Kind: kind, T: s.now, V: scaled})
 	}
 	for i, lam := range eig.Values {
 		if lam == 0 || math.Abs(lam) < cutoff {
@@ -247,6 +288,7 @@ type SumSite struct {
 	hist *eh.Histogram
 	chat float64
 	now  int64
+	tr   *trace.Tracer
 }
 
 // NewSumSite returns a site pushing scalar deltas to out.
@@ -258,8 +300,17 @@ func NewSumSite(cfg SiteConfig, out Sender) (*SumSite, error) {
 	return &SumSite{cfg: cfg, out: out, hist: eh.New(cfg.W, cfg.Eps/2)}, nil
 }
 
+// SetTracer installs a causal tracer (see DA2Site.SetTracer). Install
+// before feeding data; nil disables.
+func (s *SumSite) SetTracer(tr *trace.Tracer) {
+	s.tr = tr
+	s.hist.SetTracer(tr, s.cfg.ID)
+}
+
 // Observe records a positive weight.
 func (s *SumSite) Observe(t int64, w float64) error {
+	sp := s.tr.Start(trace.OpIngest, s.cfg.ID, t)
+	defer sp.End()
 	s.now = t
 	if w > 0 {
 		s.hist.Insert(t, w)
@@ -284,7 +335,7 @@ func (s *SumSite) check() error {
 	d := c - s.chat
 	if math.Abs(d) > s.cfg.Eps*c || (c == 0 && s.chat != 0) {
 		s.chat = c
-		return s.out.Send(Msg{Site: s.cfg.ID, Kind: SumDelta, T: s.now, Delta: d})
+		return sendTraced(s.tr, s.out, Msg{Site: s.cfg.ID, Kind: SumDelta, T: s.now, Delta: d})
 	}
 	return nil
 }

@@ -23,10 +23,18 @@ import (
 	"time"
 
 	"distwindow/internal/obs"
+	"distwindow/internal/trace"
 	"distwindow/mat"
 )
 
 // Msg is the single message type of the one-way protocols.
+//
+// The trace fields propagate causal-trace context across the wire; they
+// are zero on untraced messages, and gob's field matching keeps the frame
+// format backward compatible in both directions: a pre-trace sender's
+// frames decode at a new coordinator with zero trace fields, and a new
+// sender's frames decode at an old coordinator, which ignores the fields
+// it does not know.
 type Msg struct {
 	// Site identifies the sender.
 	Site int
@@ -38,6 +46,10 @@ type Msg struct {
 	V []float64
 	// Delta is a scalar update (SumDelta kind).
 	Delta float64
+	// Trace and Span carry the sender's trace context (0 = untraced): the
+	// root trace ID and the sending span's ID, so the coordinator's apply
+	// span joins the site's causal chain.
+	Trace, Span uint64
 }
 
 // Kind enumerates message payloads.
@@ -70,6 +82,7 @@ type Coordinator struct {
 	badMsgs obs.Counter
 	conns   obs.Gauge
 	sink    obs.Sink
+	tracer  *trace.Tracer
 
 	wg     sync.WaitGroup
 	lnMu   sync.Mutex
@@ -86,17 +99,37 @@ func NewCoordinator(d int) *Coordinator {
 }
 
 // SetSink installs an event sink receiving one EvMsgReceived per applied
-// message, with Site set to the original sender (nil disables). Install
-// before serving; the field is read without synchronization.
+// message, with Site set to the original sender, and one EvMsgRejected
+// per malformed frame (nil disables). Install before serving; the field
+// is read without synchronization.
 func (c *Coordinator) SetSink(s obs.Sink) { c.sink = s }
+
+// SetTracer installs a causal tracer (nil disables). Traced messages
+// (Msg.Trace != 0) get an "apply" span linked under the sender's "send"
+// span; sketch queries get root "query" spans, head-sampled at the
+// tracer's rate. Install before serving; only linked and root spans are
+// recorded, so one tracer is safe across connection goroutines.
+func (c *Coordinator) SetTracer(tr *trace.Tracer) { c.tracer = tr }
+
+// reject counts a malformed message and reports it to the sink.
+func (c *Coordinator) reject(m Msg) {
+	c.badMsgs.Inc()
+	if c.sink != nil {
+		c.sink.OnEvent(obs.Event{Kind: obs.EvMsgRejected, Site: m.Site, T: m.T})
+	}
+}
 
 // Apply folds one message into the coordinator state.
 func (c *Coordinator) Apply(m Msg) error {
+	if c.tracer != nil && m.Trace != 0 {
+		sp := c.tracer.StartLinked(trace.Context{Trace: m.Trace, Span: m.Span}, trace.OpApply, m.Site, m.T)
+		defer sp.End()
+	}
 	var payload int64
 	switch m.Kind {
 	case DirectionAdd, DirectionRemove:
 		if len(m.V) != c.d {
-			c.badMsgs.Inc()
+			c.reject(m)
 			return fmt.Errorf("wire: direction length %d, want %d", len(m.V), c.d)
 		}
 		payload = int64(8 * (len(m.V) + 3))
@@ -113,7 +146,7 @@ func (c *Coordinator) Apply(m Msg) error {
 		c.sum += m.Delta
 		c.mu.Unlock()
 	default:
-		c.badMsgs.Inc()
+		c.reject(m)
 		return fmt.Errorf("wire: unknown message kind %d", m.Kind)
 	}
 	c.msgs.Inc()
@@ -127,6 +160,8 @@ func (c *Coordinator) Apply(m Msg) error {
 
 // Sketch returns B = Σ^{1/2}Vᵀ of the PSD-clipped Ĉ.
 func (c *Coordinator) Sketch() *mat.Dense {
+	sp := c.tracer.StartDetached(trace.OpQuery, -1, 0)
+	defer sp.End()
 	c.mu.Lock()
 	chat := c.chat.Clone()
 	c.mu.Unlock()
@@ -176,15 +211,22 @@ func (c *Coordinator) Metrics() CoordinatorMetrics {
 
 // MetricsMux returns an HTTP mux serving GET /metrics (the JSON-encoded
 // CoordinatorMetrics), GET /healthz and /debug/vars, for mounting on an
-// operations listener next to the site listener.
-func (c *Coordinator) MetricsMux() *http.ServeMux {
+// operations listener next to the site listener. Options add opt-in
+// debug endpoints (obs.WithPprof, obs.WithHandler for /debug/trace).
+func (c *Coordinator) MetricsMux(opts ...obs.MuxOption) *http.ServeMux {
 	return obs.Mux(
 		func() (any, bool) { return c.Metrics(), true },
 		nil,
+		opts...,
 	)
 }
 
-// HandleConn decodes messages from one connection until EOF or error.
+// HandleConn decodes messages from one connection until EOF or a decode
+// error. A message the coordinator refuses to apply (wrong dimension,
+// unknown kind) is counted in BadMsgs and reported to the sink, but does
+// NOT end the connection: one malformed frame must not drop a site whose
+// stream is otherwise healthy. Decode errors still end the connection —
+// a gob stream cannot resynchronize after corruption.
 func (c *Coordinator) HandleConn(conn io.Reader) error {
 	dec := gob.NewDecoder(conn)
 	for {
@@ -195,9 +237,8 @@ func (c *Coordinator) HandleConn(conn io.Reader) error {
 			}
 			return err
 		}
-		if err := c.Apply(m); err != nil {
-			return err
-		}
+		// Rejections are already counted and reported inside Apply.
+		_ = c.Apply(m)
 	}
 }
 

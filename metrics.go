@@ -84,12 +84,18 @@ type Metrics struct {
 	Net Stats
 	// Sites is the per-site communication breakdown, indexed by site.
 	Sites []SiteStats
+	// Audit is the live ε-error auditor's snapshot; nil unless
+	// Tracker.EnableAudit was called.
+	Audit *AuditMetrics `json:",omitempty"`
+	// TraceSpans is the number of causal-trace spans recorded so far
+	// (0 unless Tracker.EnableTracing was called).
+	TraceSpans int64 `json:",omitempty"`
 }
 
 // Metrics returns a snapshot of the tracker's counters. It is safe to call
 // from another goroutine while the tracker ingests.
 func (t *Tracker) Metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		Protocol:      t.inner.Name(),
 		Rows:          t.rows.Load(),
 		StaleDrops:    t.staleDrops.Load(),
@@ -99,7 +105,13 @@ func (t *Tracker) Metrics() Metrics {
 		UpdateLatency: t.updateLat.Snapshot(),
 		Net:           t.net.Stats(),
 		Sites:         t.net.PerSiteStats(),
+		TraceSpans:    t.TraceSpans(),
 	}
+	if t.aud != nil {
+		am := t.aud.Metrics()
+		m.Audit = &am
+	}
+	return m
 }
 
 // SetSink installs an event sink receiving the tracker's typed events:
@@ -116,12 +128,24 @@ func (t *Tracker) SetSink(s Sink) {
 
 // MetricsHandler returns an http.Handler serving the tracker's snapshot:
 // GET /metrics (JSON Metrics), GET /healthz, and expvar under /debug/vars.
-// Mount it on any mux; the handler snapshots atomically, so it is safe
-// while the tracker ingests on another goroutine.
-func (t *Tracker) MetricsHandler() http.Handler {
+// When tracing or auditing is enabled (EnableTracing, EnableAudit) it also
+// mounts /debug/trace (Chrome trace-event JSON) and /debug/audit (SVG
+// error panel); further endpoints can be added with options (WithPprof,
+// WithHandler). Mount it on any mux; the handler snapshots atomically, so
+// it is safe while the tracker ingests on another goroutine.
+func (t *Tracker) MetricsHandler(opts ...MuxOption) http.Handler {
+	all := make([]obs.MuxOption, 0, len(opts)+2)
+	if t.traceRing != nil {
+		all = append(all, obs.WithHandler("/debug/trace", t.traceRing.Handler()))
+	}
+	if t.aud != nil {
+		all = append(all, obs.WithHandler("/debug/audit", t.aud.Handler()))
+	}
+	all = append(all, opts...)
 	return obs.Mux(
 		func() (any, bool) { return t.Metrics(), true },
 		func() bool { return true },
+		all...,
 	)
 }
 

@@ -1,0 +1,180 @@
+package distwindow
+
+import (
+	"fmt"
+	"net/http"
+
+	"distwindow/internal/audit"
+	"distwindow/internal/core"
+	"distwindow/internal/obs"
+	"distwindow/internal/trace"
+)
+
+// TraceConfig configures causal tracing on a Tracker.
+type TraceConfig struct {
+	// SampleEvery is the head-based sampling rate: one trace per
+	// SampleEvery ingested rows (1 traces every row; 0 disables tracing).
+	// The decision is taken once at the ingest root and inherited by every
+	// downstream span — a sampled ingest yields sampled bucket, send and
+	// apply spans.
+	SampleEvery int
+	// RingSize bounds the retained completed spans (rounded up to a power
+	// of two; 0 means trace.DefaultRingSize). Old spans are overwritten.
+	RingSize int
+}
+
+// EnableTracing installs span-based causal tracing: each sampled row's
+// journey (ingest → bucket create/merge/expire → send → recv → query) is
+// recorded into a bounded lock-free ring and exportable as Chrome
+// trace-event JSON via TraceChrome or the /debug/trace endpoint mounted
+// by MetricsHandler. SampleEvery ≤ 0 uninstalls tracing.
+//
+// Call before feeding data, from the ingest goroutine — the tracer fields
+// are read without synchronization on the hot path, like SetSink's.
+// Disabled or uninstalled tracing costs one nil-check per hook site.
+func (t *Tracker) EnableTracing(cfg TraceConfig) {
+	var tr *trace.Tracer
+	var ring *trace.Ring
+	if cfg.SampleEvery > 0 {
+		ring = trace.NewRing(cfg.RingSize)
+		tr = trace.New(ring, cfg.SampleEvery)
+	}
+	t.tracer, t.traceRing = tr, ring
+	t.net.SetTracer(tr)
+	if ts, ok := t.inner.(core.TracerSetter); ok {
+		ts.SetTracer(tr)
+	}
+}
+
+// TracingEnabled reports whether EnableTracing installed a live tracer.
+func (t *Tracker) TracingEnabled() bool { return t.tracer.Enabled() }
+
+// TraceSpans returns how many spans have been recorded so far (spans older
+// than the ring capacity have been overwritten). 0 when tracing is off.
+func (t *Tracker) TraceSpans() int64 {
+	if t.traceRing == nil {
+		return 0
+	}
+	return t.traceRing.Recorded()
+}
+
+// TraceChrome exports the retained spans as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing. It is safe to call while the
+// tracker ingests.
+func (t *Tracker) TraceChrome() ([]byte, error) {
+	if t.traceRing == nil {
+		return nil, fmt.Errorf("distwindow: tracing not enabled")
+	}
+	return t.traceRing.ChromeTrace()
+}
+
+// TraceHandler serves the Chrome trace export over HTTP (the same handler
+// MetricsHandler mounts at /debug/trace). With tracing disabled it serves
+// 404.
+func (t *Tracker) TraceHandler() http.Handler {
+	if t.traceRing == nil {
+		return http.NotFoundHandler()
+	}
+	return t.traceRing.Handler()
+}
+
+// AuditConfig configures the live ε-error auditor.
+type AuditConfig struct {
+	// EveryRows is the audit cadence: one error measurement per EveryRows
+	// ingested rows (default 512).
+	EveryRows int
+	// KeepSamples bounds the measurement history retained for the
+	// /debug/audit panel (default 512).
+	KeepSamples int
+}
+
+// AuditMetrics is a snapshot of the auditor's counters (see
+// Metrics.Audit).
+type AuditMetrics = audit.Metrics
+
+// AuditSample is one audit measurement (see Tracker.AuditSamples).
+type AuditSample = audit.Sample
+
+// EnableAudit installs a live ε-error auditor: a shadow path keeping the
+// exact windowed covariance next to the protocol and periodically
+// measuring the observed err(A_w, B) against the configured ε, together
+// with the communication spent per window. Results surface through
+// Metrics().Audit, AuditSamples, and the /debug/audit SVG panel mounted
+// by MetricsHandler.
+//
+// The shadow window costs O(window·d) memory and an O(d²) Gram update per
+// row — the very costs the protocols exist to avoid — so enable it on
+// canaries and soak tests, not on every production instance. Call before
+// feeding data, from the ingest goroutine.
+func (t *Tracker) EnableAudit(cfg AuditConfig) error {
+	acfg := audit.Config{
+		D:           t.cfg.D,
+		W:           t.cfg.W,
+		Eps:         t.cfg.Eps,
+		EveryRows:   cfg.EveryRows,
+		KeepSamples: cfg.KeepSamples,
+		Words:       func() int64 { return t.net.Stats().TotalWords() },
+	}
+	if g, ok := t.inner.(GramSketcher); ok {
+		acfg.Gram = g.SketchGram
+	} else {
+		acfg.Sketch = t.inner.Sketch
+	}
+	a, err := audit.New(acfg)
+	if err != nil {
+		return err
+	}
+	t.aud = a
+	return nil
+}
+
+// AuditEnabled reports whether EnableAudit installed an auditor.
+func (t *Tracker) AuditEnabled() bool { return t.aud != nil }
+
+// Audit returns the auditor's counter snapshot; ok is false when
+// EnableAudit was never called.
+func (t *Tracker) Audit() (m AuditMetrics, ok bool) {
+	if t.aud == nil {
+		return AuditMetrics{}, false
+	}
+	return t.aud.Metrics(), true
+}
+
+// AuditSamples returns the retained audit measurement history, oldest
+// first (nil when auditing is off).
+func (t *Tracker) AuditSamples() []AuditSample {
+	if t.aud == nil {
+		return nil
+	}
+	return t.aud.Samples()
+}
+
+// AuditHandler serves the /debug/audit SVG error panel (the same handler
+// MetricsHandler mounts). With auditing disabled it serves 404.
+func (t *Tracker) AuditHandler() http.Handler {
+	if t.aud == nil {
+		return http.NotFoundHandler()
+	}
+	return t.aud.Handler()
+}
+
+// AuditTick forces an audit measurement now (instead of waiting for the
+// row cadence) and returns it; ok is false when auditing is off.
+func (t *Tracker) AuditTick() (s AuditSample, ok bool) {
+	if t.aud == nil {
+		return AuditSample{}, false
+	}
+	return t.aud.Tick(), true
+}
+
+// MuxOption customizes the mux returned by MetricsHandler (and the other
+// obs muxes); see WithPprof and WithHandler.
+type MuxOption = obs.MuxOption
+
+// WithPprof mounts net/http/pprof's profiling endpoints under
+// /debug/pprof/ — opt-in because profiling endpoints on an operations
+// port are a policy decision.
+func WithPprof() MuxOption { return obs.WithPprof() }
+
+// WithHandler mounts an extra handler at the given pattern.
+func WithHandler(pattern string, h http.Handler) MuxOption { return obs.WithHandler(pattern, h) }
