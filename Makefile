@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples fmt vet clean
+.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples fmt vet lint clean
 
 all: build test
 
@@ -28,10 +28,11 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Headline performance figures (ingest rate, words/window, sketch-query
-# latency) on a fixed reference workload, written as BENCH_PR2.json for
-# machine comparison across changes.
+# latency, parallel-vs-sequential ingest ratio at 8 sites) on a fixed
+# reference workload, written as BENCH_PR3.json for machine comparison
+# across changes.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR3.json
 
 # Short fuzz sessions over the invariant fuzz targets.
 fuzz:
@@ -56,6 +57,11 @@ examples:
 
 fmt:
 	gofmt -w .
+
+# CI's lint gate: formatting and vet, no writes.
+lint:
+	test -z "$$(gofmt -l .)"
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...

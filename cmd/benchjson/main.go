@@ -1,12 +1,15 @@
 // Command benchjson runs a fixed reference workload through the
 // representative protocols and writes the headline performance figures —
-// ingest update rate, communication words per window, and sketch-query
-// latency — as a JSON document for machine comparison across changes
-// (`make bench-json` → BENCH_PR2.json).
+// ingest update rate, communication words per window, sketch-query
+// latency, and the parallel-vs-sequential ingest ratio — as a JSON
+// document for machine comparison across changes (`make bench-json` →
+// BENCH_PR3.json).
 //
 // The workload is deterministic (fixed seed, synthetic Gaussian rows), so
 // two runs on the same machine differ only by measurement noise; compare
-// figures across commits, not across machines.
+// figures across commits, not across machines. The parallel speedup in
+// particular scales with the recorded core count — on a single-core
+// machine the pipeline can only break even.
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"distwindow"
@@ -38,15 +43,33 @@ type result struct {
 	Eps     float64 `json:"eps"`
 }
 
+// parallelResult compares sequential and pipelined ingestion of the same
+// per-site streams for one one-way protocol.
+type parallelResult struct {
+	Protocol string `json:"protocol"`
+	Sites    int    `json:"sites"`
+	Workers  int    `json:"workers"`
+	Rows     int64  `json:"rows"`
+	// SequentialRowsPerSec feeds the global (T, site) interleaving through
+	// the synchronous path; ParallelRowsPerSec feeds one goroutine per
+	// site through WithParallel and includes the final drain.
+	SequentialRowsPerSec float64 `json:"sequential_rows_per_sec"`
+	ParallelRowsPerSec   float64 `json:"parallel_rows_per_sec"`
+	Speedup              float64 `json:"speedup"`
+}
+
 type doc struct {
-	Generated string   `json:"generated"`
-	GoArch    string   `json:"config"`
-	Results   []result `json:"results"`
+	Generated string `json:"generated"`
+	GoArch    string `json:"config"`
+	// Cores is GOMAXPROCS at run time — the parallel speedup ceiling.
+	Cores    int              `json:"cores"`
+	Results  []result         `json:"results"`
+	Parallel []parallelResult `json:"parallel"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR2.json", "output path")
+		out     = flag.String("out", "BENCH_PR3.json", "output path")
 		rows    = flag.Int64("rows", 200_000, "rows to stream per protocol")
 		d       = flag.Int("d", 32, "row dimension")
 		sites   = flag.Int("sites", 8, "number of sites")
@@ -118,6 +141,69 @@ func main() {
 			proto, float64(*rows)/elapsed, am.WordsPerWindow, qMs)
 	}
 
+	// Parallel-vs-sequential ingest ratio for the one-way protocols: both
+	// trackers consume identical per-site streams (T = per-site tick), the
+	// sequential one in the merge's global (T, site) order, the parallel
+	// one from one feeder goroutine per site.
+	perSite := *rows / int64(*sites)
+	var parallels []parallelResult
+	for _, proto := range []distwindow.Protocol{distwindow.DA1, distwindow.DA2} {
+		cfg := distwindow.Config{Protocol: proto, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed}
+
+		seqTr, err := distwindow.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqStart := time.Now()
+		for t := int64(1); t <= perSite; t++ {
+			for s := 0; s < *sites; s++ {
+				seqTr.Observe(s, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]})
+			}
+		}
+		seqSecs := time.Since(seqStart).Seconds()
+
+		parTr, err := distwindow.New(cfg, distwindow.WithParallel(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		parStart := time.Now()
+		var wg sync.WaitGroup
+		for s := 0; s < *sites; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for t := int64(1); t <= perSite; t++ {
+					parTr.TryObserve(s, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]})
+				}
+			}(s)
+		}
+		wg.Wait()
+		parTr.Drain()
+		parSecs := time.Since(parStart).Seconds()
+
+		// Cross-check the tentpole invariant while we have both trackers.
+		gs, _ := seqTr.SketchGram()
+		gp, _ := parTr.SketchGram()
+		if !gs.Equal(gp) {
+			log.Fatalf("%s: parallel sketch diverged from sequential", proto)
+		}
+		parTr.Close()
+
+		total := perSite * int64(*sites)
+		pr := parallelResult{
+			Protocol:             string(proto),
+			Sites:                *sites,
+			Workers:              runtime.GOMAXPROCS(0),
+			Rows:                 total,
+			SequentialRowsPerSec: float64(total) / seqSecs,
+			ParallelRowsPerSec:   float64(total) / parSecs,
+			Speedup:              seqSecs / parSecs,
+		}
+		parallels = append(parallels, pr)
+		fmt.Printf("%-10s parallel %9.0f rows/s vs sequential %9.0f rows/s  (%.2fx, %d cores)\n",
+			proto, pr.ParallelRowsPerSec, pr.SequentialRowsPerSec, pr.Speedup, runtime.GOMAXPROCS(0))
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -127,7 +213,9 @@ func main() {
 	if err := enc.Encode(doc{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoArch:    fmt.Sprintf("d=%d sites=%d w=%d eps=%g rows=%d", *d, *sites, *w, *eps, *rows),
+		Cores:     runtime.GOMAXPROCS(0),
 		Results:   results,
+		Parallel:  parallels,
 	}); err != nil {
 		log.Fatal(err)
 	}

@@ -4,9 +4,15 @@
 // dataset in real (accelerated) order. It prints the assembled sketch's
 // covariance error against the exact window and the wire traffic.
 //
+// With -pipeline the same workload instead runs in-process through the
+// parallel per-site ingestion pipeline (distwindow.New with WithParallel):
+// one feeder goroutine per site, site-local work on the pipeline's
+// workers, coordinator updates merged in global (T, site) order.
+//
 // Usage:
 //
 //	distrun -proto da2 -sites 8 -rows 30000 -d 24
+//	distrun -proto da2 -sites 8 -rows 30000 -d 24 -pipeline
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"distwindow"
 	"distwindow/internal/audit"
 	"distwindow/internal/obs"
 	"distwindow/internal/stream"
@@ -42,8 +49,14 @@ func main() {
 		traceN  = flag.Int("trace-sample", 0, "causal tracing: trace 1-in-N ingested rows (0 = off); export at /debug/trace and -trace-out")
 		traceO  = flag.String("trace-out", "", "write the Chrome trace-event JSON to this path at exit (requires -trace-sample)")
 		liveAud = flag.Bool("live-audit", false, "run the live ε-error auditor against the coordinator's sketch; panel at /debug/audit")
+		pipe    = flag.Bool("pipeline", false, "run in-process through the parallel per-site pipeline instead of TCP")
 	)
 	flag.Parse()
+
+	if *pipe {
+		runPipeline(*proto, *m, *rows, *d, *w, *eps, *seed)
+		return
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -225,4 +238,75 @@ func main() {
 		fmt.Printf("trace:            %s (%d spans recorded)\n", *traceO, ring.Recorded())
 	}
 	coord.Close()
+}
+
+// runPipeline streams the same generated dataset through the in-process
+// parallel pipeline: the event stream is partitioned by site and each
+// site's subsequence is fed by its own goroutine, so ingestion parallelism
+// comes from the pipeline's workers rather than TCP connections.
+func runPipeline(proto string, m, rows, d int, w int64, eps float64, seed int64) {
+	var p distwindow.Protocol
+	switch proto {
+	case "da1":
+		p = distwindow.DA1
+	case "da2":
+		p = distwindow.DA2
+	default:
+		log.Fatalf("-pipeline supports da1 and da2, not %q", proto)
+	}
+	tr, err := distwindow.New(distwindow.Config{
+		Protocol: p, D: d, W: w, Eps: eps, Sites: m, Seed: seed,
+	}, distwindow.WithParallel(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Same generator and seed as the TCP path, so the two modes stream the
+	// identical dataset; rows are partitioned by site for the feeders.
+	rng := rand.New(rand.NewSource(seed))
+	rowsOf := make([][]distwindow.Row, m)
+	var all []distwindow.Row
+	for i := 0; i < rows; i++ {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		r := distwindow.Row{T: int64(i + 1), V: v}
+		si := rng.Intn(m)
+		rowsOf[si] = append(rowsOf[si], r)
+		all = append(all, r)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for si := 0; si < m; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			for _, r := range rowsOf[si] {
+				if err := tr.TryObserve(si, r); err != nil {
+					log.Printf("site %d: %v", si, err)
+					return
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+	tr.Drain()
+	elapsed := time.Since(start)
+
+	truth := window.NewExact(w)
+	for _, r := range all {
+		truth.Add(stream.Row{T: r.T, V: r.V})
+	}
+	b := tr.Sketch()
+	met := tr.Metrics()
+	fmt.Printf("protocol:         %s in-process pipeline, %d sites\n", proto, m)
+	fmt.Printf("streamed:         %d rows (d=%d) in %v\n", rows, d, elapsed.Round(time.Millisecond))
+	fmt.Printf("covariance error: %.4f (target ε=%.3g)\n", truth.CovErr(d, b), eps)
+	fmt.Printf("traffic:          %d msgs up, %.1f KiB equivalent payload\n",
+		met.Net.MsgsUp, float64(met.Net.WordsUp)*8/1024)
+	raw := float64(truth.Len()*(d+2)) * 8 / 1024
+	fmt.Printf("vs. shipping the active window: %.1f KiB\n", raw)
 }

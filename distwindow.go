@@ -39,8 +39,18 @@
 //		Sites:    20,
 //	})
 //	...
-//	tr.Observe(site, distwindow.Row{T: now, V: features})
+//	if err := tr.TryObserve(site, distwindow.Row{T: now, V: features}); err != nil {
+//		... // ErrStale and friends; see TryObserve
+//	}
 //	b := tr.Sketch() // ε-covariance sketch of the current window
+//
+// Construction options configure observability and concurrency, e.g.
+//
+//	tr, err := distwindow.New(cfg, distwindow.WithParallel(0))
+//
+// runs each site's local work on worker goroutines while keeping the
+// coordinator's sketch bit-identical to the sequential path (one-way
+// protocols only; see WithParallel).
 package distwindow
 
 import (
@@ -132,12 +142,72 @@ type Config struct {
 	MaxSkew int64
 }
 
+// ConfigError reports which Config field failed validation and why. New,
+// NewAggregate and Config.Validate return it, so callers can attribute a
+// failure to a field with errors.As instead of parsing the message.
+type ConfigError struct {
+	Field string
+	Msg   string
+}
+
+func (e *ConfigError) Error() string {
+	return "distwindow: invalid Config." + e.Field + ": " + e.Msg
+}
+
+// Validate checks the configuration without building a tracker. It is the
+// validation New performs: the shared parameter constraints (dimension,
+// window, ε, site count — delegated to the core layer, the single source
+// of truth also guarding the protocol constructors) plus the facade-level
+// ones (known Protocol, DecayGamma for Decay, nonnegative MaxSkew). The
+// returned error is a *ConfigError.
+func (c Config) Validate() error {
+	switch c.Protocol {
+	case PWOR, PWORAll, PWORSimple, ESWOR, ESWORAll, PWR, ESWR, DA1, DA2, DA2C, Decay, Uniform:
+	default:
+		return &ConfigError{Field: "Protocol", Msg: fmt.Sprintf("unknown protocol %q", c.Protocol)}
+	}
+	if err := c.coreConfig().Validate(); err != nil {
+		return wrapCoreConfigErr(err)
+	}
+	if c.Protocol == Decay && (c.DecayGamma <= 0 || c.DecayGamma >= 1) {
+		return &ConfigError{Field: "DecayGamma", Msg: fmt.Sprintf("= %v, want in (0,1)", c.DecayGamma)}
+	}
+	if c.MaxSkew < 0 {
+		return &ConfigError{Field: "MaxSkew", Msg: fmt.Sprintf("= %d, want ≥ 0", c.MaxSkew)}
+	}
+	return nil
+}
+
+// coreConfig maps the facade Config onto the core parameter set. The decay
+// tracker ignores W; substitute 1 so the shared validation passes.
+func (c Config) coreConfig() core.Config {
+	ccfg := core.Config{D: c.D, W: c.W, Eps: c.Eps, Sites: c.Sites, Ell: c.Ell, Seed: c.Seed}
+	if c.Protocol == Decay && ccfg.W <= 0 {
+		ccfg.W = 1
+	}
+	return ccfg
+}
+
+// wrapCoreConfigErr rewraps the core layer's field attribution in the
+// facade's error type.
+func wrapCoreConfigErr(err error) error {
+	var fe *core.FieldError
+	if errors.As(err, &fe) {
+		return &ConfigError{Field: fe.Field, Msg: fe.Msg}
+	}
+	return err
+}
+
 // Tracker is a live protocol instance: m simulated sites plus the
 // coordinator, with every logical transmission accounted.
 //
-// A Tracker is not safe for concurrent ingestion, but Metrics, Stats and
-// SkewDropped may be called from other goroutines (e.g. an HTTP metrics
-// handler) while one goroutine ingests.
+// Concurrency: a sequential Tracker (the default) accepts ingestion from
+// one goroutine at a time. A parallel Tracker (built with WithParallel)
+// accepts concurrent TryObserve calls for distinct sites — at most one
+// feeder goroutine per site — while Advance, FlushSkew, Drain, Sketch,
+// SketchGram and Close require the feeders to be quiescent. In both modes
+// Metrics and Stats may be called from other goroutines (e.g. an HTTP
+// metrics handler) at any time.
 type Tracker struct {
 	inner protocol.Tracker
 	net   *protocol.Network
@@ -171,6 +241,14 @@ type Tracker struct {
 	// latTick drives latency/gauge sampling; touched only by the ingest
 	// goroutine.
 	latTick uint
+
+	// pipe, ow and lanes carry the parallel ingestion state installed by
+	// WithParallel; all three are nil/empty on a sequential tracker. ow is
+	// the inner tracker's one-way seam (site half / coordinator half).
+	pipe   *protocol.Pipeline
+	ow     protocol.OneWay
+	lanes  []laneState
+	closed bool
 }
 
 // newTracker wires the facade bookkeeping around a built protocol; New and
@@ -189,13 +267,23 @@ func newTracker(inner protocol.Tracker, net *protocol.Network, cfg Config) *Trac
 	return t
 }
 
-// New builds a tracker.
-func New(cfg Config) (*Tracker, error) {
-	if cfg.Sites < 1 {
-		return nil, fmt.Errorf("distwindow: Sites = %d, want ≥ 1", cfg.Sites)
+// New builds a tracker. The configuration is validated up front (see
+// Config.Validate; failures are *ConfigError), then the options are
+// applied: observability first (WithSink, WithTracing, WithAudit), the
+// parallel pipeline last (WithParallel), so incompatible combinations are
+// rejected with ErrParallelUnsupported before any goroutine starts.
+func New(cfg Config, opts ...Option) (*Tracker, error) {
+	var o options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	net := protocol.NewNetwork(cfg.Sites)
-	ccfg := core.Config{D: cfg.D, W: cfg.W, Eps: cfg.Eps, Sites: cfg.Sites, Ell: cfg.Ell, Seed: cfg.Seed}
+	ccfg := cfg.coreConfig()
 	var (
 		inner protocol.Tracker
 		err   error
@@ -224,47 +312,77 @@ func New(cfg Config) (*Tracker, error) {
 	case DA2C:
 		inner, err = core.NewDA2C(ccfg, net)
 	case Decay:
-		if ccfg.W <= 0 {
-			ccfg.W = 1 // the decay tracker ignores W; keep validation happy
-		}
 		inner, err = core.NewDecay(ccfg, cfg.DecayGamma, net)
 	default:
-		return nil, fmt.Errorf("distwindow: unknown protocol %q", cfg.Protocol)
+		// Unreachable: Validate vetted the protocol above.
+		return nil, &ConfigError{Field: "Protocol", Msg: fmt.Sprintf("unknown protocol %q", cfg.Protocol)}
 	}
 	if err != nil {
 		return nil, err
 	}
-	return newTracker(inner, net, cfg), nil
+	t := newTracker(inner, net, cfg)
+	if o.haveSink {
+		t.SetSink(o.sink)
+	}
+	if o.tracing != nil {
+		t.EnableTracing(*o.tracing)
+	}
+	if o.audit != nil {
+		if err := t.EnableAudit(*o.audit); err != nil {
+			return nil, err
+		}
+	}
+	if o.parallel {
+		if err := t.startParallel(o.workers, o.ringSize); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 // latSampleMask makes one Observe in 16 pay for two time.Now calls and a
 // bucket-gauge refresh; the rest of the hot path stays untimed.
 const latSampleMask = 15
 
-// TryObserve delivers a row to the given site (0 ≤ site < Sites) and
-// reports delivery problems as errors instead of panicking:
+// TryObserve delivers a row to the given site (0 ≤ site < Sites). It is
+// the primary ingestion entry point: delivery problems come back as errors
+// instead of panics:
 //
 //   - ErrSiteRange and ErrDimension flag caller bugs; the row was not
 //     consumed and the tracker is unchanged.
 //   - ErrStale flags a row whose timestamp is older than the maximum
 //     already observed (or beyond the skew horizon when Config.MaxSkew is
 //     set). The row is dropped and counted — in Metrics().StaleDrops, or
-//     SkewDropped for skew-horizon rejections — and the tracker remains
-//     consistent, so ingestion can continue.
+//     Metrics().SkewDropped for skew-horizon rejections — and the tracker
+//     remains consistent, so ingestion can continue. Match with
+//     errors.Is(err, ErrStale).
 //
 // Timestamps must be non-decreasing across all observe and Advance calls;
 // Config.MaxSkew relaxes this to bounded per-site reordering through a
 // reorder buffer.
 //
 // The tracker never retains r.V after the call returns: every layer that
-// outlives the call (samplers, histogram buckets, the skew buffer) copies
-// the values it keeps. Callers may reuse the backing slice freely.
+// outlives the call (samplers, histogram buckets, the skew buffer, the
+// parallel pipeline's rings) copies the values it keeps. Callers may reuse
+// the backing slice freely.
+//
+// On a parallel tracker (WithParallel) the structural checks still happen
+// synchronously, but the row itself is handed to the site's worker:
+// distinct sites may call TryObserve concurrently (one goroutine per
+// site), timestamps need only be non-decreasing per site, and staleness is
+// detected on the worker — stale rows are counted in Metrics, never
+// returned as ErrStale. The call blocks for backpressure when the site's
+// ring is full.
 func (t *Tracker) TryObserve(site int, r Row) error {
 	if site < 0 || site >= t.cfg.Sites {
 		return fmt.Errorf("%w: site %d not in [0,%d)", ErrSiteRange, site, t.cfg.Sites)
 	}
 	if len(r.V) != t.cfg.D {
 		return fmt.Errorf("%w: got %d values, want %d", ErrDimension, len(r.V), t.cfg.D)
+	}
+	if t.pipe != nil {
+		t.pipe.EnqueueRow(site, r.T, r.V)
+		return nil
 	}
 	if t.skew == nil {
 		if r.T < t.maxT {
@@ -343,8 +461,11 @@ func (t *Tracker) deliverSkew(site int, r stream.Row) {
 
 // Observe delivers a row to the given site. It is TryObserve with the
 // historical contract: caller bugs (ErrSiteRange, ErrDimension) panic,
-// stale rows are silently dropped and counted. New code that wants to
-// distinguish the cases should call TryObserve.
+// stale rows are silently dropped and counted.
+//
+// Deprecated: call TryObserve, which reports delivery problems as errors
+// the caller can distinguish (errors.Is against ErrSiteRange, ErrDimension,
+// ErrStale) instead of panicking. Observe remains for compatibility.
 func (t *Tracker) Observe(site int, r Row) {
 	if err := t.TryObserve(site, r); err != nil && !errors.Is(err, ErrStale) {
 		panic(err)
@@ -355,7 +476,12 @@ func (t *Tracker) Observe(site int, r Row) {
 // how many the protocol accepted. Stale rows are dropped and counted (as
 // in Observe) without stopping the batch; the first structural error
 // (ErrSiteRange, ErrDimension) aborts and is returned, with accepted
-// telling how far the batch got.
+// telling how far the batch got. Distinguish outcomes on single rows with
+// errors.Is(err, ErrStale) against TryObserve — see the package example.
+//
+// Because no layer retains row values (see TryObserve), callers may reuse
+// both the []Row slice and each row's V backing array across batches —
+// fill, ObserveBatch, refill — without reallocating.
 func (t *Tracker) ObserveBatch(site int, rows []Row) (accepted int, err error) {
 	for _, r := range rows {
 		if err := t.TryObserve(site, r); err != nil {
@@ -373,8 +499,14 @@ func (t *Tracker) ObserveBatch(site int, rows []Row) (accepted int, err error) {
 // end of stream when MaxSkew is set). Rows are merged across sites and
 // delivered in global timestamp order — ties broken by site index, so a
 // flush is deterministic — and rows that fell behind the already-delivered
-// stream are dropped and counted in SkewDropped.
+// stream are dropped and counted in Metrics().SkewDropped. On a parallel
+// tracker FlushSkew also drains the pipeline (see Drain); feeders must be
+// quiescent.
 func (t *Tracker) FlushSkew() {
+	if t.pipe != nil {
+		t.quiesce(true)
+		return
+	}
 	if t.skew == nil {
 		return
 	}
@@ -401,13 +533,22 @@ func (t *Tracker) FlushSkew() {
 
 // SkewDropped reports rows rejected for arriving beyond the skew horizon
 // or released too late to deliver in order.
+//
+// Deprecated: the count is part of the regular snapshot as
+// Metrics().SkewDropped; this standalone getter remains as an alias.
 func (t *Tracker) SkewDropped() int64 { return t.skewDropped.Load() }
 
 // Advance moves the global clock forward without new data, processing
 // expirations and any resulting protocol traffic. With MaxSkew set it also
 // commits the clock: buffered rows older than now will be dropped when
-// released.
+// released. On a parallel tracker Advance broadcasts the new clock to
+// every site's lane (feeders must be quiescent); the expiry work itself
+// runs on the workers and is awaited by the next Drain or query.
 func (t *Tracker) Advance(now int64) {
+	if t.pipe != nil {
+		t.pipe.Advance(now)
+		return
+	}
 	if now > t.maxT {
 		t.maxT = now
 	}
@@ -421,8 +562,14 @@ func (t *Tracker) Advance(now int64) {
 }
 
 // Sketch returns the coordinator's current covariance sketch B. The
-// number of rows varies by protocol; the column count is always D.
+// number of rows varies by protocol; the column count is always D. On a
+// parallel tracker the query first drains the pipeline, so the sketch
+// reflects every row previously handed to TryObserve (feeders must be
+// quiescent).
 func (t *Tracker) Sketch() *mat.Dense {
+	if t.pipe != nil {
+		t.quiesce(false)
+	}
 	t.countQuery()
 	sp := t.tracer.StartDetached(trace.OpQuery, -1, t.delivered)
 	b := t.inner.Sketch()
@@ -444,6 +591,9 @@ type GramSketcher interface {
 // per query that evaluation loops can skip by comparing against Ĉ instead.
 func (t *Tracker) SketchGram() (*mat.Dense, bool) {
 	if g, ok := t.inner.(GramSketcher); ok {
+		if t.pipe != nil {
+			t.quiesce(false)
+		}
 		t.countQuery()
 		sp := t.tracer.StartDetached(trace.OpQuery, -1, t.delivered)
 		c := g.SketchGram()
@@ -494,13 +644,15 @@ type AggregateTracker struct {
 }
 
 // NewAggregate builds a SUM/COUNT tracker; only W, Eps and Sites of cfg
-// are used.
+// are used. Validation failures are *ConfigError, as with New — the field
+// constraints come from the same core-layer source of truth.
 func NewAggregate(cfg Config) (*AggregateTracker, error) {
-	if cfg.Sites < 1 {
-		return nil, fmt.Errorf("distwindow: Sites = %d, want ≥ 1", cfg.Sites)
+	ccfg := core.Config{D: 1, W: cfg.W, Eps: cfg.Eps, Sites: cfg.Sites}
+	if err := ccfg.Validate(); err != nil {
+		return nil, wrapCoreConfigErr(err)
 	}
 	net := protocol.NewNetwork(cfg.Sites)
-	inner, err := core.NewSumTracker(core.Config{D: 1, W: cfg.W, Eps: cfg.Eps, Sites: cfg.Sites}, net)
+	inner, err := core.NewSumTracker(ccfg, net)
 	if err != nil {
 		return nil, err
 	}

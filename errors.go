@@ -16,3 +16,10 @@ var (
 	// violation, so Observe swallows them rather than panicking.
 	ErrStale = errors.New("distwindow: stale timestamp")
 )
+
+// ErrParallelUnsupported is returned (wrapped, with detail) by New when
+// WithParallel is combined with a configuration the pipeline cannot run:
+// a sampling-family protocol (their coordinator talks back to the sites, so
+// ingestion cannot be split into independent site lanes), or tracing/audit
+// instrumentation, which assumes the sequential path.
+var ErrParallelUnsupported = errors.New("distwindow: parallel ingestion unsupported")

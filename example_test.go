@@ -3,6 +3,7 @@ package distwindow_test
 // Runnable godoc examples for the public API.
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -98,4 +99,41 @@ func ExampleNewAnomalyScorer() {
 	// Output:
 	// normal score < 0.1: true
 	// anomaly score > 0.9: true
+}
+
+// ExampleTracker_ObserveBatch ingests with a reused batch buffer and
+// distinguishes stale rows from caller bugs with errors.Is.
+func ExampleTracker_ObserveBatch() {
+	tr, err := distwindow.New(distwindow.Config{
+		Protocol: distwindow.DA1, D: 2, W: 100, Eps: 0.1, Sites: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// No layer retains row values, so one batch slice — including each
+	// row's V backing array — can be refilled and resubmitted forever.
+	batch := make([]distwindow.Row, 4)
+	for i := range batch {
+		batch[i].V = make([]float64, 2)
+	}
+	for chunk := 0; chunk < 3; chunk++ {
+		for i := range batch {
+			batch[i].T = int64(chunk*len(batch) + i)
+			batch[i].V[0] = float64(i + 1) // refill in place
+			batch[i].V[1] = 0
+		}
+		accepted, err := tr.ObserveBatch(0, batch)
+		if err != nil {
+			panic(err) // ErrSiteRange/ErrDimension: caller bug
+		}
+		fmt.Printf("chunk %d: accepted %d\n", chunk, accepted)
+	}
+	// A stale single row is an ErrStale, not a bug:
+	err = tr.TryObserve(0, distwindow.Row{T: 3, V: []float64{1, 0}})
+	fmt.Printf("stale: %v\n", errors.Is(err, distwindow.ErrStale))
+	// Output:
+	// chunk 0: accepted 4
+	// chunk 1: accepted 4
+	// chunk 2: accepted 4
+	// stale: true
 }

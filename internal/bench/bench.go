@@ -56,6 +56,12 @@ type Options struct {
 	Seed int64
 	// SkipErr skips error evaluation (for pure cost/rate measurements).
 	SkipErr bool
+	// Workers, when positive, ingests through the parallel per-site
+	// pipeline (distwindow.WithParallel) with that many site-work
+	// goroutines. Only the one-way deterministic protocols support it; the
+	// replay remains single-threaded, so the speedup comes from the
+	// protocol work moving off the feeding thread.
+	Workers int
 }
 
 // Run replays ds through the given protocol at error parameter eps.
@@ -68,6 +74,10 @@ func Run(ds datagen.Dataset, proto distwindow.Protocol, eps float64, opt Options
 	if queries == 0 {
 		queries = 50
 	}
+	var topts []distwindow.Option
+	if opt.Workers > 0 {
+		topts = append(topts, distwindow.WithParallel(opt.Workers))
+	}
 	tr, err := distwindow.New(distwindow.Config{
 		Protocol: proto,
 		D:        ds.D,
@@ -76,10 +86,11 @@ func Run(ds datagen.Dataset, proto distwindow.Protocol, eps float64, opt Options
 		Sites:    sites,
 		Ell:      opt.Ell,
 		Seed:     opt.Seed + 1,
-	})
+	}, topts...)
 	if err != nil {
 		return Result{}, err
 	}
+	defer tr.Close()
 
 	rng := rand.New(rand.NewSource(opt.Seed + 2))
 	// Query points: uniform over the steady-state region (after the first
@@ -151,6 +162,14 @@ func Run(ds datagen.Dataset, proto distwindow.Protocol, eps float64, opt Options
 				evaluated++
 			}
 		}
+	}
+
+	if opt.Workers > 0 {
+		// Per-row timing only captured enqueue cost; the drain charges the
+		// in-flight site work so the rate stays comparable to sequential.
+		start := time.Now()
+		tr.Drain()
+		observeTime += time.Since(start)
 	}
 
 	res := Result{

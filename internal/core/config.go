@@ -30,24 +30,41 @@ type Config struct {
 	Seed int64
 }
 
-func (c Config) validate() error {
+// FieldError reports which Config field failed validation and why; the
+// facade wraps it so callers can attribute the failure without parsing the
+// message.
+type FieldError struct {
+	Field string
+	Msg   string
+}
+
+func (e *FieldError) Error() string { return "core: " + e.Field + " " + e.Msg }
+
+// Validate checks the shared parameter constraints. It is the single
+// source of truth for D/W/Eps/Sites/Ell validation — the facade and every
+// protocol constructor defer to it. The returned error is a *FieldError.
+func (c Config) Validate() error {
 	if c.D < 1 {
-		return fmt.Errorf("core: D = %d, want ≥ 1", c.D)
+		return &FieldError{Field: "D", Msg: fmt.Sprintf("= %d, want ≥ 1", c.D)}
 	}
 	if c.W <= 0 {
-		return fmt.Errorf("core: W = %d, want > 0", c.W)
+		return &FieldError{Field: "W", Msg: fmt.Sprintf("= %d, want > 0", c.W)}
 	}
 	if c.Eps <= 0 || c.Eps >= 1 {
-		return fmt.Errorf("core: Eps = %v, want in (0,1)", c.Eps)
+		return &FieldError{Field: "Eps", Msg: fmt.Sprintf("= %v, want in (0,1)", c.Eps)}
 	}
 	if c.Sites < 1 {
-		return fmt.Errorf("core: Sites = %d, want ≥ 1", c.Sites)
+		return &FieldError{Field: "Sites", Msg: fmt.Sprintf("= %d, want ≥ 1", c.Sites)}
 	}
 	if c.Ell < 0 {
-		return fmt.Errorf("core: Ell = %d, want ≥ 0", c.Ell)
+		return &FieldError{Field: "Ell", Msg: fmt.Sprintf("= %d, want ≥ 0", c.Ell)}
 	}
 	return nil
 }
+
+// validate is the old unexported spelling, kept so the protocol
+// constructors read unchanged.
+func (c Config) validate() error { return c.Validate() }
 
 // ell resolves the sample-set size.
 func (c Config) ell() int {

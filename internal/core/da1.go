@@ -32,6 +32,10 @@ type DA1 struct {
 	// chat is Ĉ = Σⱼ Ĉ⁽ʲ⁾ at the coordinator.
 	chat *mat.Dense
 	now  int64
+	// applyInline folds an emitted update straight into chat — the
+	// sequential path's emit, allocated once so Observe stays on the same
+	// float-op sequence (and allocation profile) as before the seam.
+	applyInline protocol.Emit
 }
 
 type da1Site struct {
@@ -52,6 +56,8 @@ type da1Site struct {
 	pv []float64
 }
 
+var _ protocol.OneWay = (*DA1)(nil)
+
 // NewDA1 builds the protocol over cfg.Sites sites reporting to net.
 func NewDA1(cfg Config, net *protocol.Network) (*DA1, error) {
 	return newDA1(cfg, net, false)
@@ -70,6 +76,7 @@ func newDA1(cfg Config, net *protocol.Network, exact bool) (*DA1, error) {
 		return nil, err
 	}
 	t := &DA1{cfg: cfg, net: net, chat: mat.NewDense(cfg.D, cfg.D)}
+	t.applyInline = func(scale float64, v []float64) { mat.OuterAdd(t.chat, v, scale) }
 	t.sites = make([]*da1Site, cfg.Sites)
 	for i := range t.sites {
 		s := &da1Site{idx: i, chat: mat.NewDense(cfg.D, cfg.D)}
@@ -127,9 +134,18 @@ func (s *da1Site) gram(d int) *mat.Dense {
 }
 
 // Observe feeds a row into the site's histogram and applies the amortized
-// reporting rule.
+// reporting rule, folding any resulting directions into Ĉ inline.
 func (t *DA1) Observe(site int, r stream.Row) {
 	t.now = r.T
+	t.ObserveSite(site, r, t.applyInline)
+}
+
+// ObserveSite is the site-local half of Observe: it runs the histogram
+// update and the reporting rule for one site and emits the directions that
+// would have been shipped, leaving the coordinator state untouched. Calls
+// for distinct sites may run concurrently; calls for one site must be
+// serialized with non-decreasing timestamps.
+func (t *DA1) ObserveSite(site int, r stream.Row, emit protocol.Emit) {
 	s := t.sites[site]
 	s.now = r.T
 	if s.win != nil {
@@ -145,7 +161,7 @@ func (t *DA1) Observe(site int, r stream.Row) {
 	}
 	s.churn += added + expired
 	s.lastF = est
-	t.maybeReport(s)
+	t.maybeReport(s, emit)
 	siteWords := int64(t.cfg.D * t.cfg.D)
 	if s.win != nil {
 		siteWords += int64(s.win.Len()) * int64(t.cfg.D+1)
@@ -163,33 +179,47 @@ func (t *DA1) AdvanceTime(now int64) {
 		return
 	}
 	t.now = now
-	for _, s := range t.sites {
-		if now <= s.now {
-			continue
-		}
-		s.now = now
-		if s.win != nil {
-			s.win.Advance(now)
-		} else {
-			s.hist.Advance(now)
-		}
-		est := s.frobEst()
-		if d := s.lastF - est; d > 0 {
-			s.churn += d
-		}
-		s.lastF = est
-		t.maybeReport(s)
+	for i := range t.sites {
+		t.AdvanceSite(i, now, t.applyInline)
 	}
 }
 
+// AdvanceSite is the site-local half of AdvanceTime for one site.
+func (t *DA1) AdvanceSite(site int, now int64, emit protocol.Emit) {
+	s := t.sites[site]
+	if now <= s.now {
+		return
+	}
+	s.now = now
+	if s.win != nil {
+		s.win.Advance(now)
+	} else {
+		s.hist.Advance(now)
+	}
+	est := s.frobEst()
+	if d := s.lastF - est; d > 0 {
+		s.churn += d
+	}
+	s.lastF = est
+	t.maybeReport(s, emit)
+}
+
+// Apply folds one emitted update into the coordinator's Ĉ. Single
+// goroutine, non-decreasing (T, site) order.
+func (t *DA1) Apply(u protocol.Update) { mat.OuterAdd(t.chat, u.V, u.Scale) }
+
+// AdvanceCoord is a no-op: DA1's coordinator state is clock-free (expiry
+// lives entirely in the sites' histograms).
+func (t *DA1) AdvanceCoord(now int64) {}
+
 // maybeReport runs the spectral test when enough churn accumulated, and
 // ships significant directions when it trips.
-func (t *DA1) maybeReport(s *da1Site) {
+func (t *DA1) maybeReport(s *da1Site, emit protocol.Emit) {
 	fhat := s.lastF
 	if fhat <= 0 {
 		// Window (locally) empty: flush any leftover Ĉ⁽ʲ⁾ exactly once.
 		if mat.FrobSq(s.chat) > 0 {
-			t.sendDirections(s, mat.Scale(-1, s.chat), 0)
+			t.sendDirections(s, mat.Scale(-1, s.chat), 0, emit)
 		}
 		s.churn = 0
 		return
@@ -221,7 +251,7 @@ func (t *DA1) maybeReport(s *da1Site) {
 	}
 	diff := s.gram(t.cfg.D)
 	mat.SubInPlace(diff, s.chat)
-	t.sendDirections(s, diff, t.cfg.Eps*fhat)
+	t.sendDirections(s, diff, t.cfg.Eps*fhat, emit)
 }
 
 // sendDirections eigendecomposes D and ships every direction with
@@ -229,7 +259,7 @@ func (t *DA1) maybeReport(s *da1Site) {
 // When the trigger fired but no eigenvalue clears the cutoff (the power
 // iteration slightly over-estimated), the top direction is shipped anyway
 // so the protocol always makes progress.
-func (t *DA1) sendDirections(s *da1Site, diff *mat.Dense, cutoff float64) {
+func (t *DA1) sendDirections(s *da1Site, diff *mat.Dense, cutoff float64, emit protocol.Emit) {
 	eig := mat.EigSym(diff)
 	sent := 0
 	for i, lam := range eig.Values {
@@ -239,7 +269,7 @@ func (t *DA1) sendDirections(s *da1Site, diff *mat.Dense, cutoff float64) {
 		v := eig.Vectors.Row(i)
 		t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
 		mat.OuterAdd(s.chat, v, lam)
-		mat.OuterAdd(t.chat, v, lam)
+		emit(lam, v)
 		sent++
 	}
 	if sent == 0 && cutoff > 0 {
@@ -253,7 +283,7 @@ func (t *DA1) sendDirections(s *da1Site, diff *mat.Dense, cutoff float64) {
 			v := eig.Vectors.Row(best)
 			t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
 			mat.OuterAdd(s.chat, v, eig.Values[best])
-			mat.OuterAdd(t.chat, v, eig.Values[best])
+			emit(eig.Values[best], v)
 		}
 	}
 }

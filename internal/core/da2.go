@@ -41,6 +41,9 @@ type DA2 struct {
 	sites    []*da2Site
 	chat     *mat.Dense
 	now      int64
+	// applyInline folds an emitted update straight into chat — the
+	// sequential path's emit, allocated once.
+	applyInline protocol.Emit
 }
 
 type da2Site struct {
@@ -64,6 +67,8 @@ type da2Site struct {
 	now      int64
 }
 
+var _ protocol.OneWay = (*DA2)(nil)
+
 // NewDA2 builds the default (ledger-replay) DA2.
 func NewDA2(cfg Config, net *protocol.Network) (*DA2, error) {
 	return newDA2(cfg, net, false)
@@ -80,6 +85,7 @@ func newDA2(cfg Config, net *protocol.Network, compress bool) (*DA2, error) {
 		return nil, err
 	}
 	t := &DA2{cfg: cfg, net: net, compress: compress, chat: mat.NewDense(cfg.D, cfg.D)}
+	t.applyInline = func(scale float64, v []float64) { mat.OuterAdd(t.chat, v, scale) }
 	t.sites = make([]*da2Site, cfg.Sites)
 	for i := range t.sites {
 		s := &da2Site{parent: t, idx: i, mass: eh.New(cfg.W, cfg.Eps/2), boundary: cfg.W}
@@ -101,15 +107,24 @@ func (t *DA2) Name() string {
 	return "DA2"
 }
 
-// Observe feeds a row to a site.
+// Observe feeds a row to a site, folding its messages into Ĉ inline.
 func (t *DA2) Observe(site int, r stream.Row) {
 	t.now = r.T
+	t.ObserveSite(site, r, t.applyInline)
+}
+
+// ObserveSite is the site-local half of Observe: boundary crossings,
+// expiry, gEH and IWMT upkeep for one site, with the resulting (±)
+// messages emitted instead of applied. Calls for distinct sites may run
+// concurrently; calls for one site must be serialized with non-decreasing
+// timestamps.
+func (t *DA2) ObserveSite(site int, r stream.Row, emit protocol.Emit) {
 	s := t.sites[site]
-	s.advance(r.T)
+	s.advance(r.T, emit)
 	if w := r.NormSq(); w > 0 {
 		s.mass.Insert(r.T, w)
 		for _, m := range s.a.Input(r.T, r.V) {
-			t.sendA(s, m)
+			t.sendA(s, m, emit)
 		}
 	}
 	t.net.SampleSiteSpace(s.spaceWords(t.cfg.D))
@@ -122,32 +137,45 @@ func (t *DA2) AdvanceTime(now int64) {
 		return
 	}
 	t.now = now
-	for _, s := range t.sites {
-		s.advance(now)
+	for i := range t.sites {
+		t.AdvanceSite(i, now, t.applyInline)
 	}
 }
 
+// AdvanceSite is the site-local half of AdvanceTime for one site.
+func (t *DA2) AdvanceSite(site int, now int64, emit protocol.Emit) {
+	t.sites[site].advance(now, emit)
+}
+
+// Apply folds one emitted (±) message into the coordinator's Ĉ. Single
+// goroutine, non-decreasing (T, site) order.
+func (t *DA2) Apply(u protocol.Update) { mat.OuterAdd(t.chat, u.V, u.Scale) }
+
+// AdvanceCoord is a no-op: DA2's coordinator state is clock-free (expiry
+// is driven by the sites' backward tracking).
+func (t *DA2) AdvanceCoord(now int64) {}
+
 // sendA ships a (+) message and records it in the ledger.
-func (t *DA2) sendA(s *da2Site, m iwmt.Msg) {
+func (t *DA2) sendA(s *da2Site, m iwmt.Msg, emit protocol.Emit) {
 	t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
-	mat.OuterAdd(t.chat, m.V, 1)
+	emit(1, m.V)
 	s.ledger = append(s.ledger, m)
 }
 
 // sendE ships a (−) message. In compress mode the site nets it against the
 // residual of the window currently draining.
-func (t *DA2) sendE(s *da2Site, v []float64) {
+func (t *DA2) sendE(s *da2Site, v []float64, emit protocol.Emit) {
 	t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
-	mat.OuterAdd(t.chat, v, -1)
+	emit(-1, v)
 	if s.resid != nil {
 		mat.OuterAdd(s.resid, v, -1)
 	}
 }
 
 // advance processes boundary crossings and expirations at one site.
-func (s *da2Site) advance(now int64) {
+func (s *da2Site) advance(now int64, emit protocol.Emit) {
 	if now <= s.now && now < s.boundary {
-		s.processExpiry(now)
+		s.processExpiry(now, emit)
 		return
 	}
 	s.now = now
@@ -157,29 +185,29 @@ func (s *da2Site) advance(now int64) {
 		b := s.boundary
 		// Everything from the closing window that must eventually be
 		// subtracted expires by b+W; drain the old queue first.
-		s.processExpiry(b)
+		s.processExpiry(b, emit)
 		// Flush IWMT_a so the ledger covers the whole closed window.
 		for _, m := range s.a.Flush(b) {
-			t.sendA(s, m)
+			t.sendA(s, m, emit)
 		}
-		s.startBackward(b)
+		s.startBackward(b, emit)
 		s.boundary += t.cfg.W
 	}
-	s.processExpiry(now)
+	s.processExpiry(now, emit)
 }
 
 // startBackward converts the closed window's ledger into the expiry queue.
-func (s *da2Site) startBackward(b int64) {
+func (s *da2Site) startBackward(b int64, emit protocol.Emit) {
 	t := s.parent
 	if s.e != nil {
 		// Defensive: the previous queue drains by its own boundary (every
 		// entry's timestamp is at least W old by then), so processExpiry(b)
 		// above already flushed IWMT_e and the residual.
 		for _, out := range s.e.Flush(b) {
-			t.sendE(s, out.V)
+			t.sendE(s, out.V, emit)
 		}
 		s.e = nil
-		s.drainResidual()
+		s.drainResidual(emit)
 	}
 	if len(s.ledger) == 0 {
 		s.q = nil
@@ -221,7 +249,7 @@ func (s *da2Site) startBackward(b int64) {
 }
 
 // processExpiry feeds expired queue entries to the backward path.
-func (s *da2Site) processExpiry(now int64) {
+func (s *da2Site) processExpiry(now int64, emit protocol.Emit) {
 	t := s.parent
 	cut := now - t.cfg.W
 	for len(s.q) > 0 && s.q[0].T <= cut {
@@ -229,10 +257,10 @@ func (s *da2Site) processExpiry(now int64) {
 		s.q = s.q[1:]
 		if s.e == nil {
 			// Ledger replay: subtract the exact message.
-			t.sendE(s, m.V)
+			t.sendE(s, m.V, emit)
 		} else {
 			for _, out := range s.e.Input(m.T, m.V) {
-				t.sendE(s, out.V)
+				t.sendE(s, out.V, emit)
 			}
 		}
 	}
@@ -240,16 +268,16 @@ func (s *da2Site) processExpiry(now int64) {
 		// Queue drained: flush IWMT_e and ship the FD-shaved residual so
 		// the closed window cancels exactly.
 		for _, out := range s.e.Flush(now) {
-			t.sendE(s, out.V)
+			t.sendE(s, out.V, emit)
 		}
 		s.e = nil
-		s.drainResidual()
+		s.drainResidual(emit)
 	}
 }
 
 // drainResidual ships the PSD mass the compress-mode re-sketches shaved
 // off, restoring exact cancellation for the drained window.
-func (s *da2Site) drainResidual() {
+func (s *da2Site) drainResidual(emit protocol.Emit) {
 	t := s.parent
 	if s.resid == nil || mat.FrobSq(s.resid) == 0 {
 		return
@@ -266,7 +294,7 @@ func (s *da2Site) drainResidual() {
 		for j := range v {
 			scaled[j] = f * v[j]
 		}
-		t.sendE(s, scaled)
+		t.sendE(s, scaled, emit)
 	}
 	s.resid.Zero()
 }

@@ -37,6 +37,10 @@ type DecayTracker struct {
 	// chatT is the timestamp Ĉ is currently decayed to.
 	chatT int64
 	now   int64
+	// applyInline folds an emitted update into chat after decaying it to
+	// inlineT (the row being processed) — the sequential path's emit.
+	applyInline protocol.Emit
+	inlineT     int64
 }
 
 type decaySite struct {
@@ -50,6 +54,8 @@ type decaySite struct {
 	pv    []float64
 }
 
+var _ protocol.OneWay = (*DecayTracker)(nil)
+
 // NewDecay builds a decayed-covariance tracker; gamma is the per-tick
 // decay factor (e.g. 0.999 ≈ half-life of 693 ticks). Cfg.W is ignored.
 func NewDecay(cfg Config, gamma float64, net *protocol.Network) (*DecayTracker, error) {
@@ -60,6 +66,10 @@ func NewDecay(cfg Config, gamma float64, net *protocol.Network) (*DecayTracker, 
 		return nil, fmt.Errorf("core: decay gamma = %v, want in (0,1)", gamma)
 	}
 	t := &DecayTracker{cfg: cfg, gamma: gamma, net: net, chat: mat.NewDense(cfg.D, cfg.D)}
+	t.applyInline = func(scale float64, v []float64) {
+		t.decayChatTo(t.inlineT)
+		mat.OuterAdd(t.chat, v, scale)
+	}
 	t.sites = make([]*decaySite, cfg.Sites)
 	for i := range t.sites {
 		t.sites[i] = &decaySite{
@@ -75,9 +85,18 @@ func NewDecay(cfg Config, gamma float64, net *protocol.Network) (*DecayTracker, 
 // Name returns "DECAY".
 func (t *DecayTracker) Name() string { return "DECAY" }
 
-// Observe feeds one row.
+// Observe feeds one row, folding any report into Ĉ inline.
 func (t *DecayTracker) Observe(site int, r stream.Row) {
 	t.now = r.T
+	t.inlineT = r.T
+	t.ObserveSite(site, r, t.applyInline)
+}
+
+// ObserveSite is the site-local half of Observe: decays the site's state
+// to r.T, adds the row, and emits report directions instead of applying
+// them. Calls for distinct sites may run concurrently; calls for one site
+// must be serialized with non-decreasing timestamps.
+func (t *DecayTracker) ObserveSite(site int, r stream.Row, emit protocol.Emit) {
 	s := t.sites[site]
 	s.decayTo(r.T, t.gamma)
 	w := r.NormSq()
@@ -86,7 +105,7 @@ func (t *DecayTracker) Observe(site int, r stream.Row) {
 		s.frob += w
 		s.churn += w
 	}
-	t.maybeReport(s, r.T)
+	t.maybeReport(s, r.T, emit)
 	t.net.SampleSiteSpace(int64(2 * t.cfg.D * t.cfg.D))
 	t.net.SampleCoordSpace(int64(t.cfg.D * t.cfg.D))
 }
@@ -98,9 +117,32 @@ func (t *DecayTracker) AdvanceTime(now int64) {
 		return
 	}
 	t.now = now
-	for _, s := range t.sites {
-		s.decayTo(now, t.gamma)
+	for i := range t.sites {
+		t.AdvanceSite(i, now, t.applyInline)
 	}
+}
+
+// AdvanceSite decays one site's clock forward; it never emits.
+func (t *DecayTracker) AdvanceSite(site int, now int64, emit protocol.Emit) {
+	t.sites[site].decayTo(now, t.gamma)
+}
+
+// Apply decays Ĉ to the update's emission time and folds it in. The
+// (T, site) apply order makes the emission times non-decreasing, so the
+// coordinator's clock only moves forward.
+func (t *DecayTracker) Apply(u protocol.Update) {
+	t.decayChatTo(u.T)
+	mat.OuterAdd(t.chat, u.V, u.Scale)
+}
+
+// AdvanceCoord decays Ĉ to now. Callers must guarantee no later Apply
+// carries an emission time before now (the pipeline uses its minimum lane
+// progress, a safe lower bound).
+func (t *DecayTracker) AdvanceCoord(now int64) {
+	if now > t.now {
+		t.now = now
+	}
+	t.decayChatTo(now)
 }
 
 func (s *decaySite) decayTo(now int64, gamma float64) {
@@ -115,7 +157,7 @@ func (s *decaySite) decayTo(now int64, gamma float64) {
 	s.t = now
 }
 
-func (t *DecayTracker) maybeReport(s *decaySite, now int64) {
+func (t *DecayTracker) maybeReport(s *decaySite, now int64, emit protocol.Emit) {
 	if s.frob <= 0 {
 		return
 	}
@@ -137,13 +179,12 @@ func (t *DecayTracker) maybeReport(s *decaySite, now int64) {
 	eig := mat.EigSym(diff)
 	cutoff := t.cfg.Eps * s.frob
 	sent := 0
-	t.decayChatTo(now)
 	send := func(i int) {
 		lam := eig.Values[i]
 		v := eig.Vectors.Row(i)
 		t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
 		mat.OuterAdd(s.chat, v, lam)
-		mat.OuterAdd(t.chat, v, lam)
+		emit(lam, v)
 		sent++
 	}
 	for i, lam := range eig.Values {

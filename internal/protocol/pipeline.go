@@ -1,0 +1,408 @@
+package protocol
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EmitAt receives a coordinator update produced during site-local work,
+// stamped with its emission time. Within one lane, emission times must be
+// non-decreasing and never less than the progress value the lane handler
+// last returned — the merge relies on both to order applies globally.
+type EmitAt func(t int64, scale float64, v []float64)
+
+// LaneHandler runs all site-local work for one pipeline item. The pipeline
+// calls it from the lane's worker goroutine: calls for one site are
+// serialized, calls for distinct sites run concurrently, so the handler's
+// per-site state needs no locking but anything shared (counters, the
+// tracker's site array) must be safe for concurrent sites.
+//
+// The v slice passed to HandleRow aliases the lane's ring slot and is
+// reused after the call returns — the handler must copy anything it
+// retains (the trackers already honor this no-retention contract).
+//
+// Each call returns the lane's new progress: a promise that every future
+// emission from this site has emission time ≥ progress. For a plain lane
+// this is the item's timestamp; a lane holding a skew buffer returns its
+// release floor instead, since buffered rows may still come out earlier
+// than the newest arrival.
+type LaneHandler interface {
+	HandleRow(site int, t int64, v []float64, emit EmitAt) (progress int64)
+	HandleAdvance(site int, now int64, emit EmitAt) (progress int64)
+	HandleFlush(site int, emit EmitAt) (progress int64)
+}
+
+// PipelineConfig sizes the pipeline.
+type PipelineConfig struct {
+	// Workers is the number of site-work goroutines; lanes are sharded
+	// round-robin across them. ≤0 means GOMAXPROCS.
+	Workers int
+	// RingSize is the per-lane input ring capacity (rounded up to a power
+	// of two). ≤0 means 256. When a lane's ring fills, EnqueueRow blocks —
+	// backpressure, not loss.
+	RingSize int
+}
+
+// outQueue is a lane's unbounded site→coordinator queue. Unlike the input
+// rings it must not exert backpressure: a lagging lane blocking its worker
+// here could deadlock the merge, and the one-way protocols emit rarely
+// enough (communication efficiency is the point) that growth is bounded in
+// practice by the merge stalling on unfed lanes.
+type outQueue struct {
+	mu    sync.Mutex
+	items []Update
+	head  int
+}
+
+func (q *outQueue) push(u Update) {
+	q.mu.Lock()
+	q.items = append(q.items, u)
+	q.mu.Unlock()
+}
+
+func (q *outQueue) peek() (Update, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		return Update{}, false
+	}
+	return q.items[q.head], true
+}
+
+func (q *outQueue) pop() Update {
+	q.mu.Lock()
+	u := q.items[q.head]
+	q.items[q.head] = Update{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items, q.head = q.items[:0], 0
+	}
+	q.mu.Unlock()
+	return u
+}
+
+// lane is one site's slice of the pipeline: its input ring, its out-queue
+// toward the coordinator, and its merge bookkeeping.
+type lane struct {
+	site int
+	ring *spscRing
+	out  outQueue
+
+	// progress is the lane's emission floor (see LaneHandler). Written by
+	// the worker after each item, read by the coordinator for virtual
+	// merge keys. Starts at minInt64: an unstarted lane blocks everything.
+	progress atomic.Int64
+
+	// enq counts items pushed to the ring, done items fully processed;
+	// enq == done means the lane is idle (its emissions, if any, are in
+	// the out-queue). dirty tells the coordinator to re-read this lane's
+	// merge key on its next pass.
+	enq   atomic.Int64
+	done  atomic.Int64
+	dirty atomic.Bool
+
+	// justEmitted is worker-local (emit runs on the worker goroutine): set
+	// by emit, consumed by the worker loop to decide whether the
+	// coordinator must be woken.
+	justEmitted bool
+	emitFn      EmitAt
+	p           *Pipeline
+}
+
+func (ln *lane) emit(t int64, scale float64, v []float64) {
+	ln.out.push(Update{T: t, Site: ln.site, Scale: scale, V: v})
+	ln.p.pending.Add(1)
+	ln.justEmitted = true
+}
+
+func (ln *lane) idle() bool { return ln.done.Load() == ln.enq.Load() }
+
+// Pipeline is the parallel ingestion fabric for the one-way protocol
+// family: one lane per site, lanes sharded over worker goroutines that run
+// all site-local work, and a single coordinator goroutine that applies the
+// emitted updates in global (T, site) order via a tournament merge over
+// the lanes' out-queues.
+//
+// Concurrency contract: at most one goroutine may enqueue per site (the
+// rings are single-producer), and Advance/Drain/MinProgress/Close must not
+// run concurrently with any enqueue.
+type Pipeline struct {
+	lanes []*lane
+	h     LaneHandler
+	apply func(Update)
+
+	tour *tournament
+	// pending counts emitted-but-unapplied updates across all lanes.
+	pending  atomic.Int64
+	draining atomic.Bool
+	// kick wakes the coordinator; buffered so a kick during a pass is
+	// never lost.
+	kick  chan struct{}
+	wakes []chan struct{} // one per worker
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+const maxInt64 = 1<<63 - 1
+
+// NewPipeline starts the workers and coordinator for sites lanes. apply is
+// called only from the coordinator goroutine, in global (T, site) order
+// with per-site FIFO.
+func NewPipeline(sites int, h LaneHandler, apply func(Update), cfg PipelineConfig) *Pipeline {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > sites {
+		workers = sites
+	}
+	ringSize := cfg.RingSize
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	p := &Pipeline{
+		h:     h,
+		apply: apply,
+		tour:  newTournament(sites),
+		kick:  make(chan struct{}, 1),
+		stopc: make(chan struct{}),
+	}
+	p.lanes = make([]*lane, sites)
+	for i := range p.lanes {
+		ln := &lane{site: i, ring: newSPSCRing(ringSize), p: p}
+		ln.progress.Store(minInt64)
+		ln.emitFn = ln.emit
+		p.lanes[i] = ln
+	}
+	p.wakes = make([]chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		p.wakes[w] = make(chan struct{}, 1)
+		var mine []*lane
+		for i := w; i < sites; i += workers {
+			mine = append(mine, p.lanes[i])
+		}
+		p.wg.Add(1)
+		go p.worker(mine, p.wakes[w])
+	}
+	p.wg.Add(1)
+	go p.coordinator()
+	return p
+}
+
+// EnqueueRow hands a row to its site's lane. v is copied into the lane's
+// ring, so the caller may reuse its backing array. Blocks while the lane's
+// ring is full (backpressure).
+func (p *Pipeline) EnqueueRow(site int, t int64, v []float64) {
+	ln := p.lanes[site]
+	ln.enq.Add(1)
+	ln.ring.push(func(s *laneItem) {
+		s.t, s.kind = t, itemRow
+		s.v = append(s.v[:0], v...)
+	})
+	p.wakeWorker(site)
+}
+
+// Advance broadcasts a clock-advance token to every lane. Caller must be
+// quiesced (no concurrent enqueues anywhere).
+func (p *Pipeline) Advance(now int64) {
+	for _, ln := range p.lanes {
+		ln.enq.Add(1)
+		ln.ring.push(func(s *laneItem) { s.t, s.kind = now, itemAdvance })
+	}
+	for w := range p.wakes {
+		p.wake(w)
+	}
+}
+
+func (p *Pipeline) wakeWorker(site int) { p.wake(site % len(p.wakes)) }
+
+func (p *Pipeline) wake(w int) {
+	select {
+	case p.wakes[w] <- struct{}{}:
+	default:
+	}
+}
+
+func (p *Pipeline) kickCoord() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// worker drains its lanes' rings, running the handler in-place on each
+// slot (peek → handle → pop, so the slot buffer is stable during the
+// call), and parks when all its lanes are empty.
+func (p *Pipeline) worker(lanes []*lane, wakec chan struct{}) {
+	defer p.wg.Done()
+	for {
+		progressed := false
+		for _, ln := range lanes {
+			for {
+				it, ok := ln.ring.peek()
+				if !ok {
+					break
+				}
+				progressed = true
+				ln.justEmitted = false
+				var prog int64
+				switch it.kind {
+				case itemRow:
+					prog = p.h.HandleRow(ln.site, it.t, it.v, ln.emitFn)
+				case itemAdvance:
+					prog = p.h.HandleAdvance(ln.site, it.t, ln.emitFn)
+				case itemFlush:
+					prog = p.h.HandleFlush(ln.site, ln.emitFn)
+				}
+				if prog > ln.progress.Load() {
+					ln.progress.Store(prog)
+				}
+				ln.ring.pop()
+				ln.done.Add(1)
+				ln.dirty.Store(true)
+				// The coordinator only needs to see this lane's new key if
+				// an update is waiting somewhere: our own emission, or a
+				// stalled update from another lane that our progress may
+				// unblock. With pending == 0 the dirty flag just
+				// accumulates until the next emission's kick.
+				if ln.justEmitted || p.pending.Load() > 0 {
+					p.kickCoord()
+				}
+			}
+		}
+		if !progressed {
+			select {
+			case <-wakec:
+			case <-p.stopc:
+				return
+			}
+		}
+	}
+}
+
+// coordinator applies updates in global (T, site) order: on each kick it
+// re-reads the merge keys of dirty lanes, then pops and applies while the
+// tournament winner is a real key. A virtual winner means some lane could
+// still emit earlier — stall until that lane progresses (or Drain marks it
+// finished).
+func (p *Pipeline) coordinator() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.kick:
+		case <-p.stopc:
+			return
+		}
+		changed := false
+		for i, ln := range p.lanes {
+			if ln.dirty.Swap(false) {
+				p.tour.setKey(i, p.leafKey(i))
+				changed = true
+			}
+		}
+		if changed {
+			p.tour.rebuild()
+		}
+		for {
+			w, real := p.tour.min()
+			if !real {
+				break
+			}
+			u := p.lanes[w].out.pop()
+			p.apply(u)
+			p.pending.Add(-1)
+			p.tour.replayWinner(p.leafKey(w))
+		}
+	}
+}
+
+// leafKey computes lane i's current merge key: the head of its out-queue
+// if one is waiting, else a virtual key from its progress — or +inf during
+// a drain once the lane is idle, since a drained lane cannot emit again.
+func (p *Pipeline) leafKey(i int) mergeKey {
+	ln := p.lanes[i]
+	if u, ok := ln.out.peek(); ok {
+		return mergeKey{t: u.T, site: u.Site, real: true}
+	}
+	if p.draining.Load() && ln.idle() {
+		return mergeKey{t: maxInt64, site: i}
+	}
+	return mergeKey{t: ln.progress.Load(), site: i}
+}
+
+// Drain blocks until every enqueued item has been processed and every
+// emitted update applied. If flush is true it first sends each lane a
+// flush token (releasing skew-buffered rows) once the lanes go idle.
+// Caller must be quiesced; afterwards Sketch-style reads of the
+// coordinator state are safe.
+func (p *Pipeline) Drain(flush bool) {
+	waitUntil(p.lanesIdle)
+	if flush {
+		for _, ln := range p.lanes {
+			ln.enq.Add(1)
+			ln.ring.push(func(s *laneItem) { s.kind = itemFlush })
+		}
+		for w := range p.wakes {
+			p.wake(w)
+		}
+		waitUntil(p.lanesIdle)
+	}
+	p.draining.Store(true)
+	p.markAllDirty()
+	p.kickCoord()
+	waitUntil(func() bool { return p.pending.Load() == 0 })
+	p.draining.Store(false)
+	// The +inf drain keys are stale now: re-dirty every lane so the next
+	// pass restores progress-based keys before new items arrive.
+	p.markAllDirty()
+	p.kickCoord()
+}
+
+func (p *Pipeline) lanesIdle() bool {
+	for _, ln := range p.lanes {
+		if !ln.idle() {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pipeline) markAllDirty() {
+	for _, ln := range p.lanes {
+		ln.dirty.Store(true)
+	}
+}
+
+// MinProgress returns the smallest lane progress — a safe lower bound on
+// the emission time of anything the pipeline could still produce. A lane
+// that never processed an item reports minInt64.
+func (p *Pipeline) MinProgress() int64 {
+	min := int64(maxInt64)
+	for _, ln := range p.lanes {
+		if v := ln.progress.Load(); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Close stops the workers and coordinator. It does not drain: call Drain
+// first if unapplied work matters. No enqueue may be in flight or follow.
+func (p *Pipeline) Close() {
+	close(p.stopc)
+	p.wg.Wait()
+}
+
+// waitUntil spins briefly then backs off to short sleeps; the waits it
+// serves (drain barriers) are bounded by in-flight work.
+func waitUntil(cond func() bool) {
+	for i := 0; !cond(); i++ {
+		if i < 100 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package protocol
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// itemKind tags a ring slot.
+type itemKind uint8
+
+const (
+	itemRow itemKind = iota
+	itemAdvance
+	itemFlush
+)
+
+// laneItem is one slot of a lane's input ring: a row, an advance token, or
+// a drain-time flush token. Row slots own their value buffer — Enqueue
+// copies the caller's slice into it, so the caller may reuse its backing
+// array and the steady state allocates nothing.
+type laneItem struct {
+	t    int64
+	v    []float64
+	kind itemKind
+}
+
+// spscRing is a bounded single-producer/single-consumer ring buffer with
+// producer backpressure: push blocks when the ring is full until the
+// consumer frees a slot. The producer is the site's feeder goroutine, the
+// consumer its worker; neither side locks on the fast path.
+//
+// The consumer protocol is peek → process → pop: a slot's buffer may be
+// handed to site-local work by reference, and only pop recycles it for the
+// producer, so processing never races a producer overwrite.
+type spscRing struct {
+	slots []laneItem
+	mask  uint64
+	// head is the next slot to consume, tail the next to fill. Occupancy
+	// is tail−head; both only ever increase.
+	head atomic.Uint64
+	tail atomic.Uint64
+
+	// Producer parking. prodWaiting is checked by the consumer after every
+	// pop; the mutex is only touched when the ring actually fills.
+	mu          sync.Mutex
+	notFull     *sync.Cond
+	prodWaiting atomic.Bool
+}
+
+func newSPSCRing(size int) *spscRing {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	r := &spscRing{slots: make([]laneItem, n), mask: uint64(n - 1)}
+	r.notFull = sync.NewCond(&r.mu)
+	return r
+}
+
+// push fills the next slot via fill (which writes into the slot in place,
+// reusing its buffer) and publishes it. Blocks while the ring is full.
+func (r *spscRing) push(fill func(*laneItem)) {
+	for {
+		t := r.tail.Load()
+		if t-r.head.Load() < uint64(len(r.slots)) {
+			fill(&r.slots[t&r.mask])
+			r.tail.Store(t + 1)
+			return
+		}
+		// Full: park until the consumer frees a slot. The re-check under
+		// the mutex pairs with the consumer's prodWaiting test after its
+		// head store, so the wakeup cannot be lost.
+		r.mu.Lock()
+		r.prodWaiting.Store(true)
+		if r.tail.Load()-r.head.Load() == uint64(len(r.slots)) {
+			r.notFull.Wait()
+		}
+		r.prodWaiting.Store(false)
+		r.mu.Unlock()
+	}
+}
+
+// peek returns the next slot to process without consuming it. The slot
+// stays owned by the consumer until pop.
+func (r *spscRing) peek() (*laneItem, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil, false
+	}
+	return &r.slots[h&r.mask], true
+}
+
+// pop recycles the slot returned by the last peek and unparks a blocked
+// producer.
+func (r *spscRing) pop() {
+	r.head.Store(r.head.Load() + 1)
+	if r.prodWaiting.Load() {
+		r.mu.Lock()
+		r.notFull.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// empty reports whether the ring currently holds no items.
+func (r *spscRing) empty() bool { return r.head.Load() == r.tail.Load() }

@@ -1,0 +1,114 @@
+package protocol
+
+// mergeKey orders pending coordinator updates. Real keys carry the head
+// update of a lane's out-queue; virtual keys carry a lane's progress — a
+// promise that the lane will never again emit at or before (t, site). The
+// gate rule "an empty lane blocks a candidate unless its progress has
+// passed the candidate's key" is then exactly the lexicographic minimum:
+// if the tournament winner is real, every other lane is provably unable to
+// emit anything smaller, so the winner is safe to apply; if the winner is
+// virtual, the merge must stall until that lane advances.
+type mergeKey struct {
+	t    int64
+	site int
+	real bool
+}
+
+func (a mergeKey) less(b mergeKey) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.site != b.site {
+		return a.site < b.site
+	}
+	// Same (t, site): the real key loses to the virtual one. A virtual key
+	// (t, site) means "strictly after (t, site)", so it cannot block a real
+	// update at the same position — per-site FIFO already orders those.
+	return a.real && !b.real
+}
+
+// tournament is a loser-tree k-way merge over the per-lane out-queues.
+// Loser trees only support O(log k) replay for the *winning* leaf (the
+// winner is the one leaf guaranteed to have played every match on its
+// path), so the two mutation paths differ:
+//
+//   - replayWinner: after the coordinator pops the winner's head, its new
+//     key replays the winner's path — the classical tournament-sort step.
+//   - setKey + rebuild: arbitrary lanes change keys between passes (new
+//     emissions, progress advances); those are batched and the tree is
+//     rebuilt once, O(k) — k is the site count, so this is trivially cheap.
+//
+// Only the coordinator goroutine touches it.
+type tournament struct {
+	k    int
+	keys []mergeKey // leaf keys, one per lane
+	// node[j] for j in [1, k) holds the losing leaf index of the match at
+	// internal node j; winner is the overall winning leaf index.
+	node   []int
+	win    []int // rebuild scratch
+	winner int
+}
+
+func newTournament(k int) *tournament {
+	tr := &tournament{
+		k:    k,
+		keys: make([]mergeKey, k),
+		node: make([]int, k),
+		win:  make([]int, 2*k),
+	}
+	for i := range tr.keys {
+		tr.keys[i] = mergeKey{t: minInt64, site: i}
+	}
+	tr.rebuild()
+	return tr
+}
+
+const minInt64 = -1 << 63
+
+// setKey records a leaf's new key without maintaining the tree; the caller
+// must rebuild() before the next min()/replayWinner().
+func (tr *tournament) setKey(i int, k mergeKey) { tr.keys[i] = k }
+
+// rebuild recomputes the whole tree from the leaf keys.
+func (tr *tournament) rebuild() {
+	if tr.k == 1 {
+		tr.winner = 0
+		return
+	}
+	for i := 0; i < tr.k; i++ {
+		tr.win[tr.k+i] = i
+	}
+	for j := tr.k - 1; j >= 1; j-- {
+		a, b := tr.win[2*j], tr.win[2*j+1]
+		if tr.keys[a].less(tr.keys[b]) {
+			tr.win[j], tr.node[j] = a, b
+		} else {
+			tr.win[j], tr.node[j] = b, a
+		}
+	}
+	tr.winner = tr.win[1]
+}
+
+// replayWinner sets the current winner's key and replays its matches up to
+// the root. Valid only for the winner: it is the one leaf whose stored
+// losers along its path are exactly the winners of the opposing subtrees.
+func (tr *tournament) replayWinner(k mergeKey) {
+	i := tr.winner
+	tr.keys[i] = k
+	if tr.k == 1 {
+		return
+	}
+	w := i
+	for j := (tr.k + i) / 2; j >= 1; j /= 2 {
+		if l := tr.node[j]; tr.keys[l].less(tr.keys[w]) {
+			tr.node[j], w = w, l
+		}
+	}
+	tr.winner = w
+}
+
+// min returns the winning lane and whether its key is real (i.e. that
+// lane's head update is globally safe to apply now).
+func (tr *tournament) min() (lane int, real bool) {
+	return tr.winner, tr.keys[tr.winner].real
+}

@@ -118,6 +118,10 @@ func (t *Tracker) Metrics() Metrics {
 // message traffic, bucket lifecycle, skew drops, sketch queries and
 // threshold renegotiations (nil uninstalls). Install it before feeding
 // data — the sink fields are read without synchronization on the hot path.
+//
+// Deprecated: pass WithSink to New, which wires the sink before any row
+// can arrive. SetSink remains for trackers rebuilt via Restore and for
+// uninstalling.
 func (t *Tracker) SetSink(s Sink) {
 	t.sink = s
 	t.net.SetSink(s)

@@ -1,0 +1,77 @@
+package distwindow
+
+// options collects the construction-time settings applied by New.
+type options struct {
+	parallel bool
+	workers  int
+	ringSize int
+	sink     Sink
+	haveSink bool
+	tracing  *TraceConfig
+	audit    *AuditConfig
+}
+
+// Option configures a Tracker at construction. Options are applied by New
+// in the order given; later options override earlier ones. Installing
+// observability through options (WithSink, WithTracing, WithAudit) is
+// preferred over the post-hoc setters because the tracker is fully wired
+// before the first row arrives — there is no window in which traffic goes
+// unobserved, and no unsynchronized field write after ingestion may have
+// started.
+type Option func(*options)
+
+// WithParallel runs ingestion through the per-site pipeline: each site's
+// local work (skew reordering, histogram upkeep, sketch updates) runs on a
+// worker goroutine, and a single coordinator goroutine applies the
+// resulting site→coordinator updates in global (T, site) order, so the
+// coordinator state — and therefore Sketch — is bit-for-bit identical to
+// the sequential path's.
+//
+// workers is the number of site-work goroutines (≤0 means GOMAXPROCS;
+// capped at Sites). Only the one-way deterministic protocols (DA1, DA2,
+// DA2C, Decay) support the pipeline; New fails with ErrParallelUnsupported
+// for the sampling family, and when combined with WithTracing or
+// WithAudit, whose instrumentation assumes the sequential path.
+//
+// In parallel mode each site must be fed by at most one goroutine (see
+// the Tracker concurrency contract), per-site rather than global timestamp
+// ordering is enforced, and stale rows are counted in Metrics instead of
+// being returned as errors from TryObserve. Call Drain (or any query) to
+// synchronize, and Close when done to stop the goroutines.
+func WithParallel(workers int) Option {
+	return func(o *options) {
+		o.parallel = true
+		o.workers = workers
+	}
+}
+
+// WithRingSize sets the per-site input ring capacity for WithParallel
+// (rounded up to a power of two; ≤0 means the default, 256). When a site's
+// ring fills, TryObserve blocks until its worker catches up —
+// backpressure, not loss.
+func WithRingSize(n int) Option {
+	return func(o *options) { o.ringSize = n }
+}
+
+// WithSink installs an event sink from the start (see Tracker.SetSink for
+// the event vocabulary). With WithParallel the sink is invoked from
+// multiple worker goroutines and must be safe for concurrent use
+// (CountingSink and other atomic sinks qualify).
+func WithSink(s Sink) Option {
+	return func(o *options) {
+		o.sink = s
+		o.haveSink = true
+	}
+}
+
+// WithTracing enables causal tracing from the start (see
+// Tracker.EnableTracing). Incompatible with WithParallel.
+func WithTracing(cfg TraceConfig) Option {
+	return func(o *options) { o.tracing = &cfg }
+}
+
+// WithAudit enables the live ε-error auditor from the start (see
+// Tracker.EnableAudit). Incompatible with WithParallel.
+func WithAudit(cfg AuditConfig) Option {
+	return func(o *options) { o.audit = &cfg }
+}

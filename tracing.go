@@ -32,7 +32,16 @@ type TraceConfig struct {
 // Call before feeding data, from the ingest goroutine — the tracer fields
 // are read without synchronization on the hot path, like SetSink's.
 // Disabled or uninstalled tracing costs one nil-check per hook site.
+// Ignored (no-op) on a parallel tracker: the pipeline rejects tracing at
+// construction and cannot adopt it later.
+//
+// Deprecated: pass WithTracing to New, which installs the tracer before
+// any row can arrive and lets construction reject unsupported
+// combinations (WithParallel) instead of silently ignoring them.
 func (t *Tracker) EnableTracing(cfg TraceConfig) {
+	if t.pipe != nil {
+		return
+	}
 	var tr *trace.Tracer
 	var ring *trace.Ring
 	if cfg.SampleEvery > 0 {
@@ -105,8 +114,16 @@ type AuditSample = audit.Sample
 // The shadow window costs O(window·d) memory and an O(d²) Gram update per
 // row — the very costs the protocols exist to avoid — so enable it on
 // canaries and soak tests, not on every production instance. Call before
-// feeding data, from the ingest goroutine.
+// feeding data, from the ingest goroutine. On a parallel tracker it fails
+// with ErrParallelUnsupported: the shadow path rides the sequential
+// ingest hook.
+//
+// Deprecated: pass WithAudit to New, which installs the auditor before
+// any row can arrive.
 func (t *Tracker) EnableAudit(cfg AuditConfig) error {
+	if t.pipe != nil {
+		return fmt.Errorf("%w: auditing requires the sequential path", ErrParallelUnsupported)
+	}
 	acfg := audit.Config{
 		D:           t.cfg.D,
 		W:           t.cfg.W,
