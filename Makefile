@@ -29,10 +29,10 @@ bench:
 
 # Headline performance figures (ingest rate, words/window, sketch-query
 # latency, parallel-vs-sequential ingest ratio at 8 sites) on a fixed
-# reference workload, written as BENCH_PR3.json for machine comparison
+# reference workload, written as BENCH_PR4.json for machine comparison
 # across changes.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
 
 # Short fuzz sessions over the invariant fuzz targets.
 fuzz:

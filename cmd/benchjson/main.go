@@ -3,7 +3,9 @@
 // ingest update rate, communication words per window, sketch-query
 // latency, and the parallel-vs-sequential ingest ratio — as a JSON
 // document for machine comparison across changes (`make bench-json` →
-// BENCH_PR3.json).
+// BENCH_PR4.json). Alongside throughput it records allocs/op for the
+// ingest loop (runtime.MemStats mallocs over the timed rows) and sweeps
+// the parallel pipeline over 1/2/4 workers.
 //
 // The workload is deterministic (fixed seed, synthetic Gaussian rows), so
 // two runs on the same machine differ only by measurement noise; compare
@@ -27,9 +29,14 @@ import (
 )
 
 type result struct {
-	Protocol       string  `json:"protocol"`
-	Rows           int64   `json:"rows"`
-	UpdatesPerSec  float64 `json:"updates_per_sec"`
+	Protocol      string  `json:"protocol"`
+	Rows          int64   `json:"rows"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	// AllocsPerRow is the mean heap allocations per ingested row over the
+	// timed loop (cumulative runtime.MemStats.Mallocs delta / rows). The
+	// steady-state site step is allocation-free; the residue here is
+	// warm-up growth plus the rare report/emission path.
+	AllocsPerRow   float64 `json:"allocs_per_row"`
 	WordsPerWindow float64 `json:"words_per_window"`
 	TotalWords     int64   `json:"total_words"`
 	// SketchQueryMs is the mean wall-clock latency of Tracker.Sketch over
@@ -69,7 +76,7 @@ type doc struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR3.json", "output path")
+		out     = flag.String("out", "BENCH_PR4.json", "output path")
 		rows    = flag.Int64("rows", 200_000, "rows to stream per protocol")
 		d       = flag.Int("d", 32, "row dimension")
 		sites   = flag.Int("sites", 8, "number of sites")
@@ -108,12 +115,16 @@ func main() {
 		if err := tr.EnableAudit(distwindow.AuditConfig{EveryRows: 1 << 30}); err != nil {
 			log.Fatal(err)
 		}
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		for i := int64(1); i <= *rows; i++ {
 			k := int(i) & (len(vs) - 1)
 			tr.Observe(siteOf[k], distwindow.Row{T: i, V: vs[k]})
 		}
 		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&msAfter)
+		allocsPerRow := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(*rows)
 		if _, ok := tr.AuditTick(); !ok {
 			log.Fatal("audit tick failed")
 		}
@@ -129,6 +140,7 @@ func main() {
 			Protocol:       string(proto),
 			Rows:           *rows,
 			UpdatesPerSec:  float64(*rows) / elapsed,
+			AllocsPerRow:   allocsPerRow,
 			WordsPerWindow: am.WordsPerWindow,
 			TotalWords:     tr.Stats().TotalWords(),
 			SketchQueryMs:  qMs,
@@ -137,14 +149,16 @@ func main() {
 			MeanErr:        am.MeanErr,
 			Eps:            *eps,
 		})
-		fmt.Printf("%-10s %10.0f rows/s  %12.0f words/window  %8.3f ms/query\n",
-			proto, float64(*rows)/elapsed, am.WordsPerWindow, qMs)
+		fmt.Printf("%-10s %10.0f rows/s  %6.2f allocs/row  %12.0f words/window  %8.3f ms/query\n",
+			proto, float64(*rows)/elapsed, allocsPerRow, am.WordsPerWindow, qMs)
 	}
 
 	// Parallel-vs-sequential ingest ratio for the one-way protocols: both
 	// trackers consume identical per-site streams (T = per-site tick), the
 	// sequential one in the merge's global (T, site) order, the parallel
-	// one from one feeder goroutine per site.
+	// one from one feeder goroutine per site. The parallel side is swept
+	// over 1/2/4 workers to expose the pipeline's scaling curve (capped by
+	// the recorded core count).
 	perSite := *rows / int64(*sites)
 	var parallels []parallelResult
 	for _, proto := range []distwindow.Protocol{distwindow.DA1, distwindow.DA2} {
@@ -161,47 +175,49 @@ func main() {
 			}
 		}
 		seqSecs := time.Since(seqStart).Seconds()
-
-		parTr, err := distwindow.New(cfg, distwindow.WithParallel(0))
-		if err != nil {
-			log.Fatal(err)
-		}
-		parStart := time.Now()
-		var wg sync.WaitGroup
-		for s := 0; s < *sites; s++ {
-			wg.Add(1)
-			go func(s int) {
-				defer wg.Done()
-				for t := int64(1); t <= perSite; t++ {
-					parTr.TryObserve(s, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]})
-				}
-			}(s)
-		}
-		wg.Wait()
-		parTr.Drain()
-		parSecs := time.Since(parStart).Seconds()
-
-		// Cross-check the tentpole invariant while we have both trackers.
 		gs, _ := seqTr.SketchGram()
-		gp, _ := parTr.SketchGram()
-		if !gs.Equal(gp) {
-			log.Fatalf("%s: parallel sketch diverged from sequential", proto)
-		}
-		parTr.Close()
 
-		total := perSite * int64(*sites)
-		pr := parallelResult{
-			Protocol:             string(proto),
-			Sites:                *sites,
-			Workers:              runtime.GOMAXPROCS(0),
-			Rows:                 total,
-			SequentialRowsPerSec: float64(total) / seqSecs,
-			ParallelRowsPerSec:   float64(total) / parSecs,
-			Speedup:              seqSecs / parSecs,
+		for _, workers := range []int{1, 2, 4} {
+			parTr, err := distwindow.New(cfg, distwindow.WithParallel(workers))
+			if err != nil {
+				log.Fatal(err)
+			}
+			parStart := time.Now()
+			var wg sync.WaitGroup
+			for s := 0; s < *sites; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for t := int64(1); t <= perSite; t++ {
+						parTr.TryObserve(s, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]})
+					}
+				}(s)
+			}
+			wg.Wait()
+			parTr.Drain()
+			parSecs := time.Since(parStart).Seconds()
+
+			// Cross-check the determinism invariant at every worker count.
+			gp, _ := parTr.SketchGram()
+			if !gs.Equal(gp) {
+				log.Fatalf("%s: parallel sketch diverged from sequential at %d workers", proto, workers)
+			}
+			parTr.Close()
+
+			total := perSite * int64(*sites)
+			pr := parallelResult{
+				Protocol:             string(proto),
+				Sites:                *sites,
+				Workers:              workers,
+				Rows:                 total,
+				SequentialRowsPerSec: float64(total) / seqSecs,
+				ParallelRowsPerSec:   float64(total) / parSecs,
+				Speedup:              seqSecs / parSecs,
+			}
+			parallels = append(parallels, pr)
+			fmt.Printf("%-10s parallel(%d) %9.0f rows/s vs sequential %9.0f rows/s  (%.2fx, %d cores)\n",
+				proto, workers, pr.ParallelRowsPerSec, pr.SequentialRowsPerSec, pr.Speedup, runtime.GOMAXPROCS(0))
 		}
-		parallels = append(parallels, pr)
-		fmt.Printf("%-10s parallel %9.0f rows/s vs sequential %9.0f rows/s  (%.2fx, %d cores)\n",
-			proto, pr.ParallelRowsPerSec, pr.SequentialRowsPerSec, pr.Speedup, runtime.GOMAXPROCS(0))
 	}
 
 	f, err := os.Create(*out)

@@ -52,8 +52,15 @@ type da1Site struct {
 	churn float64
 	lastF float64
 	now   int64
-	// pv is the warm-start vector for the spectral trigger test.
-	pv []float64
+	// pv is the warm-start vector for the spectral trigger test; mv is the
+	// Ĉ·x scratch of the trigger operator; diff holds C − Ĉ during a report;
+	// ws is the site's persistent decomposition/power-iteration workspace.
+	// All are preallocated so the per-row path stays allocation-free.
+	pv      []float64
+	mv      []float64
+	applyOp func(x, y []float64)
+	diff    *mat.Dense
+	ws      *mat.Workspace
 }
 
 var _ protocol.OneWay = (*DA1)(nil)
@@ -79,7 +86,23 @@ func newDA1(cfg Config, net *protocol.Network, exact bool) (*DA1, error) {
 	t.applyInline = func(scale float64, v []float64) { mat.OuterAdd(t.chat, v, scale) }
 	t.sites = make([]*da1Site, cfg.Sites)
 	for i := range t.sites {
-		s := &da1Site{idx: i, chat: mat.NewDense(cfg.D, cfg.D)}
+		s := &da1Site{
+			idx:  i,
+			chat: mat.NewDense(cfg.D, cfg.D),
+			pv:   make([]float64, cfg.D),
+			mv:   make([]float64, cfg.D),
+			diff: mat.NewDense(cfg.D, cfg.D),
+			ws:   mat.NewWorkspace(),
+		}
+		// The trigger operator y = (C − Ĉ)x, allocated once per site so the
+		// amortized spectral test allocates nothing.
+		s.applyOp = func(x, y []float64) {
+			s.applyGram(cfg.D, x, y)
+			mat.MulVecInto(s.mv, s.chat, x)
+			for j := range y {
+				y[j] -= s.mv[j]
+			}
+		}
 		if exact {
 			s.win = window.NewExact(cfg.W)
 		} else {
@@ -125,12 +148,16 @@ func (s *da1Site) applyGram(d int, x, y []float64) {
 	s.hist.ApplyGram(x, y)
 }
 
-// gram materializes the site's window covariance.
-func (s *da1Site) gram(d int) *mat.Dense {
+// gramInto overwrites dst with the site's window covariance.
+func (s *da1Site) gramInto(dst *mat.Dense) {
 	if s.win != nil {
-		return s.win.Gram(d)
+		dst.Zero()
+		for _, r := range s.win.Rows() {
+			mat.OuterAdd(dst, r.V, 1)
+		}
+		return
 	}
-	return s.hist.Gram()
+	s.hist.GramInto(dst)
 }
 
 // Observe feeds a row into the site's histogram and applies the amortized
@@ -219,7 +246,9 @@ func (t *DA1) maybeReport(s *da1Site, emit protocol.Emit) {
 	if fhat <= 0 {
 		// Window (locally) empty: flush any leftover Ĉ⁽ʲ⁾ exactly once.
 		if mat.FrobSq(s.chat) > 0 {
-			t.sendDirections(s, mat.Scale(-1, s.chat), 0, emit)
+			s.diff.CopyFrom(s.chat)
+			mat.ScaleInPlace(s.diff, -1)
+			t.sendDirections(s, s.diff, 0, emit)
 		}
 		s.churn = 0
 		return
@@ -233,25 +262,16 @@ func (t *DA1) maybeReport(s *da1Site, emit protocol.Emit) {
 	// a few iterations from the cached vector suffice for a threshold
 	// comparison. The estimate lower-bounds the norm, so the test fires at
 	// 0.9× the threshold to compensate; a missed borderline trigger is
-	// retried at the next churn quantum.
-	d := t.cfg.D
-	if s.pv == nil {
-		s.pv = make([]float64, d)
-	}
-	apply := func(x, y []float64) {
-		s.applyGram(d, x, y)
-		cx := mat.MulVec(s.chat, x)
-		for i := range y {
-			y[i] -= cx[i]
-		}
-	}
-	norm := mat.OpSymNormWarm(d, s.pv, 8, apply)
+	// retried at the next churn quantum. The operator closure, iteration
+	// scratch, and warm vector are all per-site state: the test allocates
+	// nothing.
+	norm := mat.OpSymNormWarmWS(t.cfg.D, s.pv, 8, s.applyOp, s.ws)
 	if norm <= t.cfg.Eps*fhat {
 		return
 	}
-	diff := s.gram(t.cfg.D)
-	mat.SubInPlace(diff, s.chat)
-	t.sendDirections(s, diff, t.cfg.Eps*fhat, emit)
+	s.gramInto(s.diff)
+	mat.SubInPlace(s.diff, s.chat)
+	t.sendDirections(s, s.diff, t.cfg.Eps*fhat, emit)
 }
 
 // sendDirections eigendecomposes D and ships every direction with
@@ -260,16 +280,22 @@ func (t *DA1) maybeReport(s *da1Site, emit protocol.Emit) {
 // iteration slightly over-estimated), the top direction is shipped anyway
 // so the protocol always makes progress.
 func (t *DA1) sendDirections(s *da1Site, diff *mat.Dense, cutoff float64, emit protocol.Emit) {
-	eig := mat.EigSym(diff)
+	eig := mat.EigSymInto(diff, s.ws)
+	send := func(i int) {
+		// Copy the direction out of the site workspace: the parallel
+		// pipeline retains emitted slices until the coordinator applies
+		// them, by which time the workspace may have been reused.
+		v := append([]float64(nil), eig.Vectors.Row(i)...)
+		t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
+		mat.OuterAdd(s.chat, v, eig.Values[i])
+		emit(eig.Values[i], v)
+	}
 	sent := 0
 	for i, lam := range eig.Values {
 		if math.Abs(lam) < cutoff || lam == 0 {
 			continue
 		}
-		v := eig.Vectors.Row(i)
-		t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
-		mat.OuterAdd(s.chat, v, lam)
-		emit(lam, v)
+		send(i)
 		sent++
 	}
 	if sent == 0 && cutoff > 0 {
@@ -280,10 +306,7 @@ func (t *DA1) sendDirections(s *da1Site, diff *mat.Dense, cutoff float64, emit p
 			}
 		}
 		if best >= 0 && bl > 0 {
-			v := eig.Vectors.Row(best)
-			t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
-			mat.OuterAdd(s.chat, v, eig.Values[best])
-			emit(eig.Values[best], v)
+			send(best)
 		}
 	}
 }

@@ -57,9 +57,11 @@ type da2Site struct {
 	// q is the expiry queue of the previous window (ascending timestamps).
 	q []iwmt.Msg
 	// e is IWMT_e (compress mode only); resid accumulates what was added
-	// for the previous window minus what has been subtracted so far.
+	// for the previous window minus what has been subtracted so far; ws is
+	// the persistent workspace for the residual eigendecompositions.
 	e     *iwmt.Tracker
 	resid *mat.Dense
+	ws    *mat.Workspace
 	// mass tracks the site's window Frobenius mass (gEH).
 	mass *eh.Histogram
 	// boundary is the end of the current window, the next multiple of W.
@@ -282,7 +284,10 @@ func (s *da2Site) drainResidual(emit protocol.Emit) {
 	if s.resid == nil || mat.FrobSq(s.resid) == 0 {
 		return
 	}
-	eig := mat.EigSym(s.resid)
+	if s.ws == nil {
+		s.ws = mat.NewWorkspace()
+	}
+	eig := mat.EigSymInto(s.resid, s.ws)
 	for i, lam := range eig.Values {
 		if lam <= 0 {
 			// The residual is PSD up to round-off; skip noise.

@@ -51,7 +51,15 @@ type decaySite struct {
 	frob  float64 // decayed Frobenius mass, same clock as c
 	t     int64   // timestamp c/chat/frob are decayed to
 	churn float64 // new mass since the last spectral test
-	pv    []float64
+	// pv is the warm-start vector for the spectral trigger test; mv is the
+	// Ĉ·x scratch; diff holds C − Ĉ during a report; ws is the site's
+	// persistent decomposition/power-iteration workspace. All preallocated
+	// so the amortized test allocates nothing.
+	pv      []float64
+	mv      []float64
+	applyOp func(x, y []float64)
+	diff    *mat.Dense
+	ws      *mat.Workspace
 }
 
 var _ protocol.OneWay = (*DecayTracker)(nil)
@@ -72,12 +80,23 @@ func NewDecay(cfg Config, gamma float64, net *protocol.Network) (*DecayTracker, 
 	}
 	t.sites = make([]*decaySite, cfg.Sites)
 	for i := range t.sites {
-		t.sites[i] = &decaySite{
+		s := &decaySite{
 			idx:  i,
 			c:    mat.NewDense(cfg.D, cfg.D),
 			chat: mat.NewDense(cfg.D, cfg.D),
 			pv:   make([]float64, cfg.D),
+			mv:   make([]float64, cfg.D),
+			diff: mat.NewDense(cfg.D, cfg.D),
+			ws:   mat.NewWorkspace(),
 		}
+		s.applyOp = func(x, y []float64) {
+			mat.MulVecInto(y, s.c, x)
+			mat.MulVecInto(s.mv, s.chat, x)
+			for j := range y {
+				y[j] -= s.mv[j]
+			}
+		}
+		t.sites[i] = s
 	}
 	return t, nil
 }
@@ -165,23 +184,21 @@ func (t *DecayTracker) maybeReport(s *decaySite, now int64, emit protocol.Emit) 
 		return
 	}
 	s.churn = 0
-	norm := mat.OpSymNormWarm(t.cfg.D, s.pv, 8, func(x, y []float64) {
-		cx := mat.MulVec(s.c, x)
-		hx := mat.MulVec(s.chat, x)
-		for i := range y {
-			y[i] = cx[i] - hx[i]
-		}
-	})
+	norm := mat.OpSymNormWarmWS(t.cfg.D, s.pv, 8, s.applyOp, s.ws)
 	if norm <= t.cfg.Eps*s.frob {
 		return
 	}
-	diff := mat.Sub(s.c, s.chat)
-	eig := mat.EigSym(diff)
+	s.diff.CopyFrom(s.c)
+	mat.SubInPlace(s.diff, s.chat)
+	eig := mat.EigSymInto(s.diff, s.ws)
 	cutoff := t.cfg.Eps * s.frob
 	sent := 0
 	send := func(i int) {
 		lam := eig.Values[i]
-		v := eig.Vectors.Row(i)
+		// Copy the direction out of the site workspace: the parallel
+		// pipeline retains emitted slices until the coordinator applies
+		// them, by which time the workspace may have been reused.
+		v := append([]float64(nil), eig.Vectors.Row(i)...)
 		t.net.UpFrom(s.idx, protocol.DirectionWords(t.cfg.D))
 		mat.OuterAdd(s.chat, v, lam)
 		emit(lam, v)

@@ -5,7 +5,9 @@
 //
 // The implementation uses the standard doubled-buffer trick: rows are
 // appended into a 2ℓ×d buffer and a single SVD-shrink step runs every ℓ
-// appends, giving O(dℓ) amortized update time.
+// appends, giving O(dℓ) amortized update time. Each sketch owns one
+// persistent decomposition workspace, so at steady state Update (and the
+// amortized shrinks behind it) performs no heap allocations.
 package fd
 
 import (
@@ -24,6 +26,10 @@ type Sketch struct {
 	n      int        // occupied rows of buf
 	frobSq float64    // exact ‖A‖_F² of everything fed in
 	shrunk float64    // total spectral mass removed by shrinking (Σ δ)
+	// ws is the persistent shrink workspace, allocated on the first shrink
+	// and reused (dirty) forever after; shrink dimensions never change, so
+	// its buffers stabilize after one use.
+	ws *mat.Workspace
 }
 
 // New returns an empty sketch with ℓ rows of capacity for d-dimensional
@@ -68,12 +74,17 @@ func (s *Sketch) shrink() {
 	if s.n <= s.ell {
 		return
 	}
-	svd := mat.ThinSVD(s.buf.SliceRows(0, s.n))
+	if s.ws == nil {
+		s.ws = mat.NewWorkspace()
+	}
+	svd := mat.ThinSVDNoU(s.buf.SliceRows(0, s.n), s.ws)
 	delta := 0.0
 	if len(svd.S) > s.ell {
 		delta = svd.S[s.ell] * svd.S[s.ell]
 	}
-	s.buf.Zero()
+	// Rows at index ≥ the new count are never read before being fully
+	// overwritten (Update/Merge copy whole rows), so the stale tail of the
+	// buffer needs no zeroing.
 	kept := 0
 	for i := 0; i < len(svd.S) && i < s.ell; i++ {
 		sq := svd.S[i]*svd.S[i] - delta
@@ -100,6 +111,35 @@ func (s *Sketch) Rows() *mat.Dense {
 	return out
 }
 
+// RowsView returns the current sketch matrix as a view sharing the
+// sketch's buffer — no copy. The view is invalidated (and its contents
+// rewritten) by the next Update/Merge/Reset; callers must not retain it
+// across mutations or mutate it themselves.
+func (s *Sketch) RowsView() *mat.Dense { return s.buf.SliceRows(0, s.n) }
+
+// NumRows returns the number of live sketch rows without copying them.
+func (s *Sketch) NumRows() int { return s.n }
+
+// AppendRowsTo copies the sketch's live rows into dst starting at row at,
+// and returns the number of rows written. It is the bulk no-allocation
+// alternative to Rows() for callers stacking several sketches.
+func (s *Sketch) AppendRowsTo(dst *mat.Dense, at int) int {
+	if dst.Cols() != s.d {
+		panic(fmt.Sprintf("fd: AppendRowsTo dst cols %d != d %d", dst.Cols(), s.d))
+	}
+	if at < 0 || at+s.n > dst.Rows() {
+		panic(fmt.Sprintf("fd: AppendRowsTo rows [%d,%d) out of dst range %d", at, at+s.n, dst.Rows()))
+	}
+	copy(dst.Data()[at*s.d:(at+s.n)*s.d], s.buf.Data()[:s.n*s.d])
+	return s.n
+}
+
+// GramAddTo accumulates dst += scale · BᵀB over the sketch's live rows
+// without copying them. dst must be d×d.
+func (s *Sketch) GramAddTo(dst *mat.Dense, scale float64) {
+	mat.GramAdd(dst, s.buf.SliceRows(0, s.n), scale)
+}
+
 // ApplyGramAdd accumulates y += Bᵀ(B·x) over the sketch's current rows
 // without materializing them — the cheap mat-vec the protocols' power
 // iterations are built on.
@@ -113,15 +153,25 @@ func (s *Sketch) ApplyGramAdd(x, y []float64) {
 	}
 }
 
-// Compact forces a shrink so the sketch has at most ℓ rows, then returns it.
+// Compact forces a shrink so the sketch has at most ℓ rows, then returns
+// a copy of it. Hot paths should prefer CompactView.
 func (s *Sketch) Compact() *mat.Dense {
 	s.shrink()
 	return s.Rows()
 }
 
+// CompactView forces a shrink and returns the sketch rows as a view
+// sharing the sketch's buffer — no copy. The same aliasing rules as
+// RowsView apply.
+func (s *Sketch) CompactView() *mat.Dense {
+	s.shrink()
+	return s.buf.SliceRows(0, s.n)
+}
+
 // Reset empties the sketch without releasing its buffers.
 func (s *Sketch) Reset() {
-	s.buf.Zero()
+	// No zeroing: rows are fully overwritten before they are ever read
+	// (see shrink), so clearing the count and ledgers suffices.
 	s.n = 0
 	s.frobSq = 0
 	s.shrunk = 0
@@ -129,23 +179,39 @@ func (s *Sketch) Reset() {
 
 // Merge folds the other sketch into s (the FD merge operation: append the
 // other sketch's rows and shrink). The error guarantees add. The other
-// sketch is not modified.
+// sketch is not modified. Rows are copied in whole blocks between shrinks;
+// the shrink schedule (and hence the result) is identical to appending the
+// rows one at a time. s and other must be distinct.
 func (s *Sketch) Merge(other *Sketch) {
 	if other.d != s.d {
 		panic(fmt.Sprintf("fd: merge dimension mismatch %d vs %d", other.d, s.d))
 	}
-	for i := 0; i < other.n; i++ {
+	for i := 0; i < other.n; {
 		if s.n == 2*s.ell {
 			s.shrink()
 		}
-		s.buf.SetRow(s.n, other.buf.Row(i))
-		s.n++
+		take := 2*s.ell - s.n
+		if rem := other.n - i; rem < take {
+			take = rem
+		}
+		copy(s.buf.Data()[s.n*s.d:(s.n+take)*s.d], other.buf.Data()[i*s.d:(i+take)*s.d])
+		s.n += take
+		i += take
 	}
 	s.frobSq += other.frobSq
 	s.shrunk += other.shrunk
 }
 
-// Clone returns a deep copy of the sketch.
+// MergeInto folds s into dst and resets s — the destructive-source merge.
+// Callers recycling sketch buffers (the mEH bucket freelist) use it so the
+// source is immediately reusable.
+func (s *Sketch) MergeInto(dst *Sketch) {
+	dst.Merge(s)
+	s.Reset()
+}
+
+// Clone returns a deep copy of the sketch. The decomposition workspace is
+// not shared; the clone allocates its own on first shrink.
 func (s *Sketch) Clone() *Sketch {
 	return &Sketch{
 		ell:    s.ell,

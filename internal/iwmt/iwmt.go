@@ -80,24 +80,27 @@ func (tr *Tracker) Input(t int64, v []float64) []Msg {
 }
 
 // emit compacts the unsent sketch and ships rows with squared norm ≥ θ.
+// Emitted rows are copied (they escape into messages); kept rows are
+// re-fed from the compacted buffer view. Re-feeding is alias-safe: kept
+// row k comes from view row j_k ≥ k, and Update writes rows in increasing
+// order, so a source row is never overwritten before it is read.
 func (tr *Tracker) emit(t int64, theta float64) []Msg {
-	rows := tr.sk.Compact()
+	rows := tr.sk.CompactView()
 	tr.rawSince = 0
 	var out []Msg
-	var kept [][]float64
+	var kept []int
 	for i := 0; i < rows.Rows(); i++ {
-		r := rows.RowCopy(i)
-		if mat.VecNormSq(r) >= theta {
-			out = append(out, Msg{T: t, V: r})
+		if mat.VecNormSq(rows.Row(i)) >= theta {
+			out = append(out, Msg{T: t, V: append([]float64(nil), rows.Row(i)...)})
 			tr.emitted++
 		} else {
-			kept = append(kept, r)
+			kept = append(kept, i)
 		}
 	}
 	if len(out) > 0 {
 		tr.sk.Reset()
-		for _, r := range kept {
-			tr.sk.Update(r)
+		for _, i := range kept {
+			tr.sk.Update(rows.Row(i))
 		}
 	}
 	return out
@@ -113,12 +116,11 @@ func (tr *Tracker) Flush(t int64) []Msg {
 	if tr.lastT > 0 && tr.lastT < t {
 		t = tr.lastT
 	}
-	rows := tr.sk.Compact()
+	rows := tr.sk.CompactView()
 	var out []Msg
 	for i := 0; i < rows.Rows(); i++ {
-		r := rows.RowCopy(i)
-		if mat.VecNormSq(r) > 0 {
-			out = append(out, Msg{T: t, V: r})
+		if mat.VecNormSq(rows.Row(i)) > 0 {
+			out = append(out, Msg{T: t, V: append([]float64(nil), rows.Row(i)...)})
 			tr.emitted++
 		}
 	}
@@ -133,9 +135,10 @@ func (tr *Tracker) UnsentFrobSq() float64 { return tr.sk.FrobSq() }
 // Emitted returns the number of directions emitted so far.
 func (tr *Tracker) Emitted() int { return tr.emitted }
 
-// SpaceWords returns the tracker's storage cost in words.
+// SpaceWords returns the tracker's storage cost in words. It allocates
+// nothing — DA2 charges it per ingested row.
 func (tr *Tracker) SpaceWords() int64 {
-	return int64(tr.sk.Rows().Rows()) * int64(tr.d)
+	return int64(tr.sk.NumRows()) * int64(tr.d)
 }
 
 // Reset empties the tracker without emitting.

@@ -15,6 +15,11 @@
 // only the oldest bucket can straddle the window boundary; including it
 // wholesale adds at most its mass ≤ (ε/2)‖A_w‖_F² of covariance error,
 // giving O(ε)‖A_w‖_F² total.
+//
+// The histogram recycles its transient storage: single-row buffers and FD
+// sketches released by bucket merges and expiries go to small freelists,
+// and the compaction pass double-buffers its bucket slice, so at steady
+// state Add performs no heap allocations.
 package meh
 
 import (
@@ -36,6 +41,15 @@ type Histogram struct {
 	buckets []bucket
 	pending int
 
+	// scratch is compact's output double-buffer: compact builds the merged
+	// bucket list here, then swaps it with buckets, so neither slice is
+	// reallocated at steady state.
+	scratch []bucket
+	// freeSk and freeRow recycle bucket sketches and single-row buffers
+	// released by merges and expiries, bounded by maxFree each.
+	freeSk  []*fd.Sketch
+	freeRow [][]float64
+
 	// sink receives bucket lifecycle events (created/merged/expired); nil
 	// — the default — costs one branch per structural change. site tags
 	// the events with the owning site's index.
@@ -46,6 +60,8 @@ type Histogram struct {
 	tracer *trace.Tracer
 }
 
+// Invariant: a live bucket holds exactly one of row (a single lazy row) or
+// sk (a materialized FD sketch).
 type bucket struct {
 	sk     *fd.Sketch
 	row    []float64 // set while the bucket holds exactly one row (lazy sketch)
@@ -57,6 +73,17 @@ type bucket struct {
 // compactEvery bounds the raw buckets accumulated between compaction
 // passes, keeping amortized cost constant.
 const compactEvery = 32
+
+// maxFreeRows and maxFreeSketches cap the freelists; beyond them released
+// buffers go to the GC. A compaction pass can release up to one single-row
+// buffer per Add since the previous pass (compactEvery of them) in one
+// burst, which the following Adds then reclaim one by one — so the row cap
+// must cover a full inter-compaction cycle for Add to stay allocation-free.
+// Sketch churn per pass is a handful, so a small cap suffices.
+const (
+	maxFreeRows     = compactEvery + 8
+	maxFreeSketches = 16
+)
 
 // New returns an mEH for d-dimensional rows over a window of w ticks with
 // error parameter eps in (0, 1). Per-bucket FD size is ⌈1/eps⌉ so the
@@ -95,6 +122,44 @@ func (h *Histogram) SetTracer(tr *trace.Tracer, site int) {
 // D returns the row dimension.
 func (h *Histogram) D() int { return h.d }
 
+// getRow returns a copy of v in a (possibly recycled) buffer.
+func (h *Histogram) getRow(v []float64) []float64 {
+	if n := len(h.freeRow); n > 0 {
+		r := h.freeRow[n-1]
+		h.freeRow = h.freeRow[:n-1]
+		copy(r, v)
+		return r
+	}
+	r := make([]float64, len(v))
+	copy(r, v)
+	return r
+}
+
+// putRow recycles a released single-row buffer.
+func (h *Histogram) putRow(r []float64) {
+	if r != nil && len(h.freeRow) < maxFreeRows {
+		h.freeRow = append(h.freeRow, r)
+	}
+}
+
+// getSketch returns an empty sketch, recycled when possible.
+func (h *Histogram) getSketch() *fd.Sketch {
+	if n := len(h.freeSk); n > 0 {
+		sk := h.freeSk[n-1]
+		h.freeSk = h.freeSk[:n-1]
+		return sk
+	}
+	return fd.New(h.ell, h.d)
+}
+
+// putSketch recycles a released bucket sketch.
+func (h *Histogram) putSketch(sk *fd.Sketch) {
+	if sk != nil && len(h.freeSk) < maxFreeSketches {
+		sk.Reset()
+		h.freeSk = append(h.freeSk, sk)
+	}
+}
+
 // Add inserts a row with timestamp t and expires out-of-window buckets.
 // Zero rows are ignored (they carry no covariance mass).
 func (h *Histogram) Add(t int64, v []float64) {
@@ -103,9 +168,7 @@ func (h *Histogram) Add(t int64, v []float64) {
 		h.Advance(t)
 		return
 	}
-	row := make([]float64, len(v))
-	copy(row, v)
-	h.buckets = append(h.buckets, bucket{row: row, frobSq: w, newest: t, oldest: t})
+	h.buckets = append(h.buckets, bucket{row: h.getRow(v), frobSq: w, newest: t, oldest: t})
 	h.pending++
 	if h.sink != nil {
 		h.sink.OnEvent(obs.Event{Kind: obs.EvBucketCreated, Site: h.site, T: t})
@@ -117,16 +180,15 @@ func (h *Histogram) Add(t int64, v []float64) {
 	h.Advance(t)
 }
 
-// sketch materializes the bucket's FD sketch, absorbing a lazy single row.
-func (b *bucket) sketch(ell, d int) *fd.Sketch {
+// sketch materializes b's FD sketch, absorbing (and recycling) a lazy
+// single row.
+func (h *Histogram) sketch(b *bucket) *fd.Sketch {
 	if b.sk == nil {
-		b.sk = fd.New(ell, d)
-		if b.row != nil {
-			b.sk.Update(b.row)
-			b.row = nil
-		}
-	} else if b.row != nil {
+		b.sk = h.getSketch()
+	}
+	if b.row != nil {
 		b.sk.Update(b.row)
+		h.putRow(b.row)
 		b.row = nil
 	}
 	return b.sk
@@ -141,18 +203,20 @@ func (h *Histogram) compact() {
 	if n < 2 {
 		return
 	}
-	out := make([]bucket, 0, n)
+	out := h.scratch[:0]
 	suffix := 0.0
 	cur := h.buckets[n-1]
 	for i := n - 2; i >= 0; i-- {
 		b := h.buckets[i]
 		if cur.frobSq+b.frobSq <= h.eps2*suffix {
-			// Merge older bucket b into cur.
-			cs := cur.sketch(h.ell, h.d)
+			// Merge older bucket b into cur, recycling b's storage.
+			cs := h.sketch(&cur)
 			if b.single() {
 				cs.Update(b.row)
+				h.putRow(b.row)
 			} else {
-				cs.Merge(b.sketch(h.ell, h.d))
+				b.sk.MergeInto(cs)
+				h.putSketch(b.sk)
 			}
 			cur.frobSq += b.frobSq
 			cur.oldest = b.oldest
@@ -172,6 +236,11 @@ func (h *Histogram) compact() {
 		}
 		h.tracer.Instant(trace.OpBucketMerge, h.site, 0, int64(merged))
 	}
+	// Swap the double buffers: the old bucket array becomes next pass's
+	// scratch. Its entries were copied by value into out or merged away,
+	// so truncating to zero length drops every stale pointer reference on
+	// the next append pass.
+	h.scratch = h.buckets[:0]
 	h.buckets = out
 }
 
@@ -180,10 +249,22 @@ func (h *Histogram) Advance(now int64) {
 	cut := now - h.w
 	i := 0
 	for i < len(h.buckets) && h.buckets[i].newest <= cut {
+		// Recycle the expired bucket's storage.
+		h.putRow(h.buckets[i].row)
+		h.putSketch(h.buckets[i].sk)
 		i++
 	}
 	if i > 0 {
-		h.buckets = h.buckets[i:]
+		// Copy the survivors down so the slice keeps its backing array
+		// (re-slicing forward would leak capacity and force reallocation
+		// on future appends), and clear the vacated tail so recycled
+		// buffers are not referenced twice.
+		n := copy(h.buckets, h.buckets[i:])
+		tail := h.buckets[n:]
+		for j := range tail {
+			tail[j] = bucket{}
+		}
+		h.buckets = h.buckets[:n]
 		if h.sink != nil {
 			h.sink.OnEvent(obs.Event{Kind: obs.EvBucketExpired, Site: h.site, T: now, N: i})
 		}
@@ -212,18 +293,30 @@ func (h *Histogram) FrobSqEstimate() float64 {
 }
 
 // SketchRows returns the stacked rows of all bucket sketches — a matrix B
-// with ‖A_wᵀA_w − BᵀB‖₂ = O(ε)·‖A_w‖_F².
+// with ‖A_wᵀA_w − BᵀB‖₂ = O(ε)·‖A_w‖_F². The rows are copied into the
+// result in one pass without intermediate per-bucket copies.
 func (h *Histogram) SketchRows() *mat.Dense {
-	parts := make([]*mat.Dense, 0, len(h.buckets))
+	total := 0
 	for i := range h.buckets {
 		b := &h.buckets[i]
 		if b.single() {
-			parts = append(parts, mat.FromRows([][]float64{b.row}))
+			total++
 		} else {
-			parts = append(parts, b.sketch(h.ell, h.d).Rows())
+			total += b.sk.NumRows()
 		}
 	}
-	return mat.Stack(parts...)
+	out := mat.NewDense(total, h.d)
+	at := 0
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		if b.single() {
+			out.SetRow(at, b.row)
+			at++
+		} else {
+			at += b.sk.AppendRowsTo(out, at)
+		}
+	}
+	return out
 }
 
 // ApplyGram computes y = BᵀB·x over the stacked bucket sketches without
@@ -240,7 +333,7 @@ func (h *Histogram) ApplyGram(x, y []float64) {
 				mat.Axpy(c, b.row, y)
 			}
 		} else {
-			b.sketch(h.ell, h.d).ApplyGramAdd(x, y)
+			b.sk.ApplyGramAdd(x, y)
 		}
 	}
 }
@@ -249,22 +342,30 @@ func (h *Histogram) ApplyGram(x, y []float64) {
 // approximation of A_wᵀA_w — computed fresh on each call.
 func (h *Histogram) Gram() *mat.Dense {
 	g := mat.NewDense(h.d, h.d)
+	h.GramInto(g)
+	return g
+}
+
+// GramInto overwrites dst (which must be D×D) with BᵀB of the stacked
+// sketch, without allocating or copying bucket rows.
+func (h *Histogram) GramInto(dst *mat.Dense) {
+	dst.Zero()
 	for i := range h.buckets {
 		b := &h.buckets[i]
 		if b.single() {
-			mat.OuterAdd(g, b.row, 1)
+			mat.OuterAdd(dst, b.row, 1)
 		} else {
-			mat.GramAdd(g, b.sketch(h.ell, h.d).Rows(), 1)
+			b.sk.GramAddTo(dst, 1)
 		}
 	}
-	return g
 }
 
 // Buckets returns the number of live buckets.
 func (h *Histogram) Buckets() int { return len(h.buckets) }
 
 // SpaceWords estimates the structure's space usage in words: sketch rows
-// plus per-bucket bookkeeping.
+// plus per-bucket bookkeeping. It allocates nothing — protocols charge it
+// per ingested row.
 func (h *Histogram) SpaceWords() int {
 	words := 0
 	for i := range h.buckets {
@@ -272,7 +373,7 @@ func (h *Histogram) SpaceWords() int {
 		if b.single() {
 			words += h.d + 4
 		} else {
-			words += b.sketch(h.ell, h.d).Rows().Rows()*h.d + 4
+			words += b.sk.NumRows()*h.d + 4
 		}
 	}
 	return words
@@ -281,7 +382,9 @@ func (h *Histogram) SpaceWords() int {
 // RowsInReverse feeds every sketch row to fn in reverse time order (newest
 // bucket first), tagging each row with its bucket's oldest timestamp. DA2
 // uses this to replay a closed window backwards through an IWMT instance
-// when the site does not retain raw rows.
+// when the site does not retain raw rows. The v slice aliases internal
+// storage and is only valid for the duration of the call; fn must copy
+// anything it retains.
 func (h *Histogram) RowsInReverse(fn func(t int64, v []float64)) {
 	for i := len(h.buckets) - 1; i >= 0; i-- {
 		b := &h.buckets[i]
@@ -289,7 +392,7 @@ func (h *Histogram) RowsInReverse(fn func(t int64, v []float64)) {
 			fn(b.oldest, b.row)
 			continue
 		}
-		rows := b.sketch(h.ell, h.d).Rows()
+		rows := b.sk.RowsView()
 		for r := 0; r < rows.Rows(); r++ {
 			fn(b.oldest, rows.Row(r))
 		}

@@ -139,6 +139,21 @@ func (m *Dense) Clone() *Dense {
 	return out
 }
 
+// reshape resizes m to r×c, reusing the backing slice when its capacity
+// suffices (the contents are then stale — callers must fully overwrite).
+// Workspace-backed decompositions use this to stay allocation-free at
+// steady state.
+func (m *Dense) reshape(r, c int) {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %d×%d", r, c))
+	}
+	n := r * c
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	}
+	m.rows, m.cols, m.data = r, c, m.data[:n]
+}
+
 // CopyFrom overwrites m with the contents of src. Dimensions must match.
 func (m *Dense) CopyFrom(src *Dense) {
 	if m.rows != src.rows || m.cols != src.cols {

@@ -1,9 +1,6 @@
 package mat
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Eigen holds the eigendecomposition of a symmetric matrix S = VᵀΛV where
 // the rows of Vectors are orthonormal eigenvectors: S = Σᵢ λᵢ·vᵢᵀvᵢ.
@@ -27,22 +24,17 @@ const jacobiSweepsMax = 60
 // trade-off here because the protocols decompose d×d covariance
 // differences with d ≤ a few thousand, and Jacobi's high relative accuracy
 // keeps sketch error measurements trustworthy.
+//
+// EigSym allocates its working buffers fresh on every call; hot paths that
+// decompose repeatedly should hold a Workspace and call EigSymInto.
 func EigSym(s *Dense) Eigen {
-	if s.rows != s.cols {
-		panic("mat: EigSym of non-square matrix")
-	}
-	n := s.rows
-	a := s.Clone()
-	// Symmetrize to guard against drift in accumulated covariance updates.
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			v := 0.5 * (a.data[i*n+j] + a.data[j*n+i])
-			a.data[i*n+j] = v
-			a.data[j*n+i] = v
-		}
-	}
-	v := Identity(n)
+	return EigSymInto(s, NewWorkspace())
+}
 
+// jacobiEig runs cyclic Jacobi sweeps on the symmetric matrix a in place,
+// accumulating the rotations into v (whose columns become eigenvectors).
+func jacobiEig(a, v *Dense) {
+	n := a.rows
 	offDiag := func() float64 {
 		var s float64
 		for i := 0; i < n; i++ {
@@ -80,24 +72,6 @@ func EigSym(s *Dense) Eigen {
 			}
 		}
 	}
-
-	eig := Eigen{Values: make([]float64, n), Vectors: NewDense(n, n)}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(x, y int) bool {
-		return a.data[idx[x]*n+idx[x]] > a.data[idx[y]*n+idx[y]]
-	})
-	for r, i := range idx {
-		eig.Values[r] = a.data[i*n+i]
-		// Eigenvectors are the columns of the accumulated rotation matrix;
-		// store them as rows of the output.
-		for j := 0; j < n; j++ {
-			eig.Vectors.data[r*n+j] = v.data[j*n+i]
-		}
-	}
-	return eig
 }
 
 // rotate applies the Jacobi rotation J(p,q,θ) to a (two-sided) and

@@ -230,43 +230,11 @@ func OpSymNormTol(d int, tol float64, apply func(x, y []float64)) float64 {
 // across tests: the dominant eigenvector moves little between tests, so a
 // handful of iterations recovers the norm to within a few percent at a
 // fraction of a cold start's cost.
+// OpSymNormWarm allocates its iteration scratch fresh on every call;
+// repeated threshold tests should hold a Workspace and call
+// OpSymNormWarmWS.
 func OpSymNormWarm(d int, v []float64, iters int, apply func(x, y []float64)) float64 {
-	if d == 0 {
-		return 0
-	}
-	if len(v) != d {
-		panic("mat: OpSymNormWarm vector length mismatch")
-	}
-	if VecNorm(v) == 0 {
-		seedVec(v)
-	} else {
-		// Blend in a full-support component so a stale v that happens to
-		// be an exact eigenvector of the new operator (orthogonal to the
-		// dominant direction) cannot trap the iteration.
-		seed := make([]float64, d)
-		seedVec(seed)
-		for i := range v {
-			v[i] = 0.95*v[i] + 0.05*seed[i]
-		}
-		n := VecNorm(v)
-		for i := range v {
-			v[i] /= n
-		}
-	}
-	w := make([]float64, d)
-	var nrm float64
-	for iter := 0; iter < iters; iter++ {
-		apply(v, w)
-		nrm = VecNorm(w)
-		if nrm == 0 {
-			perturb(v, iter)
-			continue
-		}
-		for i := range v {
-			v[i] = w[i] / nrm
-		}
-	}
-	return nrm
+	return OpSymNormWarmWS(d, v, iters, apply, NewWorkspace())
 }
 
 // symMulVec computes w = s·v for symmetric s without allocating.

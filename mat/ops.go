@@ -63,56 +63,89 @@ func checkSame(a, b *Dense, op string) {
 // Mul returns the matrix product a*b as a new matrix.
 // It panics unless a.Cols() == b.Rows().
 func Mul(a, b *Dense) *Dense {
+	out := NewDense(a.rows, b.cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto sets dst = a*b without allocating. dst must be a.Rows()×b.Cols()
+// and must not alias a or b. The previous contents of dst are overwritten.
+//
+// The kernel streams b's rows (ikj order) and register-blocks two output
+// rows at a time so each row of b is read once per pair of output rows.
+func MulInto(dst, a, b *Dense) {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := NewDense(a.rows, b.cols)
-	// ikj loop order keeps the inner loop streaming over contiguous rows.
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*b.cols : (i+1)*b.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto dst %d×%d, want %d×%d", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	dst.Zero()
+	n, m := a.rows, b.cols
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		a0 := a.data[i*a.cols : (i+1)*a.cols]
+		a1 := a.data[(i+1)*a.cols : (i+2)*a.cols]
+		o0 := dst.data[i*m : (i+1)*m]
+		o1 := dst.data[(i+1)*m : (i+2)*m]
+		for k := range a0 {
+			brow := b.data[k*m : (k+1)*m]
+			axpy2(a0[k], a1[k], brow, o0, o1)
 		}
 	}
-	return out
+	if i < n {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := dst.data[i*m : (i+1)*m]
+		for k, av := range arow {
+			axpyKernel(av, b.data[k*m:(k+1)*m], orow)
+		}
+	}
 }
 
 // MulVec returns the matrix-vector product a*x.
 // It panics unless len(x) == a.Cols().
 func MulVec(a *Dense, x []float64) []float64 {
+	out := make([]float64, a.rows)
+	MulVecInto(out, a, x)
+	return out
+}
+
+// MulVecInto sets dst = a*x without allocating. dst must have length
+// a.Rows() and must not alias x.
+func MulVecInto(dst []float64, a *Dense, x []float64) {
 	if len(x) != a.cols {
 		panic(fmt.Sprintf("mat: MulVec length %d != cols %d", len(x), a.cols))
 	}
-	out := make([]float64, a.rows)
-	for i := 0; i < a.rows; i++ {
-		out[i] = Dot(a.data[i*a.cols:(i+1)*a.cols], x)
+	if len(dst) != a.rows {
+		panic(fmt.Sprintf("mat: MulVecInto dst length %d != rows %d", len(dst), a.rows))
 	}
-	return out
+	for i := 0; i < a.rows; i++ {
+		dst[i] = Dot(a.data[i*a.cols:(i+1)*a.cols], x)
+	}
 }
 
 // MulTVec returns aᵀ*x. It panics unless len(x) == a.Rows().
 func MulTVec(a *Dense, x []float64) []float64 {
+	out := make([]float64, a.cols)
+	MulTVecInto(out, a, x)
+	return out
+}
+
+// MulTVecInto sets dst = aᵀ*x without allocating. dst must have length
+// a.Cols() and must not alias x.
+func MulTVecInto(dst []float64, a *Dense, x []float64) {
 	if len(x) != a.rows {
 		panic(fmt.Sprintf("mat: MulTVec length %d != rows %d", len(x), a.rows))
 	}
-	out := make([]float64, a.cols)
-	for i, xv := range x {
-		if xv == 0 {
-			continue
-		}
-		row := a.data[i*a.cols : (i+1)*a.cols]
-		for j, v := range row {
-			out[j] += xv * v
-		}
+	if len(dst) != a.cols {
+		panic(fmt.Sprintf("mat: MulTVecInto dst length %d != cols %d", len(dst), a.cols))
 	}
-	return out
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, xv := range x {
+		axpyKernel(xv, a.data[i*a.cols:(i+1)*a.cols], dst)
+	}
 }
 
 // Gram returns aᵀa, the d×d covariance (Gram) matrix of the rows of a.
@@ -121,6 +154,17 @@ func Gram(a *Dense) *Dense {
 	out := NewDense(a.cols, a.cols)
 	GramAdd(out, a, 1)
 	return out
+}
+
+// GramInto sets dst = aᵀa without allocating. dst must be
+// a.Cols()×a.Cols(); its previous contents are overwritten.
+func GramInto(dst *Dense, a *Dense) {
+	d := a.cols
+	if dst.rows != d || dst.cols != d {
+		panic(fmt.Sprintf("mat: GramInto dst %d×%d, want %d×%d", dst.rows, dst.cols, d, d))
+	}
+	dst.Zero()
+	GramAdd(dst, a, 1)
 }
 
 // GramAdd accumulates dst += s · aᵀa. dst must be a.Cols()×a.Cols().
@@ -145,28 +189,39 @@ func OuterAdd(dst *Dense, v []float64, s float64) {
 }
 
 // addOuter adds s·vᵀv into the row-major d×d buffer dst.
+//
+// Dense data is the common case in the sketch hot path, so there is no
+// zero-skip branch here: each row update is a straight unrolled axpy.
+// Sparse rows take the nnz²-cost path in sparse.go instead.
 func addOuter(dst []float64, v []float64, s float64) {
 	d := len(v)
 	for i, vi := range v {
-		if vi == 0 {
-			continue
-		}
-		c := s * vi
-		row := dst[i*d : (i+1)*d]
-		for j, vj := range v {
-			row[j] += c * vj
-		}
+		axpyKernel(s*vi, v, dst[i*d:i*d+d])
 	}
 }
 
 // Dot returns the inner product of x and y. Lengths must match.
+//
+// The loop is 4-way unrolled with independent accumulators; the result is
+// deterministic but differs from a naive left-to-right sum by O(ε)
+// rounding.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(x), len(y)))
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		s0 += x4[0] * y4[0]
+		s1 += x4[1] * y4[1]
+		s2 += x4[2] * y4[2]
+		s3 += x4[3] * y4[3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
 	}
 	return s
 }
@@ -176,8 +231,46 @@ func Axpy(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mat: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
-	for i, v := range x {
-		y[i] += a * v
+	axpyKernel(a, x, y)
+}
+
+// axpyKernel is the unchecked 4-way unrolled y += a*x kernel; callers
+// guarantee len(y) >= len(x).
+func axpyKernel(a float64, x, y []float64) {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		y4[0] += a * x4[0]
+		y4[1] += a * x4[1]
+		y4[2] += a * x4[2]
+		y4[3] += a * x4[3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// axpy2 sets y0 += c0*x and y1 += c1*x in one pass over x, the 2-row
+// register block MulInto is built on.
+func axpy2(c0, c1 float64, x, y0, y1 []float64) {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		a4 := y0[i : i+4 : i+4]
+		b4 := y1[i : i+4 : i+4]
+		a4[0] += c0 * x4[0]
+		b4[0] += c1 * x4[0]
+		a4[1] += c0 * x4[1]
+		b4[1] += c1 * x4[1]
+		a4[2] += c0 * x4[2]
+		b4[2] += c1 * x4[2]
+		a4[3] += c0 * x4[3]
+		b4[3] += c1 * x4[3]
+	}
+	for ; i < len(x); i++ {
+		y0[i] += c0 * x[i]
+		y1[i] += c1 * x[i]
 	}
 }
 

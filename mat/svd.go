@@ -23,87 +23,11 @@ type SVD struct {
 // about 1e-8·σ_max lose accuracy; sketch shrinking only consumes σ², for
 // which this is exact enough. Use JacobiSVD when full relative accuracy of
 // small singular values matters.
+// ThinSVD allocates its factors and working buffers fresh on every call;
+// hot paths that decompose repeatedly should hold a Workspace and call
+// ThinSVDInto (or ThinSVDNoU when the left singular vectors are unused).
 func ThinSVD(a *Dense) SVD {
-	n, d := a.rows, a.cols
-	if n == 0 || d == 0 {
-		return SVD{U: NewDense(n, 0), S: nil, Vt: NewDense(0, d)}
-	}
-	if n <= d {
-		// G = A·Aᵀ = U·Σ²·Uᵀ, then Vt = Σ⁺·Uᵀ·A.
-		g := NewDense(n, n)
-		for i := 0; i < n; i++ {
-			ri := a.Row(i)
-			for j := i; j < n; j++ {
-				v := Dot(ri, a.Row(j))
-				g.data[i*n+j] = v
-				g.data[j*n+i] = v
-			}
-		}
-		eig := EigSym(g)
-		s := make([]float64, n)
-		u := NewDense(n, n)
-		for k := 0; k < n; k++ {
-			lam := eig.Values[k]
-			if lam < 0 {
-				lam = 0
-			}
-			s[k] = math.Sqrt(lam)
-			// Column k of U is eigenvector k.
-			for i := 0; i < n; i++ {
-				u.data[i*n+k] = eig.Vectors.data[k*n+i]
-			}
-		}
-		vt := NewDense(n, d)
-		cutoff := svdCutoff(s)
-		for k := 0; k < n; k++ {
-			if s[k] <= cutoff {
-				s[k] = 0
-				continue // leave a zero row in Vt
-			}
-			inv := 1 / s[k]
-			vtk := vt.Row(k)
-			for i := 0; i < n; i++ {
-				uik := u.data[i*n+k]
-				if uik == 0 {
-					continue
-				}
-				Axpy(inv*uik, a.Row(i), vtk)
-			}
-		}
-		return SVD{U: u, S: s, Vt: vt}
-	}
-	// n > d: G = Aᵀ·A = V·Σ²·Vᵀ, then U = A·V·Σ⁺.
-	g := Gram(a)
-	eig := EigSym(g)
-	s := make([]float64, d)
-	vt := NewDense(d, d)
-	for k := 0; k < d; k++ {
-		lam := eig.Values[k]
-		if lam < 0 {
-			lam = 0
-		}
-		s[k] = math.Sqrt(lam)
-		copy(vt.Row(k), eig.Vectors.Row(k))
-	}
-	u := NewDense(n, d)
-	cutoff := svdCutoff(s)
-	for k := 0; k < d; k++ {
-		if s[k] <= cutoff {
-			s[k] = 0
-			continue
-		}
-	}
-	for i := 0; i < n; i++ {
-		ai := a.Row(i)
-		ui := u.Row(i)
-		for k := 0; k < d; k++ {
-			if s[k] == 0 {
-				continue
-			}
-			ui[k] = Dot(ai, vt.Row(k)) / s[k]
-		}
-	}
-	return SVD{U: u, S: s, Vt: vt}
+	return ThinSVDInto(a, NewWorkspace())
 }
 
 func svdCutoff(s []float64) float64 {
