@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz experiments examples fmt vet lint clean
+.PHONY: all build test test-short race cover bench bench-json fuzz chaos experiments examples fmt vet lint clean
 
 all: build test
 
@@ -39,6 +39,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzHistogramInvariant -fuzztime=30s ./internal/eh/
 	$(GO) test -fuzz=FuzzSketchGuarantee -fuzztime=30s ./internal/fd/
 	$(GO) test -fuzz=FuzzSkewBufferOrdering -fuzztime=30s ./internal/stream/
+
+# Seeded chaos soak under the race detector: replays the same workload
+# fault-free and under injected transport faults plus a site crash, and
+# requires the coordinator's estimate to be bit-identical. The fault mix
+# is seed-deterministic, so a failure here reproduces exactly.
+chaos:
+	$(GO) test -race -run Chaos -count=1 ./internal/wire/ ./internal/chaos/
 
 # Regenerate the paper's tables and figures (default scale, ~30 min).
 experiments:

@@ -54,10 +54,42 @@ func (t *Tracker) Checkpoint(w io.Writer) error {
 // Restore rebuilds a tracker from a checkpoint written by Checkpoint.
 // Communication counters restart from zero (they describe a run, not the
 // protocol state).
+//
+// The envelope is validated before any state is rebuilt: undecodable
+// bytes, an invalid configuration, or missing state return an error
+// wrapping ErrCheckpointCorrupt; a declared protocol that disagrees with
+// the snapshot the envelope actually carries (wrong family, or a DA2
+// snapshot whose compress flag contradicts the DA2/DA2-C header) returns
+// one wrapping ErrCheckpointMismatch. Both guards exist because gob is
+// permissive: a truncated or mislabeled file can decode into a plausible
+// envelope that would silently run the wrong protocol.
 func Restore(r io.Reader) (*Tracker, error) {
 	var env checkpointEnvelope
 	if err := gob.NewDecoder(r).Decode(&env); err != nil {
-		return nil, fmt.Errorf("distwindow: reading checkpoint: %w", err)
+		return nil, fmt.Errorf("%w: reading: %v", ErrCheckpointCorrupt, err)
+	}
+	if err := env.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: config: %v", ErrCheckpointCorrupt, err)
+	}
+	if env.Protocol != env.Config.Protocol {
+		return nil, fmt.Errorf("%w: envelope says %s, config says %s",
+			ErrCheckpointMismatch, env.Protocol, env.Config.Protocol)
+	}
+	switch env.Protocol {
+	case DA1:
+		if env.DA1 == nil || env.DA2 != nil {
+			return nil, fmt.Errorf("%w: %s envelope without a DA1 snapshot", ErrCheckpointMismatch, env.Protocol)
+		}
+	case DA2:
+		if env.DA2 == nil || env.DA1 != nil || env.DA2.Compress {
+			return nil, fmt.Errorf("%w: %s envelope without a plain DA2 snapshot", ErrCheckpointMismatch, env.Protocol)
+		}
+	case DA2C:
+		if env.DA2 == nil || env.DA1 != nil || !env.DA2.Compress {
+			return nil, fmt.Errorf("%w: %s envelope without a compressed DA2 snapshot", ErrCheckpointMismatch, env.Protocol)
+		}
+	default:
+		return nil, fmt.Errorf("%w: protocol %s is not checkpointable", ErrCheckpointCorrupt, env.Protocol)
 	}
 	net := protocol.NewNetwork(env.Config.Sites)
 	switch {
@@ -74,5 +106,5 @@ func Restore(r io.Reader) (*Tracker, error) {
 		}
 		return newTracker(inner, net, env.Config), nil
 	}
-	return nil, fmt.Errorf("distwindow: checkpoint carries no tracker state")
+	return nil, fmt.Errorf("%w: no tracker state", ErrCheckpointCorrupt)
 }

@@ -2,6 +2,8 @@ package distwindow
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -142,5 +144,88 @@ func TestCheckpointRoundTripPreservesConfig(t *testing.T) {
 	}
 	if restored.Name() != "DA1" {
 		t.Fatalf("restored Name = %q", restored.Name())
+	}
+}
+
+// tamper checkpoints tr, decodes the envelope, applies mutate, and
+// re-encodes — a forged or mislabeled checkpoint file.
+func tamper(t *testing.T, tr *Tracker, mutate func(*checkpointEnvelope)) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env checkpointEnvelope
+	if err := gob.NewDecoder(&buf).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&env)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(out.Bytes())
+}
+
+func trackerFor(t *testing.T, p Protocol) *Tracker {
+	t.Helper()
+	tr, err := New(Config{Protocol: p, D: 4, W: 400, Eps: 0.2, Sites: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, sites := checkpointFixture(200, 4, 3, 3)
+	for i, r := range rows {
+		tr.Observe(sites[i], r)
+	}
+	return tr
+}
+
+func TestRestoreCorruptSentinel(t *testing.T) {
+	if _, err := Restore(bytes.NewReader([]byte("not a checkpoint"))); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("garbage input: got %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+func TestRestoreRejectsInvalidConfig(t *testing.T) {
+	r := tamper(t, trackerFor(t, DA1), func(env *checkpointEnvelope) {
+		env.Config.Eps = 0 // fails Config.Validate
+	})
+	if _, err := Restore(r); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("invalid config: got %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+func TestRestoreRejectsProtocolMismatch(t *testing.T) {
+	cases := []struct {
+		name   string
+		p      Protocol
+		mutate func(*checkpointEnvelope)
+	}{
+		{"header disagrees with config", DA1, func(env *checkpointEnvelope) {
+			env.Protocol = DA2
+		}},
+		{"DA1 header over DA2 state", DA2, func(env *checkpointEnvelope) {
+			env.Protocol = DA1
+			env.Config.Protocol = DA1
+		}},
+		{"DA2 header over compressed state", DA2C, func(env *checkpointEnvelope) {
+			env.Protocol = DA2
+			env.Config.Protocol = DA2
+		}},
+		{"DA2C header over plain state", DA2, func(env *checkpointEnvelope) {
+			env.Protocol = DA2C
+			env.Config.Protocol = DA2C
+		}},
+		{"state stripped", DA2, func(env *checkpointEnvelope) {
+			env.DA2 = nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := tamper(t, trackerFor(t, tc.p), tc.mutate)
+			if _, err := Restore(r); !errors.Is(err, ErrCheckpointMismatch) {
+				t.Fatalf("got %v, want ErrCheckpointMismatch", err)
+			}
+		})
 	}
 }

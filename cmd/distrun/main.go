@@ -16,8 +16,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
@@ -28,6 +30,7 @@ import (
 
 	"distwindow"
 	"distwindow/internal/audit"
+	"distwindow/internal/chaos"
 	"distwindow/internal/obs"
 	"distwindow/internal/stream"
 	"distwindow/internal/trace"
@@ -50,8 +53,21 @@ func main() {
 		traceO  = flag.String("trace-out", "", "write the Chrome trace-event JSON to this path at exit (requires -trace-sample)")
 		liveAud = flag.Bool("live-audit", false, "run the live ε-error auditor against the coordinator's sketch; panel at /debug/audit")
 		pipe    = flag.Bool("pipeline", false, "run in-process through the parallel per-site pipeline instead of TCP")
+
+		resilient = flag.Bool("resilient", false, "use acknowledged resilient senders (seq/ack frames, reconnect + replay) instead of bare connections")
+		chSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos fault stream")
+		chDrop    = flag.Float64("chaos-drop", 0, "chaos: probability a frame write is accepted but never delivered (requires -resilient)")
+		chCut     = flag.Float64("chaos-cut", 0, "chaos: probability a frame write is cut mid-frame (requires -resilient)")
+		chDup     = flag.Float64("chaos-dup", 0, "chaos: probability a frame write is delivered twice (requires -resilient)")
+		chDelay   = flag.Float64("chaos-delay", 0, "chaos: probability a frame write is delayed (requires -resilient)")
+		chDial    = flag.Float64("chaos-dialfail", 0, "chaos: probability a dial attempt is refused (requires -resilient)")
 	)
 	flag.Parse()
+
+	chaosOn := *chDrop > 0 || *chCut > 0 || *chDup > 0 || *chDelay > 0 || *chDial > 0
+	if chaosOn && !*resilient {
+		log.Fatal("-chaos-* flags inject faults the bare sender cannot survive; add -resilient")
+	}
 
 	if *pipe {
 		runPipeline(*proto, *m, *rows, *d, *w, *eps, *seed)
@@ -63,6 +79,19 @@ func main() {
 		log.Fatal(err)
 	}
 	coord := wire.NewCoordinator(*d)
+
+	// One shared injector gives the whole run a single seeded fault stream;
+	// every site's dials and connections draw from it.
+	var inj *chaos.Injector
+	if chaosOn {
+		inj = chaos.New(chaos.Config{
+			Seed: *chSeed, PDrop: *chDrop, PCut: *chCut, PDup: *chDup,
+			PDelay: *chDelay, PDialFail: *chDial,
+		})
+	}
+	if *resilient {
+		coord.SetStaleAfter(2 * time.Second)
+	}
 
 	// Tracing: every site goroutine owns a Tracer (the current-span chain
 	// is single-goroutine) but all record into one shared ring, and the
@@ -80,11 +109,15 @@ func main() {
 	// tick races the frames still in flight between sites and coordinator.
 	var aud *audit.Auditor
 	if *liveAud {
-		aud, err = audit.New(audit.Config{
+		acfg := audit.Config{
 			D: *d, W: *w, Eps: *eps,
 			Sketch: coord.Sketch,
 			Words:  func() int64 { _, bytes := coord.Stats(); return bytes / 8 },
-		})
+		}
+		if *resilient {
+			acfg.DegradedSites = coord.CheckLiveness
+		}
+		aud, err = audit.New(acfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -136,6 +169,7 @@ func main() {
 	start := time.Now()
 	var wg sync.WaitGroup
 	chans := make([]chan ev, *m)
+	resSenders := make([]*wire.ResilientSender, *m)
 	for si := 0; si < *m; si++ {
 		chans[si] = make(chan ev, 64)
 		wg.Add(1)
@@ -145,14 +179,44 @@ func main() {
 				for range in {
 				}
 			}
-			conn, err := net.Dial("tcp", ln.Addr().String())
-			if err != nil {
-				log.Printf("site %d: %v", si, err)
-				drain()
-				return
+			var sender wire.Sender
+			if *resilient {
+				dial := func() (io.WriteCloser, error) {
+					return net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+				}
+				if inj != nil {
+					dial = inj.Dial(dial)
+				}
+				rs := wire.NewResilientSenderFunc(dial)
+				rs.BackoffBase = 5 * time.Millisecond
+				rs.BackoffMax = 200 * time.Millisecond
+				rs.SetJitterSeed(*chSeed + int64(si))
+				resSenders[si] = rs
+				sender = rs
+				defer func() {
+					if n := rs.FlushWait(10 * time.Second); n > 0 {
+						log.Printf("site %d: %d frames still undelivered after flush", si, n)
+					}
+					if err := rs.Close(); err != nil {
+						var pe *wire.PendingError
+						if errors.As(err, &pe) {
+							log.Printf("site %d: discarding %d undelivered frames at shutdown", si, pe.Pending)
+							rs.DiscardPending = true
+						}
+						rs.Close()
+					}
+				}()
+			} else {
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					log.Printf("site %d: %v", si, err)
+					drain()
+					return
+				}
+				cs := wire.NewConnSender(conn)
+				defer cs.Close()
+				sender = cs
 			}
-			sender := wire.NewConnSender(conn)
-			defer sender.Close()
 			cfg := wire.SiteConfig{ID: si, D: *d, W: *w, Eps: *eps}
 			var observe func(t int64, v []float64) error
 			var advance func(t int64) error
@@ -217,6 +281,30 @@ func main() {
 		cm.DirectionAdds, cm.DirectionRemoves, cm.SumDeltas, cm.BadMsgs)
 	raw := float64(truth.Len()*(*d+2)) * 8 / 1024
 	fmt.Printf("vs. shipping the active window: %.1f KiB\n", raw)
+	if *resilient {
+		var rm wire.ResilientMetrics
+		for _, s := range resSenders {
+			if s == nil {
+				continue
+			}
+			m := s.Metrics()
+			rm.Msgs += m.Msgs
+			rm.Acked += m.Acked
+			rm.Replayed += m.Replayed
+			rm.Pending += m.Pending
+			rm.DialAttempts += m.DialAttempts
+			rm.DialFailures += m.DialFailures
+		}
+		fmt.Printf("resilience:       %d frames written (%d replays), %d acked, %d pending; %d dials (%d failed)\n",
+			rm.Msgs, rm.Replayed, rm.Acked, rm.Pending, rm.DialAttempts, rm.DialFailures)
+		fmt.Printf("dedup:            %d duplicate frames dropped, %d acks sent, %d sites stale\n",
+			cm.DupMsgs, cm.AckedMsgs, cm.StaleSites)
+	}
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Printf("chaos:            %d writes (%d dropped, %d cut, %d duped, %d delayed), %d read cuts, %d of %d dials refused\n",
+			st.Writes, st.Drops, st.Cuts, st.Dups, st.Delays, st.ReadCuts, st.DialFails, st.Dials)
+	}
 	if aud != nil {
 		aud.Advance(int64(*rows))
 		aud.Tick()

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -46,8 +47,12 @@ func main() {
 		traceN  = flag.Int("trace-sample", 0, "causal tracing: trace 1-in-N ingested rows (0 = off); export at /debug/trace and -trace-out")
 		traceO  = flag.String("trace-out", "", "write the Chrome trace-event JSON to this path at exit (requires -trace-sample)")
 		liveAud = flag.Bool("live-audit", false, "run the live ε-error auditor (shadow exact window); results in /metrics and /debug/audit")
+		chRest  = flag.Int("chaos-restart", 0, "crash-recovery drill: checkpoint + restore the tracker every N events (DA1/DA2 only); the final sketch must match an uninterrupted run")
 	)
 	flag.Parse()
+	if *chRest > 0 && (*liveAud) {
+		log.Fatal("-chaos-restart cannot be combined with -live-audit: the auditor's shadow window does not survive the restore")
+	}
 
 	// The tracker is built lazily (its dimension comes from the first
 	// event), so the metrics endpoint reads it through an atomic pointer
@@ -106,10 +111,11 @@ func main() {
 	}
 
 	var (
-		tr  *distwindow.Tracker
-		u   *window.Union
-		n   int
-		dim int
+		tr       *distwindow.Tracker
+		u        *window.Union
+		n        int
+		dim      int
+		restarts int
 	)
 	if *load != "" {
 		f, err := os.Open(*load)
@@ -167,6 +173,26 @@ func main() {
 			u.Add(stream.Row{T: e.Row.T, V: e.Row.V})
 		}
 		n++
+		// The crash-recovery drill simulates a process restart mid-stream:
+		// serialize the tracker, throw the live one away, and resume from
+		// the checkpoint bytes. The remainder of the stream must produce
+		// the sketch an uninterrupted run would have.
+		if *chRest > 0 && n%*chRest == 0 {
+			var buf bytes.Buffer
+			if err := tr.Checkpoint(&buf); err != nil {
+				return fmt.Errorf("chaos restart at event %d: checkpoint: %w", n, err)
+			}
+			restored, err := distwindow.Restore(&buf)
+			if err != nil {
+				return fmt.Errorf("chaos restart at event %d: restore: %w", n, err)
+			}
+			tr = restored
+			if *traceN > 0 {
+				tr.EnableTracing(distwindow.TraceConfig{SampleEvery: *traceN})
+			}
+			trP.Store(tr)
+			restarts++
+		}
 		return nil
 	})
 	if err != nil {
@@ -190,6 +216,9 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Printf("cost:       %s\n", distwindow.FormatStats(tr.Stats()))
+	if restarts > 0 {
+		fmt.Printf("restarts:   %d (checkpoint + restore every %d events)\n", restarts, *chRest)
+	}
 	if u != nil {
 		fmt.Printf("cov error:  %.5f (target ε=%g)\n", u.ErrOf(b), *eps)
 	}

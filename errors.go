@@ -17,6 +17,20 @@ var (
 	ErrStale = errors.New("distwindow: stale timestamp")
 )
 
+// Sentinel errors returned (wrapped, with detail) by Restore. Match with
+// errors.Is.
+var (
+	// ErrCheckpointCorrupt reports a checkpoint that cannot be trusted:
+	// undecodable bytes, a configuration that fails validation, or missing
+	// tracker state.
+	ErrCheckpointCorrupt = errors.New("distwindow: corrupt checkpoint")
+	// ErrCheckpointMismatch reports a checkpoint whose declared protocol
+	// disagrees with the state it actually carries — e.g. a DA1 header over
+	// a DA2 snapshot. Restoring it would silently run the wrong protocol,
+	// so the mismatch is an error rather than a best-effort guess.
+	ErrCheckpointMismatch = errors.New("distwindow: checkpoint protocol mismatch")
+)
+
 // ErrParallelUnsupported is returned (wrapped, with detail) by New when
 // WithParallel is combined with a configuration the pipeline cannot run:
 // a sampling-family protocol (their coordinator talks back to the sites, so

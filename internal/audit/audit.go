@@ -52,6 +52,12 @@ type Config struct {
 	// Words, when set, reports total words communicated so far, enabling
 	// the words-per-window figure.
 	Words func() int64
+	// DegradedSites, when set, reports how many sites the coordinator
+	// currently considers stale (silent past their liveness deadline). A
+	// degraded fleet explains a shrinking error margin before it becomes a
+	// violation: the exact shadow window keeps seeing every row, while the
+	// coordinator's estimate is missing the stale sites' recent deltas.
+	DegradedSites func() int
 }
 
 // Sample is one audit measurement.
@@ -69,6 +75,9 @@ type Sample struct {
 	// WordsPerWindow is total words divided by elapsed windows (0 when no
 	// Words source is configured).
 	WordsPerWindow float64
+	// DegradedSites is the stale-site count at measurement time (0 when no
+	// DegradedSites source is configured).
+	DegradedSites int
 }
 
 // Metrics is a point-in-time snapshot of the auditor's counters,
@@ -92,6 +101,8 @@ type Metrics struct {
 	Headroom float64
 	// WordsPerWindow is the latest communication-per-window figure.
 	WordsPerWindow float64
+	// DegradedSites is the stale-site count at the latest measurement.
+	DegradedSites int
 	// QueryLatency is the latency histogram of the audit's sketch
 	// queries (the sketch-query cost an operator would see).
 	QueryLatency obs.HistSnapshot
@@ -118,6 +129,7 @@ type Auditor struct {
 	maxErr  float64
 	lastErr float64
 	lastWPW float64
+	lastDeg int
 
 	samples []Sample
 
@@ -225,6 +237,11 @@ func (a *Auditor) tickLocked() Sample {
 		wpw = float64(a.cfg.Words()) / windows
 	}
 	a.lastWPW = wpw
+	deg := 0
+	if a.cfg.DegradedSites != nil {
+		deg = a.cfg.DegradedSites()
+	}
+	a.lastDeg = deg
 	s := Sample{
 		T:              a.lastT,
 		Rows:           a.rows,
@@ -232,6 +249,7 @@ func (a *Auditor) tickLocked() Sample {
 		Err:            errObs,
 		Headroom:       a.cfg.Eps - errObs,
 		WordsPerWindow: wpw,
+		DegradedSites:  deg,
 	}
 	a.samples = append(a.samples, s)
 	if len(a.samples) > a.cfg.KeepSamples {
@@ -280,6 +298,7 @@ func (a *Auditor) Metrics() Metrics {
 		MaxErr:         a.maxErr,
 		Headroom:       a.cfg.Eps - a.lastErr,
 		WordsPerWindow: a.lastWPW,
+		DegradedSites:  a.lastDeg,
 		QueryLatency:   a.queryLat.Snapshot(),
 	}
 	if a.ticks > 0 {

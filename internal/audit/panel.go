@@ -9,15 +9,27 @@ import (
 // Panel renders the retained audit history as an SVG chart: the observed
 // covariance error per tick against the configured ε line, so a glance
 // shows whether the deployment is honoring its budget and with how much
-// headroom.
+// headroom. When a DegradedSites source is configured, a third series
+// marks the ticks taken while any site was stale — spikes in the error
+// trace line up visually with the degradation windows that caused them.
 func (a *Auditor) Panel() string {
 	samples := a.Samples()
 	errSeries := svgplot.Series{Name: "observed err(A_w,B)"}
 	epsSeries := svgplot.Series{Name: "target ε"}
+	degSeries := svgplot.Series{Name: "degraded (any site stale)"}
+	anyDeg := false
 	for _, s := range samples {
 		x := float64(s.T)
 		errSeries.Points = append(errSeries.Points, svgplot.Point{X: x, Y: s.Err})
 		epsSeries.Points = append(epsSeries.Points, svgplot.Point{X: x, Y: a.cfg.Eps})
+		// Degraded ticks plot above the ε line, healthy ticks at zero, so
+		// the marker reads as a square wave under the error trace.
+		y := 0.0
+		if s.DegradedSites > 0 {
+			y = a.cfg.Eps * 1.25
+			anyDeg = true
+		}
+		degSeries.Points = append(degSeries.Points, svgplot.Point{X: x, Y: y})
 	}
 	if len(samples) == 0 {
 		// An empty plot still needs the ε reference to render axes.
@@ -28,6 +40,9 @@ func (a *Auditor) Panel() string {
 		XLabel: "stream time",
 		YLabel: "covariance error",
 		Series: []svgplot.Series{errSeries, epsSeries},
+	}
+	if anyDeg {
+		p.Series = append(p.Series, degSeries)
 	}
 	return p.Render()
 }

@@ -35,6 +35,16 @@ const (
 	// EvMsgRejected: the coordinator rejected a malformed message (wrong
 	// dimension, unknown kind). Site is the claimed sender.
 	EvMsgRejected
+	// EvMsgDeduped: the coordinator dropped a frame it had already applied
+	// (a replay after reconnect or site restart). Site is the sender, T the
+	// frame's timestamp. Deduped frames are still acknowledged.
+	EvMsgDeduped
+	// EvSiteStale: a liveness sweep found a site whose last frame is older
+	// than the staleness bound — its window contribution may be degraded.
+	// Emitted once per stale transition; Site is the silent site.
+	EvSiteStale
+	// EvSiteResync: a site previously marked stale delivered a frame again.
+	EvSiteResync
 
 	numEventKinds = iota
 )
@@ -52,6 +62,9 @@ var eventKindNames = [...]string{
 	EvSkewDrop:               "skew_drop",
 	EvThresholdRenegotiation: "threshold_renegotiation",
 	EvMsgRejected:            "msg_rejected",
+	EvMsgDeduped:             "msg_deduped",
+	EvSiteStale:              "site_stale",
+	EvSiteResync:             "site_resync",
 }
 
 // String returns the kind's snake_case name.

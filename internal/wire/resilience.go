@@ -4,64 +4,155 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
+
+	"distwindow/internal/obs"
 )
 
-// ResilientSender wraps dial-on-demand reconnection around a ConnSender:
-// messages that fail to encode are buffered and replayed, in order, once a
-// new connection is established. Because the one-way protocols' messages
-// are pure deltas, replaying the backlog after a reconnect restores the
-// coordinator to the exact state it would have had — provided the
-// transport delivers each accepted message at most once (TCP does; the
-// failure mode covered here is the sender-side connection dying).
+// PendingError is returned by ResilientSender.Close when undelivered
+// messages remain in the backlog and DiscardPending is unset. The sender
+// is left intact: Flush (or FlushWait) and close again, or set
+// DiscardPending to drop the messages knowingly.
+type PendingError struct {
+	// Pending is the number of undelivered (unacknowledged) messages.
+	Pending int
+}
+
+func (e *PendingError) Error() string {
+	return fmt.Sprintf("wire: close would lose %d undelivered messages (Flush first, or set DiscardPending)", e.Pending)
+}
+
+// ResilientSender wraps dial-on-demand reconnection around a gob stream:
+// every message is stamped with a sequence number and held in an ordered
+// backlog until the coordinator acknowledges it, so a connection that
+// dies at ANY point — before the write, during it, or after the bytes
+// reached the kernel but never the coordinator — loses nothing: the next
+// connection replays the unacknowledged backlog in order, and the
+// coordinator's (Site, Seq) dedup makes the replay exactly-once.
+//
+// Transports that cannot carry acks (a write-only io.WriteCloser from the
+// dial seam) degrade to the pre-ack behaviour: a message is retired as
+// soon as its encode succeeds, which is at-most-once across connection
+// death. Real net.Conns always get the acknowledged path.
+//
+// While the coordinator is unreachable, dial attempts back off
+// exponentially with jitter between BackoffBase and BackoffMax instead of
+// re-dialing on every Send; attempts and failures are counted in Metrics.
 type ResilientSender struct {
 	addr string
 	// DialTimeout bounds each reconnection attempt.
 	DialTimeout time.Duration
-	// MaxBacklog bounds buffered messages; 0 means unlimited. When the
-	// backlog is full, Send reports an error instead of dropping silently.
+	// MaxBacklog bounds buffered (unacknowledged) messages; 0 means
+	// unlimited. When the backlog is full, Send reports an error instead
+	// of dropping silently.
 	MaxBacklog int
+	// MaxInflight is the flow-control window on the acknowledged path: at
+	// most this many unacknowledged frames are written per connection
+	// before the sender waits for acks to retire the front. Without a
+	// window, replaying a deep backlog only makes progress if one
+	// connection survives the ENTIRE replay plus an ack round-trip — on a
+	// lossy link that probability decays geometrically with backlog depth,
+	// and retirement stalls forever while replay traffic burns. 0 means
+	// unlimited (the constructors default it to 64). Ignored on write-only
+	// transports, which retire on write.
+	MaxInflight int
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// failed dial attempts. BackoffBase <= 0 disables backoff (every Send
+	// retries the dial immediately); BackoffMax <= 0 defaults to 30s.
+	BackoffBase, BackoffMax time.Duration
+	// DiscardPending lets Close drop undelivered messages silently instead
+	// of returning a *PendingError.
+	DiscardPending bool
 
-	mu      sync.Mutex
-	conn    io.WriteCloser
-	enc     *gob.Encoder
-	backlog []Msg
-	dial    func() (io.WriteCloser, error)
+	mu       sync.Mutex
+	conn     io.WriteCloser
+	enc      *gob.Encoder
+	ackMode  bool   // current conn carries acks (it implements io.Reader)
+	gen      uint64 // connection generation; stale ack readers exit on mismatch
+	backlog  []Msg  // unacknowledged messages in seq order
+	sent     int    // backlog prefix already written on the current conn
+	nextSeq  uint64
+	maxSent  uint64 // highest seq ever written (counts replays)
+	dial     func() (io.WriteCloser, error)
+	rng      *rand.Rand
+	backoff  time.Duration
+	nextDial time.Time
+	now      func() time.Time
+
+	msgs      obs.Counter
+	acked     obs.Counter
+	replayed  obs.Counter
+	dialTries obs.Counter
+	dialFails obs.Counter
 }
 
-// NewResilientSender returns a sender that (re)dials addr over TCP.
+// NewResilientSender returns a sender that (re)dials addr over TCP, with
+// backoff defaults of 50ms base and 5s cap and a time-seeded dial jitter
+// (use SetJitterSeed for reproducible runs).
 func NewResilientSender(addr string) *ResilientSender {
-	s := &ResilientSender{addr: addr, DialTimeout: 5 * time.Second}
+	s := &ResilientSender{
+		addr:        addr,
+		DialTimeout: 5 * time.Second,
+		BackoffBase: 50 * time.Millisecond,
+		BackoffMax:  5 * time.Second,
+		MaxInflight: 64,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		now:         time.Now,
+	}
 	s.dial = func() (io.WriteCloser, error) {
 		return net.DialTimeout("tcp", addr, s.DialTimeout)
 	}
 	return s
 }
 
-// newResilientSenderFunc is the test seam: dial via an arbitrary factory.
-func newResilientSenderFunc(dial func() (io.WriteCloser, error)) *ResilientSender {
-	return &ResilientSender{dial: dial, DialTimeout: time.Second}
+// NewResilientSenderFunc builds a sender over an arbitrary dial seam —
+// fault-injection wrappers (package chaos), in-process pipes, tests. The
+// returned conn's capabilities pick the delivery mode: an io.Reader gets
+// the acknowledged path, a bare io.WriteCloser the retire-on-write one.
+// Backoff starts disabled; set BackoffBase to enable it.
+func NewResilientSenderFunc(dial func() (io.WriteCloser, error)) *ResilientSender {
+	return &ResilientSender{
+		dial:        dial,
+		DialTimeout: time.Second,
+		MaxInflight: 64,
+		rng:         rand.New(rand.NewSource(1)),
+		now:         time.Now,
+	}
 }
 
-// Send encodes the message, transparently reconnecting and replaying any
-// backlog first. On transport failure the message is buffered and nil is
-// returned (the data is not lost); only a full backlog is an error.
+// SetJitterSeed reseeds the dial-jitter RNG, making backoff timing
+// reproducible. Call before Send.
+func (s *ResilientSender) SetJitterSeed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rng = rand.New(rand.NewSource(seed))
+}
+
+// Send stamps the message with the next sequence number and queues it
+// until acknowledged, transparently reconnecting and replaying the
+// backlog first. On transport failure the message stays buffered and nil
+// is returned (the data is not lost); only a full backlog is an error.
 func (s *ResilientSender) Send(m Msg) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.backlog = append(s.backlog, m)
-	if s.MaxBacklog > 0 && len(s.backlog) > s.MaxBacklog {
-		s.backlog = s.backlog[:len(s.backlog)-1]
+	if s.MaxBacklog > 0 && len(s.backlog) >= s.MaxBacklog {
 		return fmt.Errorf("wire: backlog full (%d messages)", s.MaxBacklog)
 	}
+	s.nextSeq++
+	m.Seq = s.nextSeq
+	s.backlog = append(s.backlog, m)
 	s.drainLocked()
 	return nil
 }
 
 // Flush attempts to deliver everything buffered; it returns the number of
-// messages still pending.
+// messages still pending. On an acknowledged transport, pending counts
+// unacknowledged messages — a frame already written may remain pending
+// until its ack arrives, so poll Flush (or use FlushWait) rather than
+// expecting one call to reach zero.
 func (s *ResilientSender) Flush() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -69,26 +160,144 @@ func (s *ResilientSender) Flush() int {
 	return len(s.backlog)
 }
 
+// FlushWait polls Flush until the backlog is empty or the timeout
+// elapses, returning the number of messages still pending.
+func (s *ResilientSender) FlushWait(timeout time.Duration) int {
+	deadline := s.now().Add(timeout)
+	for {
+		if n := s.Flush(); n == 0 {
+			return 0
+		}
+		if !s.now().Before(deadline) {
+			return s.Pending()
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // drainLocked sends as much backlog as the current connection accepts,
-// dialing if needed. On error the connection is dropped and the rest stays
-// buffered for the next attempt.
+// dialing if needed (subject to the backoff window). On error the
+// connection is dropped and the rest stays buffered for the next attempt.
 func (s *ResilientSender) drainLocked() {
 	if s.conn == nil {
+		if s.backoff > 0 && s.now().Before(s.nextDial) {
+			return
+		}
+		s.dialTries.Inc()
 		conn, err := s.dial()
 		if err != nil {
+			s.dialFails.Inc()
+			s.bumpBackoffLocked()
 			return
 		}
+		s.backoff = 0
 		s.conn = conn
 		s.enc = gob.NewEncoder(conn)
+		s.sent = 0
+		s.gen++
+		if r, ok := conn.(io.Reader); ok {
+			s.ackMode = true
+			go s.readAcks(r, conn, s.gen)
+		} else {
+			s.ackMode = false
+		}
 	}
-	for len(s.backlog) > 0 {
-		if err := s.enc.Encode(s.backlog[0]); err != nil {
-			s.conn.Close()
-			s.conn = nil
-			s.enc = nil
+	for s.sent < len(s.backlog) {
+		if s.ackMode && s.MaxInflight > 0 && s.sent >= s.MaxInflight {
+			// Window full: stop and let acks retire the front (readAcks
+			// decrements sent). The next Send/Flush writes the next batch.
 			return
 		}
-		s.backlog = s.backlog[1:]
+		m := s.backlog[s.sent]
+		if err := s.enc.Encode(m); err != nil {
+			s.dropConnLocked()
+			return
+		}
+		s.msgs.Inc()
+		if m.Seq <= s.maxSent {
+			s.replayed.Inc()
+		} else {
+			s.maxSent = m.Seq
+		}
+		if s.ackMode {
+			s.sent++
+		} else {
+			// Write-only transport: no acks will ever arrive, so retire on
+			// write as the pre-ack sender did (at-most-once delivery).
+			s.backlog = s.backlog[1:]
+		}
+	}
+}
+
+// bumpBackoffLocked doubles the backoff (capped) and schedules the next
+// dial attempt a jittered wait from now, so a fleet of sites whose
+// coordinator restarts does not re-dial in lockstep.
+func (s *ResilientSender) bumpBackoffLocked() {
+	if s.BackoffBase <= 0 {
+		return
+	}
+	if s.backoff == 0 {
+		s.backoff = s.BackoffBase
+	} else {
+		s.backoff *= 2
+	}
+	max := s.BackoffMax
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	if s.backoff > max {
+		s.backoff = max
+	}
+	// Uniform in [backoff/2, backoff): half the interval is deterministic
+	// spacing, half is jitter.
+	half := s.backoff / 2
+	wait := half
+	if half > 0 {
+		wait += time.Duration(s.rng.Int63n(int64(half)))
+	}
+	s.nextDial = s.now().Add(wait)
+}
+
+// dropConnLocked abandons the current connection; the unacknowledged
+// backlog stays queued for replay on the next dial.
+func (s *ResilientSender) dropConnLocked() {
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	s.conn = nil
+	s.enc = nil
+	s.sent = 0
+}
+
+// readAcks retires acknowledged backlog prefixes for one connection
+// generation. A decode error (the connection died, or the peer is an old
+// coordinator closing without acks) drops the connection so the next
+// Send/Flush redials and replays.
+func (s *ResilientSender) readAcks(r io.Reader, conn io.WriteCloser, gen uint64) {
+	dec := gob.NewDecoder(r)
+	for {
+		var a Ack
+		if err := dec.Decode(&a); err != nil {
+			s.mu.Lock()
+			if s.gen == gen && s.conn == conn {
+				s.dropConnLocked()
+			}
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Lock()
+		if s.gen != gen {
+			s.mu.Unlock()
+			return
+		}
+		for len(s.backlog) > 0 && s.backlog[0].Seq <= a.Seq {
+			s.backlog = s.backlog[1:]
+			if s.sent > 0 {
+				s.sent--
+			}
+			s.acked.Inc()
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -99,11 +308,94 @@ func (s *ResilientSender) Pending() int {
 	return len(s.backlog)
 }
 
-// Close closes the current connection; buffered messages are discarded.
+// ResilientMetrics is a snapshot of a ResilientSender's counters.
+type ResilientMetrics struct {
+	// Msgs counts encode attempts that reached a connection (replays
+	// included); Acked counts messages retired by coordinator acks.
+	Msgs, Acked int64
+	// Replayed counts re-encodes of messages already written once (the
+	// recovery traffic after reconnects and restarts).
+	Replayed int64
+	// Pending is the current backlog length.
+	Pending int64
+	// DialAttempts and DialFailures count reconnection attempts; their
+	// difference is successful dials.
+	DialAttempts, DialFailures int64
+}
+
+// Metrics snapshots the sender's counters; safe to call concurrently with
+// Send.
+func (s *ResilientSender) Metrics() ResilientMetrics {
+	return ResilientMetrics{
+		Msgs:         s.msgs.Load(),
+		Acked:        s.acked.Load(),
+		Replayed:     s.replayed.Load(),
+		Pending:      int64(s.Pending()),
+		DialAttempts: s.dialTries.Load(),
+		DialFailures: s.dialFails.Load(),
+	}
+}
+
+// SenderState is a ResilientSender's serializable replay state: the
+// unacknowledged backlog and the sequence counter. Checkpoint it next to
+// the site's protocol state; after a crash, RestoreState plus replaying
+// the input rows since the checkpoint regenerates the exact message
+// sequence, and the coordinator's dedup discards everything it already
+// consumed.
+type SenderState struct {
+	NextSeq uint64
+	Backlog []Msg
+}
+
+// State deep-copies the sender's replay state.
+func (s *ResilientSender) State() SenderState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SenderState{NextSeq: s.nextSeq, Backlog: make([]Msg, len(s.backlog))}
+	for i, m := range s.backlog {
+		m.V = append([]float64(nil), m.V...)
+		st.Backlog[i] = m
+	}
+	return st
+}
+
+// RestoreState overwrites the sender's replay state from a checkpoint.
+// Restore into a fresh sender before its first Send.
+func (s *ResilientSender) RestoreState(st SenderState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 1; i < len(st.Backlog); i++ {
+		if st.Backlog[i].Seq <= st.Backlog[i-1].Seq {
+			return fmt.Errorf("wire: sender state backlog out of order at %d", i)
+		}
+	}
+	if n := len(st.Backlog); n > 0 && st.Backlog[n-1].Seq > st.NextSeq {
+		return fmt.Errorf("wire: sender state NextSeq %d behind backlog tail %d", st.NextSeq, st.Backlog[n-1].Seq)
+	}
+	s.nextSeq = st.NextSeq
+	s.maxSent = 0
+	s.sent = 0
+	s.backlog = make([]Msg, len(st.Backlog))
+	for i, m := range st.Backlog {
+		m.V = append([]float64(nil), m.V...)
+		s.backlog[i] = m
+	}
+	return nil
+}
+
+// Close closes the current connection. If undelivered messages remain and
+// DiscardPending is unset, Close keeps the sender (and its backlog)
+// intact and returns a *PendingError carrying the pending count, so
+// callers know to Flush first.
 func (s *ResilientSender) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if n := len(s.backlog); n > 0 && !s.DiscardPending {
+		return &PendingError{Pending: n}
+	}
 	s.backlog = nil
+	s.sent = 0
+	s.gen++ // orphan any ack reader still running
 	if s.conn != nil {
 		err := s.conn.Close()
 		s.conn = nil
@@ -121,15 +413,28 @@ type Snapshot struct {
 	Sum   float64
 	Msgs  int64
 	Bytes int64
+	// SiteSeqs carries the per-site dedup horizon, so a failed-over
+	// coordinator keeps discarding replays its predecessor already
+	// applied. Absent in pre-ack snapshots (gob leaves the map nil).
+	SiteSeqs map[int]uint64
 }
 
 // Snapshot captures the coordinator's current state.
 func (c *Coordinator) Snapshot() Snapshot {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	data := make([]float64, len(c.chat.Data()))
 	copy(data, c.chat.Data())
-	return Snapshot{D: c.d, Chat: data, Sum: c.sum, Msgs: c.msgs.Load(), Bytes: c.bytes.Load()}
+	sum := c.sum
+	c.mu.Unlock()
+	c.siteMu.Lock()
+	seqs := make(map[int]uint64, len(c.siteStates))
+	for site, st := range c.siteStates {
+		if st.lastSeq > 0 {
+			seqs[site] = st.lastSeq
+		}
+	}
+	c.siteMu.Unlock()
+	return Snapshot{D: c.d, Chat: data, Sum: sum, Msgs: c.msgs.Load(), Bytes: c.bytes.Load(), SiteSeqs: seqs}
 }
 
 // WriteSnapshot gob-encodes a snapshot to w.
@@ -147,6 +452,12 @@ func RestoreCoordinator(s Snapshot) (*Coordinator, error) {
 	c.sum = s.Sum
 	c.msgs.Add(s.Msgs)
 	c.bytes.Add(s.Bytes)
+	if len(s.SiteSeqs) > 0 {
+		c.siteStates = make(map[int]*siteState, len(s.SiteSeqs))
+		for site, seq := range s.SiteSeqs {
+			c.siteStates[site] = &siteState{lastSeq: seq, lastSeen: c.now()}
+		}
+	}
 	return c, nil
 }
 

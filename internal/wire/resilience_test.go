@@ -39,7 +39,7 @@ func TestResilientSenderReplaysBacklogAfterReconnect(t *testing.T) {
 	go coord.Serve(ln)
 
 	dials := 0
-	s := newResilientSenderFunc(func() (io.WriteCloser, error) {
+	s := NewResilientSenderFunc(func() (io.WriteCloser, error) {
 		dials++
 		conn, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {
@@ -84,7 +84,7 @@ func TestResilientSenderReplaysBacklogAfterReconnect(t *testing.T) {
 }
 
 func TestResilientSenderBacklogLimit(t *testing.T) {
-	s := newResilientSenderFunc(func() (io.WriteCloser, error) {
+	s := NewResilientSenderFunc(func() (io.WriteCloser, error) {
 		return nil, errors.New("unreachable")
 	})
 	s.MaxBacklog = 3
@@ -104,7 +104,7 @@ func TestResilientSenderBacklogLimit(t *testing.T) {
 func TestResilientSenderBuffersWhileDown(t *testing.T) {
 	up := false
 	var sink bytes.Buffer
-	s := newResilientSenderFunc(func() (io.WriteCloser, error) {
+	s := NewResilientSenderFunc(func() (io.WriteCloser, error) {
 		if !up {
 			return nil, errors.New("down")
 		}

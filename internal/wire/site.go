@@ -48,31 +48,54 @@ func (c SiteConfig) validate() error {
 	return nil
 }
 
-// DA2Site is the networked DA2 site (ledger-replay variant): IWMT forward
-// tracking of arrivals plus exact subtraction of each ledger message when
-// it expires. One-way: it only ever calls Sender.Send.
+// DA2Site is the networked DA2 site: IWMT forward tracking of arrivals
+// plus backward tracking of the closed window's ledger — exact subtraction
+// of each ledger message as it expires (ledger replay, NewDA2Site), or the
+// compressed DA2-C variant (NewDA2CSite) that re-sketches the ledger in
+// reverse through IWMT_c, forward-tracks the expiry queue through IWMT_e,
+// and ships the FD-shaved PSD residual at drain time so cancellation stays
+// exact. One-way: it only ever calls Sender.Send.
 type DA2Site struct {
 	cfg      SiteConfig
 	out      Sender
+	compress bool
 	a        *iwmt.Tracker
 	mass     *eh.Histogram
 	ledger   []iwmt.Msg
 	q        []iwmt.Msg
+	// e is IWMT_e (compress mode only); resid accumulates what was added
+	// for the previous window minus what has been subtracted so far; ws is
+	// the persistent workspace for the residual eigendecompositions.
+	e        *iwmt.Tracker
+	resid    *mat.Dense
+	ws       *mat.Workspace
 	boundary int64
 	now      int64
 	tr       *trace.Tracer
 }
 
-// NewDA2Site returns a site pushing to out.
+// NewDA2Site returns a ledger-replay site pushing to out.
 func NewDA2Site(cfg SiteConfig, out Sender) (*DA2Site, error) {
+	return newDA2Site(cfg, out, false)
+}
+
+// NewDA2CSite returns a compressed (DA2-C) site pushing to out.
+func NewDA2CSite(cfg SiteConfig, out Sender) (*DA2Site, error) {
+	return newDA2Site(cfg, out, true)
+}
+
+func newDA2Site(cfg SiteConfig, out Sender, compress bool) (*DA2Site, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	s := &DA2Site{cfg: cfg, out: out, mass: eh.New(cfg.W, cfg.Eps/2), boundary: cfg.W}
-	ell := int(math.Ceil(1 / cfg.Eps))
-	s.a = iwmt.New(ell, cfg.D, func() float64 { return cfg.Eps * s.mass.Query() })
+	s := &DA2Site{cfg: cfg, out: out, compress: compress, mass: eh.New(cfg.W, cfg.Eps/2), boundary: cfg.W}
+	s.a = iwmt.New(s.fdEll(), cfg.D, func() float64 { return cfg.Eps * s.mass.Query() })
 	return s, nil
 }
+
+// fdEll is the FD buffer size for the IWMT instances: ⌈1/ε⌉ keeps the
+// sketch-drift term at ε·F².
+func (s *DA2Site) fdEll() int { return int(math.Ceil(1 / s.cfg.Eps)) }
 
 // SetTracer installs a causal tracer: each Observe becomes a (sampled)
 // root "ingest" span, sends become child spans whose context rides in
@@ -107,42 +130,166 @@ func (s *DA2Site) Observe(t int64, v []float64) error {
 func (s *DA2Site) Advance(t int64) error { return s.advance(t) }
 
 func (s *DA2Site) advance(now int64) error {
+	if now <= s.now && now < s.boundary {
+		return s.processExpiry(now)
+	}
 	if now > s.now {
 		s.now = now
 		s.mass.Advance(now)
 	}
 	for now >= s.boundary {
 		b := s.boundary
-		if err := s.expireUpTo(b); err != nil {
+		// Everything from the closing window that must eventually be
+		// subtracted expires by b+W; drain the old queue first.
+		if err := s.processExpiry(b); err != nil {
 			return err
 		}
+		// Flush IWMT_a so the ledger covers the whole closed window.
 		for _, m := range s.a.Flush(b) {
 			if err := s.sendA(m); err != nil {
 				return err
 			}
 		}
-		s.q = append(s.q, s.ledger...)
-		s.ledger = nil
+		if err := s.startBackward(b); err != nil {
+			return err
+		}
 		s.boundary += s.cfg.W
 	}
-	return s.expireUpTo(now)
+	return s.processExpiry(now)
 }
 
-func (s *DA2Site) expireUpTo(now int64) error {
+// startBackward converts the closed window's ledger into the expiry queue
+// (mirrors core's da2Site.startBackward over the wire).
+func (s *DA2Site) startBackward(b int64) error {
+	if s.e != nil {
+		// Defensive: the previous queue drains by its own boundary, so
+		// processExpiry(b) above already flushed IWMT_e and the residual.
+		for _, out := range s.e.Flush(b) {
+			if err := s.sendE(out.T, out.V); err != nil {
+				return err
+			}
+		}
+		s.e = nil
+		if err := s.drainResidual(); err != nil {
+			return err
+		}
+	}
+	if len(s.ledger) == 0 {
+		s.q = nil
+		return nil
+	}
+	if !s.compress {
+		// Ledger replay: the ledger is already in ascending time order.
+		s.q = s.ledger
+		s.ledger = nil
+		return nil
+	}
+	// Compress mode: replay the ledger in reverse through IWMT_c with the
+	// paper's growing threshold ε·(mass seen so far in reverse).
+	var seen float64
+	c := iwmt.New(s.fdEll(), s.cfg.D, func() float64 { return s.cfg.Eps * seen })
+	var q []iwmt.Msg
+	for i := len(s.ledger) - 1; i >= 0; i-- {
+		m := s.ledger[i]
+		seen += mat.VecNormSq(m.V)
+		q = append(q, c.Input(m.T, m.V)...)
+	}
+	q = append(q, c.Flush(s.ledger[0].T)...)
+	// IWMT_c emitted in descending time; expiry consumes ascending.
+	for l, r := 0, len(q)-1; l < r; l, r = l+1, r-1 {
+		q[l], q[r] = q[r], q[l]
+	}
+	s.q = q
+	// The residual for this window starts at the Gram of everything that
+	// was added for it (the ledger); each (−) message nets against it.
+	if s.resid == nil {
+		s.resid = mat.NewDense(s.cfg.D, s.cfg.D)
+	}
+	s.resid.Zero()
+	for _, m := range s.ledger {
+		mat.OuterAdd(s.resid, m.V, 1)
+	}
+	s.ledger = nil
+	s.e = iwmt.New(s.fdEll(), s.cfg.D, func() float64 { return s.cfg.Eps * s.mass.Query() })
+	return nil
+}
+
+// processExpiry feeds expired queue entries to the backward path.
+func (s *DA2Site) processExpiry(now int64) error {
 	cut := now - s.cfg.W
 	for len(s.q) > 0 && s.q[0].T <= cut {
 		m := s.q[0]
 		s.q = s.q[1:]
-		if err := sendTraced(s.tr, s.out, Msg{Site: s.cfg.ID, Kind: DirectionRemove, T: m.T, V: m.V}); err != nil {
+		if s.e == nil {
+			// Ledger replay: subtract the exact message.
+			if err := s.sendE(m.T, m.V); err != nil {
+				return err
+			}
+		} else {
+			for _, out := range s.e.Input(m.T, m.V) {
+				if err := s.sendE(out.T, out.V); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(s.q) == 0 && s.e != nil {
+		// Queue drained: flush IWMT_e and ship the FD-shaved residual so
+		// the closed window cancels exactly.
+		for _, out := range s.e.Flush(now) {
+			if err := s.sendE(out.T, out.V); err != nil {
+				return err
+			}
+		}
+		s.e = nil
+		if err := s.drainResidual(); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// drainResidual ships the PSD mass the compress-mode re-sketches shaved
+// off, restoring exact cancellation for the drained window.
+func (s *DA2Site) drainResidual() error {
+	if s.resid == nil || mat.FrobSq(s.resid) == 0 {
+		return nil
+	}
+	if s.ws == nil {
+		s.ws = mat.NewWorkspace()
+	}
+	eig := mat.EigSymInto(s.resid, s.ws)
+	for i, lam := range eig.Values {
+		if lam <= 0 {
+			// The residual is PSD up to round-off; skip noise.
+			continue
+		}
+		v := eig.Vectors.Row(i)
+		scaled := make([]float64, len(v))
+		f := math.Sqrt(lam)
+		for j := range v {
+			scaled[j] = f * v[j]
+		}
+		if err := s.sendE(s.now, scaled); err != nil {
+			return err
+		}
+	}
+	s.resid.Zero()
+	return nil
+}
+
 func (s *DA2Site) sendA(m iwmt.Msg) error {
 	s.ledger = append(s.ledger, m)
 	return sendTraced(s.tr, s.out, Msg{Site: s.cfg.ID, Kind: DirectionAdd, T: m.T, V: m.V})
+}
+
+// sendE ships a (−) message. In compress mode the site nets it against
+// the residual of the window currently draining.
+func (s *DA2Site) sendE(t int64, v []float64) error {
+	if s.resid != nil {
+		mat.OuterAdd(s.resid, v, -1)
+	}
+	return sendTraced(s.tr, s.out, Msg{Site: s.cfg.ID, Kind: DirectionRemove, T: t, V: v})
 }
 
 // DA1Site is the networked DA1 site: an mEH plus a replica of the

@@ -19,6 +19,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,7 +35,9 @@ import (
 // format backward compatible in both directions: a pre-trace sender's
 // frames decode at a new coordinator with zero trace fields, and a new
 // sender's frames decode at an old coordinator, which ignores the fields
-// it does not know.
+// it does not know. The same matching rule covers Seq: an old sender's
+// frames decode with Seq 0 (unsequenced, no dedup, no acks) and a new
+// sender's frames decode at an old coordinator, which simply never acks.
 type Msg struct {
 	// Site identifies the sender.
 	Site int
@@ -50,6 +53,23 @@ type Msg struct {
 	// root trace ID and the sending span's ID, so the coordinator's apply
 	// span joins the site's causal chain.
 	Trace, Span uint64
+	// Seq is the sender-assigned sequence number, strictly increasing per
+	// site (0 = unsequenced legacy frame). The coordinator acknowledges
+	// every sequenced frame it consumes and drops frames whose Seq it has
+	// already seen, so replaying an unacknowledged backlog after a
+	// reconnect or a site restart is exactly-once instead of at-most-once.
+	// One site must use one sequence space: its deltas are dedup-keyed by
+	// (Site, Seq).
+	Seq uint64
+}
+
+// Ack acknowledges every sequenced frame of one connection up to and
+// including Seq. Acks are cumulative and flow coordinator→site on the
+// same TCP connection the frames arrived on; a sender may retire its
+// whole backlog prefix on one ack.
+type Ack struct {
+	// Seq is the highest consumed sequence number.
+	Seq uint64
 }
 
 // Kind enumerates message payloads.
@@ -80,9 +100,20 @@ type Coordinator struct {
 	bytes   obs.Counter
 	perKind [3]obs.Counter
 	badMsgs obs.Counter
+	dups    obs.Counter
+	acks    obs.Counter
 	conns   obs.Gauge
 	sink    obs.Sink
 	tracer  *trace.Tracer
+
+	// Per-site delivery and liveness state: highest consumed sequence
+	// number (the dedup horizon for replayed frames) and when the site was
+	// last heard from. Guarded by siteMu, not mu — liveness bookkeeping
+	// must not serialize against the matrix fold.
+	siteMu     sync.Mutex
+	siteStates map[int]*siteState
+	staleAfter time.Duration
+	now        func() time.Time
 
 	wg     sync.WaitGroup
 	lnMu   sync.Mutex
@@ -90,13 +121,27 @@ type Coordinator struct {
 	closed bool
 }
 
+// siteState is the coordinator's per-site delivery record.
+type siteState struct {
+	lastSeq  uint64
+	lastT    int64
+	lastSeen time.Time
+	stale    bool
+}
+
 // NewCoordinator returns a coordinator for d-dimensional directions.
 func NewCoordinator(d int) *Coordinator {
 	if d < 1 {
 		panic("wire: d must be positive")
 	}
-	return &Coordinator{d: d, chat: mat.NewDense(d, d)}
+	return &Coordinator{d: d, chat: mat.NewDense(d, d), now: time.Now}
 }
+
+// SetStaleAfter configures the liveness bound: a site whose last frame is
+// older than d is reported stale by CheckLiveness, Metrics and
+// SiteStatuses (0 disables staleness detection, the default). Install
+// before serving.
+func (c *Coordinator) SetStaleAfter(d time.Duration) { c.staleAfter = d }
 
 // SetSink installs an event sink receiving one EvMsgReceived per applied
 // message, with Site set to the original sender, and one EvMsgRejected
@@ -119,8 +164,54 @@ func (c *Coordinator) reject(m Msg) {
 	}
 }
 
-// Apply folds one message into the coordinator state.
+// admit records liveness for the sender and, for sequenced frames,
+// reports whether the frame is new (true) or a replay of one already
+// consumed (false). The dedup horizon advances for every fresh sequenced
+// frame — including frames Apply goes on to reject — so a poison frame is
+// consumed once, not re-rejected on every replay.
+func (c *Coordinator) admit(m Msg) bool {
+	c.siteMu.Lock()
+	if c.siteStates == nil {
+		c.siteStates = make(map[int]*siteState)
+	}
+	st := c.siteStates[m.Site]
+	if st == nil {
+		st = &siteState{}
+		c.siteStates[m.Site] = st
+	}
+	st.lastSeen = c.now()
+	wasStale := st.stale
+	st.stale = false
+	fresh := m.Seq == 0 || m.Seq > st.lastSeq
+	if m.Seq > st.lastSeq {
+		st.lastSeq = m.Seq
+	}
+	if m.T > st.lastT {
+		st.lastT = m.T
+	}
+	c.siteMu.Unlock()
+	if wasStale && c.sink != nil {
+		c.sink.OnEvent(obs.Event{Kind: obs.EvSiteResync, Site: m.Site, T: m.T})
+	}
+	if !fresh {
+		c.dups.Inc()
+		if c.sink != nil {
+			c.sink.OnEvent(obs.Event{Kind: obs.EvMsgDeduped, Site: m.Site, T: m.T})
+		}
+	}
+	return fresh
+}
+
+// Apply folds one message into the coordinator state. Sequenced frames
+// (Seq != 0) the coordinator has already consumed are dropped — counted
+// in DupMsgs, reported as EvMsgDeduped — and return nil: a replayed delta
+// was applied exactly once already.
 func (c *Coordinator) Apply(m Msg) error {
+	if m.Site >= 0 {
+		if !c.admit(m) {
+			return nil
+		}
+	}
 	if c.tracer != nil && m.Trace != 0 {
 		sp := c.tracer.StartLinked(trace.Context{Trace: m.Trace, Span: m.Span}, trace.OpApply, m.Site, m.T)
 		defer sp.End()
@@ -180,6 +271,69 @@ func (c *Coordinator) Stats() (msgs, bytes int64) {
 	return c.msgs.Load(), c.bytes.Load()
 }
 
+// SiteStatus is the coordinator's liveness view of one site.
+type SiteStatus struct {
+	// Site is the site's identifier.
+	Site int
+	// LastSeq is the highest consumed sequence number (0 for unsequenced
+	// senders).
+	LastSeq uint64
+	// LastT is the largest frame timestamp seen from the site.
+	LastT int64
+	// LastSeen is the wall-clock arrival time of the site's latest frame.
+	LastSeen time.Time
+	// Stale reports that the site has been silent longer than the
+	// SetStaleAfter bound — its window contribution may be degraded.
+	Stale bool
+}
+
+// CheckLiveness sweeps the per-site records, marks sites silent for
+// longer than the SetStaleAfter bound as stale (emitting one EvSiteStale
+// per transition), and returns the number of stale sites. With no bound
+// configured it reports zero.
+func (c *Coordinator) CheckLiveness() int {
+	if c.staleAfter <= 0 {
+		return 0
+	}
+	cut := c.now().Add(-c.staleAfter)
+	var went []int
+	stale := 0
+	c.siteMu.Lock()
+	for site, st := range c.siteStates {
+		if st.lastSeen.Before(cut) {
+			if !st.stale {
+				st.stale = true
+				went = append(went, site)
+			}
+			stale++
+		}
+	}
+	c.siteMu.Unlock()
+	if c.sink != nil {
+		for _, site := range went {
+			c.sink.OnEvent(obs.Event{Kind: obs.EvSiteStale, Site: site})
+		}
+	}
+	return stale
+}
+
+// SiteStatuses runs a liveness sweep and returns the per-site delivery
+// records, sorted by site.
+func (c *Coordinator) SiteStatuses() []SiteStatus {
+	c.CheckLiveness()
+	c.siteMu.Lock()
+	out := make([]SiteStatus, 0, len(c.siteStates))
+	for site, st := range c.siteStates {
+		out = append(out, SiteStatus{
+			Site: site, LastSeq: st.lastSeq, LastT: st.lastT,
+			LastSeen: st.lastSeen, Stale: st.stale,
+		})
+	}
+	c.siteMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
 // CoordinatorMetrics is a point-in-time snapshot of a coordinator's
 // observable state, serializable as the /metrics payload.
 type CoordinatorMetrics struct {
@@ -191,6 +345,17 @@ type CoordinatorMetrics struct {
 	DirectionAdds, DirectionRemoves, SumDeltas int64
 	// BadMsgs counts rejected messages (dimension mismatch, unknown kind).
 	BadMsgs int64
+	// DupMsgs counts sequenced frames dropped because their Seq was
+	// already consumed (replays after reconnect or site restart). Dups are
+	// acknowledged but not re-applied, so they never double-count a delta.
+	DupMsgs int64
+	// AckedMsgs counts acknowledgements written back to sites.
+	AckedMsgs int64
+	// SitesSeen is the number of distinct site ids heard from.
+	SitesSeen int64
+	// StaleSites is the number of sites currently past the SetStaleAfter
+	// liveness bound (0 when staleness detection is disabled).
+	StaleSites int64
 	// Conns is the number of currently connected sites (Serve only).
 	Conns int64
 }
@@ -198,6 +363,10 @@ type CoordinatorMetrics struct {
 // Metrics snapshots the coordinator's counters; safe to call while
 // connections stream.
 func (c *Coordinator) Metrics() CoordinatorMetrics {
+	stale := int64(c.CheckLiveness())
+	c.siteMu.Lock()
+	seen := int64(len(c.siteStates))
+	c.siteMu.Unlock()
 	return CoordinatorMetrics{
 		Msgs:             c.msgs.Load(),
 		Bytes:            c.bytes.Load(),
@@ -205,6 +374,10 @@ func (c *Coordinator) Metrics() CoordinatorMetrics {
 		DirectionRemoves: c.perKind[DirectionRemove].Load(),
 		SumDeltas:        c.perKind[SumDelta].Load(),
 		BadMsgs:          c.badMsgs.Load(),
+		DupMsgs:          c.dups.Load(),
+		AckedMsgs:        c.acks.Load(),
+		SitesSeen:        seen,
+		StaleSites:       stale,
 		Conns:            c.conns.Load(),
 	}
 }
@@ -227,8 +400,19 @@ func (c *Coordinator) MetricsMux(opts ...obs.MuxOption) *http.ServeMux {
 // NOT end the connection: one malformed frame must not drop a site whose
 // stream is otherwise healthy. Decode errors still end the connection —
 // a gob stream cannot resynchronize after corruption.
+//
+// When conn is also a writer (net.Conn is), every sequenced frame is
+// acknowledged back on the same connection once consumed — applied,
+// deduped or rejected; the frame will never be applied later, so holding
+// it in the sender's backlog serves nothing. An ack write failure ends
+// the connection: the site will reconnect and replay, and dedup keeps the
+// replay exactly-once.
 func (c *Coordinator) HandleConn(conn io.Reader) error {
 	dec := gob.NewDecoder(conn)
+	var ackEnc *gob.Encoder
+	if w, ok := conn.(io.Writer); ok {
+		ackEnc = gob.NewEncoder(w)
+	}
 	for {
 		var m Msg
 		if err := dec.Decode(&m); err != nil {
@@ -239,6 +423,12 @@ func (c *Coordinator) HandleConn(conn io.Reader) error {
 		}
 		// Rejections are already counted and reported inside Apply.
 		_ = c.Apply(m)
+		if m.Seq != 0 && ackEnc != nil {
+			if err := ackEnc.Encode(Ack{Seq: m.Seq}); err != nil {
+				return err
+			}
+			c.acks.Inc()
+		}
 	}
 }
 
