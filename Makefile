@@ -28,11 +28,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Headline performance figures (ingest rate, words/window, sketch-query
-# latency, parallel-vs-sequential ingest ratio at 8 sites) on a fixed
-# reference workload, written as BENCH_PR4.json for machine comparison
+# latency, parallel-vs-sequential ingest ratio at 8 sites, and the
+# multi-stream registry streams × workers throughput grid) on a fixed
+# reference workload, written as BENCH_PR6.json for machine comparison
 # across changes.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR6.json
 
 # Short fuzz sessions over the invariant fuzz targets.
 fuzz:

@@ -55,6 +55,12 @@ func (t *Tracker) Checkpoint(w io.Writer) error {
 // Communication counters restart from zero (they describe a run, not the
 // protocol state).
 //
+// Options use New's vocabulary and are applied to the rebuilt tracker in
+// the same order, so a restored tracker can come back with its sink,
+// tracing, audit or pipeline already wired — observability does not lapse
+// across a restart. Checkpoints never carry runtime wiring (a Sink is a
+// live object, not state), which is why it is re-supplied here.
+//
 // The envelope is validated before any state is rebuilt: undecodable
 // bytes, an invalid configuration, or missing state return an error
 // wrapping ErrCheckpointCorrupt; a declared protocol that disagrees with
@@ -63,7 +69,8 @@ func (t *Tracker) Checkpoint(w io.Writer) error {
 // one wrapping ErrCheckpointMismatch. Both guards exist because gob is
 // permissive: a truncated or mislabeled file can decode into a plausible
 // envelope that would silently run the wrong protocol.
-func Restore(r io.Reader) (*Tracker, error) {
+func Restore(r io.Reader, opts ...Option) (*Tracker, error) {
+	o := buildOptions(opts)
 	var env checkpointEnvelope
 	if err := gob.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("%w: reading: %v", ErrCheckpointCorrupt, err)
@@ -92,19 +99,27 @@ func Restore(r io.Reader) (*Tracker, error) {
 		return nil, fmt.Errorf("%w: protocol %s is not checkpointable", ErrCheckpointCorrupt, env.Protocol)
 	}
 	net := protocol.NewNetwork(env.Config.Sites)
+	var t *Tracker
 	switch {
 	case env.DA1 != nil:
+		env.DA1.Cfg = env.DA1.Cfg.WithPools(o.pools)
 		inner, err := core.RestoreDA1(*env.DA1, net)
 		if err != nil {
 			return nil, err
 		}
-		return newTracker(inner, net, env.Config), nil
+		t = newTracker(inner, net, env.Config)
 	case env.DA2 != nil:
+		env.DA2.Cfg = env.DA2.Cfg.WithPools(o.pools)
 		inner, err := core.RestoreDA2(*env.DA2, net)
 		if err != nil {
 			return nil, err
 		}
-		return newTracker(inner, net, env.Config), nil
+		t = newTracker(inner, net, env.Config)
+	default:
+		return nil, fmt.Errorf("%w: no tracker state", ErrCheckpointCorrupt)
 	}
-	return nil, fmt.Errorf("%w: no tracker state", ErrCheckpointCorrupt)
+	if err := t.applyOptions(o); err != nil {
+		return nil, err
+	}
+	return t, nil
 }

@@ -1,11 +1,13 @@
 // Command benchjson runs a fixed reference workload through the
 // representative protocols and writes the headline performance figures —
 // ingest update rate, communication words per window, sketch-query
-// latency, and the parallel-vs-sequential ingest ratio — as a JSON
-// document for machine comparison across changes (`make bench-json` →
-// BENCH_PR4.json). Alongside throughput it records allocs/op for the
-// ingest loop (runtime.MemStats mallocs over the timed rows) and sweeps
-// the parallel pipeline over 1/2/4 workers.
+// latency, the parallel-vs-sequential ingest ratio, and the multi-stream
+// registry throughput sweep — as a JSON document for machine comparison
+// across changes (`make bench-json` → BENCH_PR6.json). Alongside
+// throughput it records allocs/op for the ingest loop
+// (runtime.MemStats mallocs over the timed rows), sweeps the parallel
+// pipeline over 1/2/4 workers, and sweeps a Registry over a
+// streams × workers grid to price the multi-tenant layer.
 //
 // The workload is deterministic (fixed seed, synthetic Gaussian rows), so
 // two runs on the same machine differ only by measurement noise; compare
@@ -65,6 +67,23 @@ type parallelResult struct {
 	Speedup              float64 `json:"speedup"`
 }
 
+// registryResult measures aggregate ingest throughput when Streams
+// independent tracked windows live behind one Registry and Workers
+// goroutines each feed a disjoint share of them (every stream still has
+// exactly one ingester). Rows is the total across all streams, so
+// RowsPerSec figures are directly comparable across grid cells.
+type registryResult struct {
+	Protocol   string  `json:"protocol"`
+	Streams    int     `json:"streams"`
+	Workers    int     `json:"workers"`
+	Rows       int64   `json:"rows"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// AllocsPerRow over the whole sweep cell (includes the registry's
+	// Get lookup on every row, so it prices the multi-tenant indirection
+	// as well as the trackers themselves).
+	AllocsPerRow float64 `json:"allocs_per_row"`
+}
+
 type doc struct {
 	Generated string `json:"generated"`
 	GoArch    string `json:"config"`
@@ -72,11 +91,12 @@ type doc struct {
 	Cores    int              `json:"cores"`
 	Results  []result         `json:"results"`
 	Parallel []parallelResult `json:"parallel"`
+	Registry []registryResult `json:"registry"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR4.json", "output path")
+		out     = flag.String("out", "BENCH_PR6.json", "output path")
 		rows    = flag.Int64("rows", 200_000, "rows to stream per protocol")
 		d       = flag.Int("d", 32, "row dimension")
 		sites   = flag.Int("sites", 8, "number of sites")
@@ -104,15 +124,12 @@ func main() {
 
 	var results []result
 	for _, proto := range []distwindow.Protocol{distwindow.PWOR, distwindow.DA1, distwindow.DA2} {
-		tr, err := distwindow.New(distwindow.Config{
-			Protocol: proto, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
 		// The auditor supplies words/window and the error sanity figures;
 		// audit sparsely so its shadow cost stays out of the update rate.
-		if err := tr.EnableAudit(distwindow.AuditConfig{EveryRows: 1 << 30}); err != nil {
+		tr, err := distwindow.New(distwindow.Config{
+			Protocol: proto, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed,
+		}, distwindow.WithAudit(distwindow.AuditConfig{EveryRows: 1 << 30}))
+		if err != nil {
 			log.Fatal(err)
 		}
 		var msBefore, msAfter runtime.MemStats
@@ -120,7 +137,9 @@ func main() {
 		start := time.Now()
 		for i := int64(1); i <= *rows; i++ {
 			k := int(i) & (len(vs) - 1)
-			tr.Observe(siteOf[k], distwindow.Row{T: i, V: vs[k]})
+			if err := tr.TryObserve(siteOf[k], distwindow.Row{T: i, V: vs[k]}); err != nil {
+				log.Fatal(err)
+			}
 		}
 		elapsed := time.Since(start).Seconds()
 		runtime.ReadMemStats(&msAfter)
@@ -171,7 +190,9 @@ func main() {
 		seqStart := time.Now()
 		for t := int64(1); t <= perSite; t++ {
 			for s := 0; s < *sites; s++ {
-				seqTr.Observe(s, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]})
+				if err := seqTr.TryObserve(s, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]}); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
 		seqSecs := time.Since(seqStart).Seconds()
@@ -220,6 +241,75 @@ func main() {
 		}
 	}
 
+	// Multi-tenant registry sweep: nStreams independent DA1 windows behind
+	// one Registry, fed by a workers-goroutine pool where each worker owns
+	// a disjoint slice of the streams (the facade's single-ingester
+	// contract, kept per stream). Every row goes through reg.Get so the
+	// figure prices the sharded lookup alongside the trackers. The total
+	// row budget is held fixed across cells, so rows/s compares directly:
+	// the streams axis shows the cost of tenancy at scale (cold windows,
+	// shared pools), the workers axis how ingest scales across cores.
+	var regResults []registryResult
+	for _, nStreams := range []int{1, 16, 256} {
+		perStream := *rows / int64(nStreams)
+		if perStream < 1 {
+			continue
+		}
+		for _, workers := range []int{1, 2, 4} {
+			if workers > nStreams {
+				continue
+			}
+			reg := distwindow.NewRegistry()
+			ids := make([]string, nStreams)
+			cfg := distwindow.Config{Protocol: distwindow.DA1, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed}
+			for i := range ids {
+				ids[i] = fmt.Sprintf("s%03d", i)
+				if _, _, err := reg.Open(ids[i], cfg); err != nil {
+					log.Fatal(err)
+				}
+			}
+			var msB, msA runtime.MemStats
+			runtime.ReadMemStats(&msB)
+			start := time.Now()
+			var wg sync.WaitGroup
+			for wk := 0; wk < workers; wk++ {
+				wg.Add(1)
+				go func(wk int) {
+					defer wg.Done()
+					for si := wk; si < nStreams; si += workers {
+						for t := int64(1); t <= perStream; t++ {
+							tr, ok := reg.Get(ids[si])
+							if !ok {
+								log.Fatalf("registry sweep: stream %s vanished", ids[si])
+							}
+							k := (int(t) + si*31) & (len(vs) - 1)
+							if err := tr.TryObserve(siteOf[k], distwindow.Row{T: t, V: vs[k]}); err != nil {
+								log.Fatal(err)
+							}
+						}
+					}
+				}(wk)
+			}
+			wg.Wait()
+			secs := time.Since(start).Seconds()
+			runtime.ReadMemStats(&msA)
+			reg.Close()
+
+			total := perStream * int64(nStreams)
+			rr := registryResult{
+				Protocol:     string(distwindow.DA1),
+				Streams:      nStreams,
+				Workers:      workers,
+				Rows:         total,
+				RowsPerSec:   float64(total) / secs,
+				AllocsPerRow: float64(msA.Mallocs-msB.Mallocs) / float64(total),
+			}
+			regResults = append(regResults, rr)
+			fmt.Printf("registry   %4d streams × %d workers %9.0f rows/s  %6.2f allocs/row\n",
+				nStreams, workers, rr.RowsPerSec, rr.AllocsPerRow)
+		}
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -232,6 +322,7 @@ func main() {
 		Cores:     runtime.GOMAXPROCS(0),
 		Results:   results,
 		Parallel:  parallels,
+		Registry:  regResults,
 	}); err != nil {
 		log.Fatal(err)
 	}

@@ -53,6 +53,7 @@ func main() {
 		traceO  = flag.String("trace-out", "", "write the Chrome trace-event JSON to this path at exit (requires -trace-sample)")
 		liveAud = flag.Bool("live-audit", false, "run the live ε-error auditor against the coordinator's sketch; panel at /debug/audit")
 		pipe    = flag.Bool("pipeline", false, "run in-process through the parallel per-site pipeline instead of TCP")
+		nStream = flag.Int("streams", 1, "multiplex this many logical streams over the per-site connections (each stream is an independent window; implies -resilient)")
 
 		resilient = flag.Bool("resilient", false, "use acknowledged resilient senders (seq/ack frames, reconnect + replay) instead of bare connections")
 		chSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos fault stream")
@@ -70,7 +71,17 @@ func main() {
 	}
 
 	if *pipe {
+		if *nStream > 1 {
+			log.Fatal("-streams multiplexes TCP connections; it cannot be combined with -pipeline")
+		}
 		runPipeline(*proto, *m, *rows, *d, *w, *eps, *seed)
+		return
+	}
+	if *nStream > 1 {
+		runMultiStream(*proto, *m, *nStream, *rows, *d, *w, *eps, *seed, chaos.Config{
+			Seed: *chSeed, PDrop: *chDrop, PCut: *chCut, PDup: *chDup,
+			PDelay: *chDelay, PDialFail: *chDial,
+		})
 		return
 	}
 

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -48,10 +49,26 @@ func main() {
 		traceO  = flag.String("trace-out", "", "write the Chrome trace-event JSON to this path at exit (requires -trace-sample)")
 		liveAud = flag.Bool("live-audit", false, "run the live ε-error auditor (shadow exact window); results in /metrics and /debug/audit")
 		chRest  = flag.Int("chaos-restart", 0, "crash-recovery drill: checkpoint + restore the tracker every N events (DA1/DA2 only); the final sketch must match an uninterrupted run")
+		serve   = flag.String("serve", "", "multi-tenant mode: serve a stream registry HTTP API on this address (open/ingest/query/evict streams); ignores the stdin pipeline flags")
 	)
 	flag.Parse()
+	if *serve != "" {
+		runServe(*serve, *pprofF)
+		return
+	}
 	if *chRest > 0 && (*liveAud) {
 		log.Fatal("-chaos-restart cannot be combined with -live-audit: the auditor's shadow window does not survive the restore")
+	}
+
+	// Construction-time options shared by every build path (initial New,
+	// -resume, chaos restarts): tracing and audit ride the constructor so
+	// no row is ever ingested unobserved.
+	var buildOpts []distwindow.Option
+	if *traceN > 0 {
+		buildOpts = append(buildOpts, distwindow.WithTracing(distwindow.TraceConfig{SampleEvery: *traceN}))
+	}
+	if *liveAud {
+		buildOpts = append(buildOpts, distwindow.WithAudit(distwindow.AuditConfig{}))
 	}
 
 	// The tracker is built lazily (its dimension comes from the first
@@ -122,18 +139,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tr, err = distwindow.Restore(f)
+		if *audit || *liveAud {
+			log.Fatal("-audit/-live-audit cannot be combined with -resume: the exact window before the checkpoint is gone")
+		}
+		tr, err = distwindow.Restore(f, buildOpts...)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
 		dim = tr.Config().D
-		if *audit || *liveAud {
-			log.Fatal("-audit/-live-audit cannot be combined with -resume: the exact window before the checkpoint is gone")
-		}
-		if *traceN > 0 {
-			tr.EnableTracing(distwindow.TraceConfig{SampleEvery: *traceN})
-		}
 		trP.Store(tr)
 	}
 	_, _, err := csvio.Read(in, func(e csvio.Event) error {
@@ -148,17 +162,9 @@ func main() {
 				Sites:    *sites,
 				Ell:      *ell,
 				Seed:     *seed,
-			})
+			}, buildOpts...)
 			if err != nil {
 				return err
-			}
-			if *traceN > 0 {
-				tr.EnableTracing(distwindow.TraceConfig{SampleEvery: *traceN})
-			}
-			if *liveAud {
-				if err := tr.EnableAudit(distwindow.AuditConfig{}); err != nil {
-					return err
-				}
 			}
 			trP.Store(tr)
 			if *audit {
@@ -168,7 +174,9 @@ func main() {
 		if e.Site >= *sites {
 			return fmt.Errorf("site %d ≥ -sites %d", e.Site, *sites)
 		}
-		tr.Observe(e.Site, distwindow.Row{T: e.Row.T, V: e.Row.V})
+		if err := tr.TryObserve(e.Site, distwindow.Row{T: e.Row.T, V: e.Row.V}); err != nil && !errors.Is(err, distwindow.ErrStale) {
+			return err
+		}
 		if u != nil {
 			u.Add(stream.Row{T: e.Row.T, V: e.Row.V})
 		}
@@ -182,14 +190,11 @@ func main() {
 			if err := tr.Checkpoint(&buf); err != nil {
 				return fmt.Errorf("chaos restart at event %d: checkpoint: %w", n, err)
 			}
-			restored, err := distwindow.Restore(&buf)
+			restored, err := distwindow.Restore(&buf, buildOpts...)
 			if err != nil {
 				return fmt.Errorf("chaos restart at event %d: restore: %w", n, err)
 			}
 			tr = restored
-			if *traceN > 0 {
-				tr.EnableTracing(distwindow.TraceConfig{SampleEvery: *traceN})
-			}
 			trP.Store(tr)
 			restarts++
 		}

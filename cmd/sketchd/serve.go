@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"distwindow"
+	"distwindow/internal/csvio"
+	"distwindow/mat"
+)
+
+// runServe is sketchd's multi-tenant mode: a stream registry behind an
+// HTTP API, so one process tracks any number of independent windows.
+//
+//	POST /open?stream=id&proto=DA1&d=8[&w=&eps=&sites=&ell=&seed=]
+//	POST /ingest?stream=id          body: CSV rows `timestamp,site,v1,...,vd`
+//	GET  /query?stream=id[&top=k]   sketch shape, top-k σ² and cost
+//	POST /evict?stream=id
+//	GET  /streams                   per-stream listing (id, protocol, rows)
+//	GET  /metrics                   aggregate registry metrics
+//	GET  /healthz
+//
+// Ingest requests for one stream must not be issued concurrently with
+// each other or with that stream's eviction — the per-stream tracker
+// keeps the facade's single-ingester contract; different streams ingest
+// concurrently without coordination.
+func runServe(addr string, pprofOn bool) {
+	reg := distwindow.NewRegistry()
+	defer reg.Close()
+
+	// locks serializes ingest/evict per stream id so a misbehaving client
+	// cannot trip the tracker's single-ingester contract from outside.
+	var locks sync.Map // stream id → *sync.Mutex
+
+	lockOf := func(id string) *sync.Mutex {
+		mu, _ := locks.LoadOrStore(id, &sync.Mutex{})
+		return mu.(*sync.Mutex)
+	}
+
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /open", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		id := q.Get("stream")
+		cfg := distwindow.Config{
+			Protocol: distwindow.Protocol(q.Get("proto")),
+			W:        1_000_000,
+			Eps:      0.05,
+			Sites:    1,
+		}
+		var err error
+		for name, dst := range map[string]*int{"d": &cfg.D, "sites": &cfg.Sites, "ell": &cfg.Ell} {
+			if s := q.Get(name); s != "" {
+				if *dst, err = strconv.Atoi(s); err != nil {
+					http.Error(w, fmt.Sprintf("bad %s: %v", name, err), http.StatusBadRequest)
+					return
+				}
+			}
+		}
+		if s := q.Get("w"); s != "" {
+			if cfg.W, err = strconv.ParseInt(s, 10, 64); err != nil {
+				http.Error(w, fmt.Sprintf("bad w: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+		if s := q.Get("seed"); s != "" {
+			if cfg.Seed, err = strconv.ParseInt(s, 10, 64); err != nil {
+				http.Error(w, fmt.Sprintf("bad seed: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+		if s := q.Get("eps"); s != "" {
+			if cfg.Eps, err = strconv.ParseFloat(s, 64); err != nil {
+				http.Error(w, fmt.Sprintf("bad eps: %v", err), http.StatusBadRequest)
+				return
+			}
+		}
+		_, created, err := reg.Open(id, cfg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{"stream": id, "created": created})
+	})
+
+	mux.HandleFunc("POST /ingest", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("stream")
+		tr, ok := reg.Get(id)
+		if !ok {
+			http.Error(w, "unknown stream", http.StatusNotFound)
+			return
+		}
+		mu := lockOf(id)
+		mu.Lock()
+		defer mu.Unlock()
+		rows, stale := 0, 0
+		_, _, err := csvio.Read(r.Body, func(e csvio.Event) error {
+			err := tr.TryObserve(e.Site, distwindow.Row{T: e.Row.T, V: e.Row.V})
+			switch {
+			case err == nil:
+				rows++
+			case errors.Is(err, distwindow.ErrStale):
+				stale++
+			default:
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{"stream": id, "rows": rows, "stale": stale})
+	})
+
+	mux.HandleFunc("GET /query", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("stream")
+		tr, ok := reg.Get(id)
+		if !ok {
+			http.Error(w, "unknown stream", http.StatusNotFound)
+			return
+		}
+		topk := 5
+		if s := r.URL.Query().Get("top"); s != "" {
+			k, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad top: %v", err), http.StatusBadRequest)
+				return
+			}
+			topk = k
+		}
+		mu := lockOf(id)
+		mu.Lock()
+		b := tr.Sketch()
+		stats := tr.Stats()
+		mu.Unlock()
+		svd := mat.ThinSVD(b)
+		if topk > len(svd.S) {
+			topk = len(svd.S)
+		}
+		sigma2 := make([]float64, topk)
+		for i := range sigma2 {
+			sigma2[i] = svd.S[i] * svd.S[i]
+		}
+		writeJSON(w, map[string]any{
+			"stream":     id,
+			"protocol":   tr.Name(),
+			"sketchRows": b.Rows(),
+			"sketchCols": b.Cols(),
+			"topSigma2":  sigma2,
+			"cost":       distwindow.FormatStats(stats),
+		})
+	})
+
+	mux.HandleFunc("POST /evict", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("stream")
+		mu := lockOf(id)
+		mu.Lock()
+		ok := reg.Evict(id)
+		mu.Unlock()
+		locks.Delete(id)
+		if !ok {
+			http.Error(w, "unknown stream", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{"stream": id, "evicted": true})
+	})
+
+	// The registry's fleet view provides /metrics, /streams, /healthz and
+	// /debug/vars; mount it as the fallback so both APIs share the port.
+	var regOpts []distwindow.MuxOption
+	if pprofOn {
+		regOpts = append(regOpts, distwindow.WithPprof())
+	}
+	mux.Handle("/", reg.MetricsHandler(regOpts...))
+
+	log.Printf("sketchd: serving stream registry on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -273,17 +273,18 @@ func newTracker(inner protocol.Tracker, net *protocol.Network, cfg Config) *Trac
 // parallel pipeline last (WithParallel), so incompatible combinations are
 // rejected with ErrParallelUnsupported before any goroutine starts.
 func New(cfg Config, opts ...Option) (*Tracker, error) {
-	var o options
-	for _, fn := range opts {
-		if fn != nil {
-			fn(&o)
-		}
-	}
+	return newWithOptions(cfg, buildOptions(opts))
+}
+
+// newWithOptions is New after option folding; the Registry calls it
+// directly so it can adjust the folded settings (sink fan-out, shared
+// pools) before construction.
+func newWithOptions(cfg Config, o *options) (*Tracker, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	net := protocol.NewNetwork(cfg.Sites)
-	ccfg := cfg.coreConfig()
+	ccfg := cfg.coreConfig().WithPools(o.pools)
 	var (
 		inner protocol.Tracker
 		err   error
@@ -321,6 +322,17 @@ func New(cfg Config, opts ...Option) (*Tracker, error) {
 		return nil, err
 	}
 	t := newTracker(inner, net, cfg)
+	if err := t.applyOptions(o); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// applyOptions installs the folded option settings on a freshly built (or
+// freshly restored) tracker: observability first (sink, tracing, audit),
+// the parallel pipeline last, so incompatible combinations are rejected
+// before any goroutine starts. Shared by New and Restore.
+func (t *Tracker) applyOptions(o *options) error {
 	if o.haveSink {
 		t.SetSink(o.sink)
 	}
@@ -329,15 +341,15 @@ func New(cfg Config, opts ...Option) (*Tracker, error) {
 	}
 	if o.audit != nil {
 		if err := t.EnableAudit(*o.audit); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if o.parallel {
 		if err := t.startParallel(o.workers, o.ringSize); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return t, nil
+	return nil
 }
 
 // latSampleMask makes one Observe in 16 pay for two time.Now calls and a
@@ -646,7 +658,22 @@ type AggregateTracker struct {
 // NewAggregate builds a SUM/COUNT tracker; only W, Eps and Sites of cfg
 // are used. Validation failures are *ConfigError, as with New — the field
 // constraints come from the same core-layer source of truth.
-func NewAggregate(cfg Config) (*AggregateTracker, error) {
+//
+// Options share New's vocabulary, so the two constructors read the same;
+// the scalar tracker honors WithSink (installed before the first
+// observation, like New) and rejects the matrix-only options —
+// WithParallel, WithTracing, WithAudit — with ErrOptionUnsupported
+// instead of silently ignoring them.
+func NewAggregate(cfg Config, opts ...Option) (*AggregateTracker, error) {
+	o := buildOptions(opts)
+	switch {
+	case o.parallel:
+		return nil, fmt.Errorf("%w: NewAggregate cannot run WithParallel (scalar updates have no site pipeline)", ErrOptionUnsupported)
+	case o.tracing != nil:
+		return nil, fmt.Errorf("%w: NewAggregate cannot run WithTracing", ErrOptionUnsupported)
+	case o.audit != nil:
+		return nil, fmt.Errorf("%w: NewAggregate cannot run WithAudit (the auditor shadows a matrix window)", ErrOptionUnsupported)
+	}
 	ccfg := core.Config{D: 1, W: cfg.W, Eps: cfg.Eps, Sites: cfg.Sites}
 	if err := ccfg.Validate(); err != nil {
 		return nil, wrapCoreConfigErr(err)
@@ -660,7 +687,11 @@ func NewAggregate(cfg Config) (*AggregateTracker, error) {
 	for i := range lastT {
 		lastT[i] = math.MinInt64
 	}
-	return &AggregateTracker{inner: inner, net: net, sites: cfg.Sites, lastT: lastT}, nil
+	t := &AggregateTracker{inner: inner, net: net, sites: cfg.Sites, lastT: lastT}
+	if o.haveSink {
+		t.SetSink(o.sink)
+	}
+	return t, nil
 }
 
 // TryObserve records weight w at the given site and time, reporting
@@ -691,6 +722,9 @@ func (t *AggregateTracker) Observe(site int, now int64, w float64) {
 
 // SetSink installs an event sink receiving the tracker's message and
 // bucket lifecycle events (nil disables). Install before feeding data.
+//
+// Deprecated: pass WithSink to NewAggregate, which wires the sink before
+// any observation can arrive. SetSink remains for uninstalling.
 func (t *AggregateTracker) SetSink(s Sink) {
 	t.net.SetSink(s)
 	t.inner.SetSink(s)

@@ -31,6 +31,12 @@ var (
 	ErrCheckpointMismatch = errors.New("distwindow: checkpoint protocol mismatch")
 )
 
+// ErrOptionUnsupported is returned (wrapped, with detail) by constructors
+// handed an option their tracker variant cannot honor — e.g. WithParallel,
+// WithTracing or WithAudit on NewAggregate, whose scalar tracker has
+// neither a pipeline nor a matrix shadow path. Match with errors.Is.
+var ErrOptionUnsupported = errors.New("distwindow: option unsupported")
+
 // ErrParallelUnsupported is returned (wrapped, with detail) by New when
 // WithParallel is combined with a configuration the pipeline cannot run:
 // a sampling-family protocol (their coordinator talks back to the sites, so

@@ -56,7 +56,9 @@ func main() {
 			basis = rotateBasis(basis, rng)
 		}
 		v := normalPoint(basis, rng)
-		tr.Observe(rng.Intn(sites), distwindow.Row{T: int64(i), V: v})
+		if err := tr.TryObserve(rng.Intn(sites), distwindow.Row{T: int64(i), V: v}); err != nil {
+			log.Fatal(err)
+		}
 
 		if i > int(w) && i%scoreAt == 0 {
 			scorer := distwindow.NewAnomalyScorer(tr.Sketch(), rank)

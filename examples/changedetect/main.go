@@ -58,7 +58,9 @@ func main() {
 	for i := 1; i <= total; i++ {
 		regime := (i - 1) / segment
 		v := samplePoint(bases[regime], rng)
-		tr.Observe(rng.Intn(sites), distwindow.Row{T: int64(i), V: v})
+		if err := tr.TryObserve(rng.Intn(sites), distwindow.Row{T: int64(i), V: v}); err != nil {
+			log.Fatal(err)
+		}
 
 		if i%checkAt != 0 || i < int(w) {
 			continue

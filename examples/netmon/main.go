@@ -60,8 +60,12 @@ func main() {
 			}
 		}
 		router := rng.Intn(routers)
-		sketcher.Observe(router, distwindow.Row{T: int64(i), V: v})
-		volume.Observe(router, int64(i), mat.VecNormSq(v))
+		if err := sketcher.TryObserve(router, distwindow.Row{T: int64(i), V: v}); err != nil {
+			log.Fatal(err)
+		}
+		if err := volume.TryObserve(router, int64(i), mat.VecNormSq(v)); err != nil {
+			log.Fatal(err)
+		}
 
 		if i%2_000 == 0 && i > int(w) {
 			b := sketcher.Sketch()

@@ -48,7 +48,9 @@ func main() {
 			v[j] = rng.NormFloat64()
 		}
 		now := int64(i)
-		tr.Observe(rng.Intn(sites), distwindow.Row{T: now, V: v})
+		if err := tr.TryObserve(rng.Intn(sites), distwindow.Row{T: now, V: v}); err != nil {
+			log.Fatal(err)
+		}
 		recent = append(recent, v)
 		recentT = append(recentT, now)
 	}

@@ -1,0 +1,128 @@
+package meh
+
+import (
+	"sync"
+
+	"distwindow/internal/fd"
+)
+
+// Pool shares released mEH storage — single-row buffers and bucket FD
+// sketches — across histograms. Each Histogram keeps its private freelists
+// for the per-row hot path (those stay lock-free and make steady-state Add
+// allocation-free); the shared pool sits behind them and is consulted only
+// on a freelist miss, so its mutex is touched during warm-up and after
+// Release, never per row at steady state.
+//
+// Multi-tenant registries hang one Pool off every tracker they open: a
+// stream evicted after filling its window donates its buffers back via
+// Histogram.Release, and the next stream opened at the same dimension
+// starts warm instead of re-paying the window's worth of allocations.
+//
+// All methods are safe for concurrent use; a nil *Pool is valid and inert.
+type Pool struct {
+	mu   sync.Mutex
+	rows map[int][][]float64
+	sks  map[skKey][]*fd.Sketch
+}
+
+// skKey identifies a sketch shape: recycled sketches are only handed to
+// histograms with matching FD size and dimension.
+type skKey struct{ ell, d int }
+
+// Per-key retention caps: beyond them, donated buffers go to the GC. Rows
+// dominate an evicted histogram's storage (one per single-row bucket), so
+// the row cap covers several windows' worth; sketch churn is far lower.
+const (
+	poolMaxRows     = 4096
+	poolMaxSketches = 256
+)
+
+// NewPool returns an empty shared pool.
+func NewPool() *Pool { return &Pool{} }
+
+// GetRow returns a recycled d-length row buffer, or nil when none is
+// pooled. Contents are stale; callers must overwrite.
+func (p *Pool) GetRow(d int) []float64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := p.rows[d]
+	n := len(free)
+	if n == 0 {
+		return nil
+	}
+	r := free[n-1]
+	free[n-1] = nil
+	p.rows[d] = free[:n-1]
+	return r
+}
+
+// PutRow donates a row buffer to the pool.
+func (p *Pool) PutRow(r []float64) {
+	if p == nil || len(r) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rows == nil {
+		p.rows = make(map[int][][]float64)
+	}
+	if len(p.rows[len(r)]) < poolMaxRows {
+		p.rows[len(r)] = append(p.rows[len(r)], r)
+	}
+}
+
+// GetSketch returns a recycled, reset sketch of the given shape, or nil
+// when none is pooled.
+func (p *Pool) GetSketch(ell, d int) *fd.Sketch {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := p.sks[skKey{ell, d}]
+	n := len(free)
+	if n == 0 {
+		return nil
+	}
+	sk := free[n-1]
+	free[n-1] = nil
+	p.sks[skKey{ell, d}] = free[:n-1]
+	return sk
+}
+
+// PutSketch donates a sketch to the pool, resetting it first so pooled
+// sketches are interchangeable with fresh ones.
+func (p *Pool) PutSketch(sk *fd.Sketch) {
+	if p == nil || sk == nil {
+		return
+	}
+	sk.Reset()
+	key := skKey{sk.L(), sk.D()}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sks == nil {
+		p.sks = make(map[skKey][]*fd.Sketch)
+	}
+	if len(p.sks[key]) < poolMaxSketches {
+		p.sks[key] = append(p.sks[key], sk)
+	}
+}
+
+// Idle reports the pooled buffer counts (rows, sketches) across all shapes.
+func (p *Pool) Idle() (rows, sketches int) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.rows {
+		rows += len(f)
+	}
+	for _, f := range p.sks {
+		sketches += len(f)
+	}
+	return rows, sketches
+}

@@ -1,0 +1,112 @@
+package meh
+
+import (
+	"math/rand"
+	"testing"
+
+	"distwindow/internal/fd"
+)
+
+func TestPoolRowsRoundTrip(t *testing.T) {
+	p := NewPool()
+	if r := p.GetRow(4); r != nil {
+		t.Fatalf("empty pool GetRow = %v", r)
+	}
+	p.PutRow([]float64{1, 2, 3, 4})
+	p.PutRow([]float64{5, 6})
+	r4 := p.GetRow(4)
+	if len(r4) != 4 {
+		t.Fatalf("GetRow(4) length = %d", len(r4))
+	}
+	if r := p.GetRow(4); r != nil {
+		t.Fatal("second GetRow(4) should miss")
+	}
+	if r := p.GetRow(2); len(r) != 2 {
+		t.Fatalf("GetRow(2) length = %d", len(r))
+	}
+	rows, sks := p.Idle()
+	if rows != 0 || sks != 0 {
+		t.Fatalf("Idle = (%d, %d) after draining", rows, sks)
+	}
+}
+
+func TestPoolSketchShapeMatching(t *testing.T) {
+	p := NewPool()
+	sk := fd.New(8, 4)
+	sk.Update([]float64{1, 2, 3, 4})
+	p.PutSketch(sk)
+	if got := p.GetSketch(8, 2); got != nil {
+		t.Fatal("GetSketch returned a wrong-dimension sketch")
+	}
+	if got := p.GetSketch(4, 4); got != nil {
+		t.Fatal("GetSketch returned a wrong-ell sketch")
+	}
+	got := p.GetSketch(8, 4)
+	if got != sk {
+		t.Fatal("GetSketch(8,4) did not return the donated sketch")
+	}
+	// PutSketch resets, so the recycled sketch must look fresh.
+	if got.RowsView().Rows() != 0 {
+		t.Fatalf("recycled sketch has %d rows, want 0", got.RowsView().Rows())
+	}
+}
+
+func TestPoolNilSafe(t *testing.T) {
+	var p *Pool
+	if r := p.GetRow(3); r != nil {
+		t.Fatal("nil pool GetRow != nil")
+	}
+	p.PutRow([]float64{1})
+	if sk := p.GetSketch(4, 2); sk != nil {
+		t.Fatal("nil pool GetSketch != nil")
+	}
+	p.PutSketch(nil)
+	if r, s := p.Idle(); r != 0 || s != 0 {
+		t.Fatalf("nil pool Idle = (%d, %d)", r, s)
+	}
+}
+
+// TestHistogramReleaseDonates drives a histogram past its window, releases
+// it, and verifies its storage landed in the shared pool — then that a
+// second histogram warm-starts from those donations and still produces
+// the exact same sketch as one allocating fresh.
+func TestHistogramReleaseDonates(t *testing.T) {
+	const (
+		d   = 4
+		w   = int64(64)
+		eps = 0.3
+	)
+	p := NewPool()
+	feed := func(h *Histogram) {
+		rng := rand.New(rand.NewSource(42))
+		v := make([]float64, d)
+		for i := int64(0); i < 3*w; i++ {
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			h.Add(i, v)
+		}
+	}
+	h1 := New(w, d, eps)
+	h1.SetShared(p)
+	feed(h1)
+	h1.Release()
+	rows, _ := p.Idle()
+	if rows == 0 {
+		t.Fatal("Release donated no rows")
+	}
+
+	h2 := New(w, d, eps)
+	h2.SetShared(p)
+	feed(h2)
+	rows2, _ := p.Idle()
+	if rows2 >= rows {
+		t.Fatalf("pooled rows %d → %d: second histogram did not reuse donations", rows, rows2)
+	}
+	// Determinism across reuse: a pool-fed histogram must match a fresh one.
+	plain := New(w, d, eps)
+	feed(plain)
+	if !h2.SketchRows().Equal(plain.SketchRows()) {
+		t.Fatal("pooled histogram sketch differs from fresh histogram sketch")
+	}
+}

@@ -1,0 +1,132 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap[int](4)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("Get on empty map reported a hit")
+	}
+	v, created, err := m.LoadOrCreate("a", func() (int, error) { return 1, nil })
+	if err != nil || !created || v != 1 {
+		t.Fatalf("LoadOrCreate = (%d, %v, %v)", v, created, err)
+	}
+	v, created, err = m.LoadOrCreate("a", func() (int, error) { return 2, nil })
+	if err != nil || created || v != 1 {
+		t.Fatalf("second LoadOrCreate = (%d, %v, %v), want existing 1", v, created, err)
+	}
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get = (%d, %v)", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if v, ok := m.Delete("a"); !ok || v != 1 {
+		t.Fatalf("Delete = (%d, %v)", v, ok)
+	}
+	if _, ok := m.Delete("a"); ok {
+		t.Fatal("second Delete reported a hit")
+	}
+}
+
+func TestMapCreateError(t *testing.T) {
+	m := NewMap[int](1)
+	boom := errors.New("boom")
+	_, created, err := m.LoadOrCreate("k", func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) || created {
+		t.Fatalf("LoadOrCreate = (created=%v, err=%v)", created, err)
+	}
+	if _, ok := m.Get("k"); ok {
+		t.Fatal("failed create left an entry")
+	}
+	// The key is still creatable after a failure.
+	if _, created, err := m.LoadOrCreate("k", func() (int, error) { return 7, nil }); err != nil || !created {
+		t.Fatalf("retry = (created=%v, err=%v)", created, err)
+	}
+}
+
+// TestMapExactlyOneCreate hammers one key from many goroutines: the
+// constructor must run exactly once no matter how the opens race.
+func TestMapExactlyOneCreate(t *testing.T) {
+	m := NewMap[int](8)
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v, _, err := m.LoadOrCreate("hot", func() (int, error) {
+					calls.Add(1)
+					return 42, nil
+				})
+				if err != nil || v != 42 {
+					t.Errorf("LoadOrCreate = (%d, %v)", v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("constructor ran %d times, want 1", n)
+	}
+}
+
+func TestMapRangeAndKeys(t *testing.T) {
+	m := NewMap[int](4)
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if _, _, err := m.LoadOrCreate(k, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := m.Keys()
+	sort.Strings(keys)
+	if len(keys) != 20 || keys[0] != "k00" || keys[19] != "k19" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	// Range may call back into the map — deleting while iterating must
+	// not deadlock.
+	m.Range(func(k string, _ int) bool {
+		m.Delete(k)
+		return true
+	})
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after delete-in-range", m.Len())
+	}
+}
+
+func TestMapShardRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16}} {
+		m := NewMap[int](c.in)
+		if len(m.shards) != c.want {
+			t.Errorf("NewMap(%d): %d shards, want %d", c.in, len(m.shards), c.want)
+		}
+	}
+	if m := NewMap[int](0); len(m.shards) < 8 {
+		t.Errorf("NewMap(0): %d shards, want ≥ 8", len(m.shards))
+	}
+}
+
+func TestMapGetAllocs(t *testing.T) {
+	m := NewMap[*int](4)
+	x := 5
+	if _, _, err := m.LoadOrCreate("k", func() (*int, error) { return &x, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, ok := m.Get("k"); !ok {
+			t.Fatal("miss")
+		}
+	}); n != 0 {
+		t.Fatalf("Get allocates %.1f, want 0", n)
+	}
+}

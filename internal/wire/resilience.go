@@ -6,10 +6,12 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"distwindow/internal/obs"
+	"distwindow/mat"
 )
 
 // PendingError is returned by ResilientSender.Close when undelivered
@@ -67,20 +69,26 @@ type ResilientSender struct {
 	// of returning a *PendingError.
 	DiscardPending bool
 
-	mu       sync.Mutex
-	conn     io.WriteCloser
-	enc      *gob.Encoder
-	ackMode  bool   // current conn carries acks (it implements io.Reader)
-	gen      uint64 // connection generation; stale ack readers exit on mismatch
-	backlog  []Msg  // unacknowledged messages in seq order
-	sent     int    // backlog prefix already written on the current conn
-	nextSeq  uint64
-	maxSent  uint64 // highest seq ever written (counts replays)
-	dial     func() (io.WriteCloser, error)
-	rng      *rand.Rand
-	backoff  time.Duration
-	nextDial time.Time
-	now      func() time.Time
+	mu      sync.Mutex
+	conn    io.WriteCloser
+	enc     *gob.Encoder
+	ackMode bool   // current conn carries acks (it implements io.Reader)
+	gen     uint64 // connection generation; stale ack readers exit on mismatch
+	backlog []Msg  // unacknowledged messages, per-stream seq order
+	sent    int    // backlog prefix already written on the current conn
+	// nextSeq is the default stream's sequence counter; streamSeq holds
+	// the counters of the non-default streams (lazily created). Each
+	// stream multiplexed through this sender has its own sequence space,
+	// matching the coordinator's (site, stream) dedup keying.
+	nextSeq       uint64
+	streamSeq     map[string]uint64
+	maxSent       uint64            // highest default-stream seq ever written (counts replays)
+	maxSentStream map[string]uint64 // per-stream counterparts of maxSent
+	dial          func() (io.WriteCloser, error)
+	rng           *rand.Rand
+	backoff       time.Duration
+	nextDial      time.Time
+	now           func() time.Time
 
 	msgs      obs.Counter
 	acked     obs.Counter
@@ -131,18 +139,28 @@ func (s *ResilientSender) SetJitterSeed(seed int64) {
 	s.rng = rand.New(rand.NewSource(seed))
 }
 
-// Send stamps the message with the next sequence number and queues it
-// until acknowledged, transparently reconnecting and replaying the
-// backlog first. On transport failure the message stays buffered and nil
-// is returned (the data is not lost); only a full backlog is an error.
+// Send stamps the message with its stream's next sequence number and
+// queues it until acknowledged, transparently reconnecting and replaying
+// the backlog first. On transport failure the message stays buffered and
+// nil is returned (the data is not lost); only a full backlog is an
+// error. Messages of different streams (Msg.StreamID) share the backlog
+// and the connection but carry independent sequence spaces.
 func (s *ResilientSender) Send(m Msg) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.MaxBacklog > 0 && len(s.backlog) >= s.MaxBacklog {
 		return fmt.Errorf("wire: backlog full (%d messages)", s.MaxBacklog)
 	}
-	s.nextSeq++
-	m.Seq = s.nextSeq
+	if m.StreamID == "" {
+		s.nextSeq++
+		m.Seq = s.nextSeq
+	} else {
+		if s.streamSeq == nil {
+			s.streamSeq = make(map[string]uint64)
+		}
+		s.streamSeq[m.StreamID]++
+		m.Seq = s.streamSeq[m.StreamID]
+	}
 	s.backlog = append(s.backlog, m)
 	s.drainLocked()
 	return nil
@@ -214,10 +232,21 @@ func (s *ResilientSender) drainLocked() {
 			return
 		}
 		s.msgs.Inc()
-		if m.Seq <= s.maxSent {
-			s.replayed.Inc()
+		if m.StreamID == "" {
+			if m.Seq <= s.maxSent {
+				s.replayed.Inc()
+			} else {
+				s.maxSent = m.Seq
+			}
 		} else {
-			s.maxSent = m.Seq
+			if m.Seq <= s.maxSentStream[m.StreamID] {
+				s.replayed.Inc()
+			} else {
+				if s.maxSentStream == nil {
+					s.maxSentStream = make(map[string]uint64)
+				}
+				s.maxSentStream[m.StreamID] = m.Seq
+			}
 		}
 		if s.ackMode {
 			s.sent++
@@ -290,15 +319,38 @@ func (s *ResilientSender) readAcks(r io.Reader, conn io.WriteCloser, gen uint64)
 			s.mu.Unlock()
 			return
 		}
-		for len(s.backlog) > 0 && s.backlog[0].Seq <= a.Seq {
-			s.backlog = s.backlog[1:]
-			if s.sent > 0 {
-				s.sent--
-			}
-			s.acked.Inc()
-		}
+		s.retireLocked(a)
 		s.mu.Unlock()
 	}
+}
+
+// retireLocked drops every backlog entry of the acknowledged stream with
+// Seq ≤ a.Seq. With a single stream this is the old prefix pop; with
+// multiplexed streams the retired entries may be interleaved with other
+// streams' frames, so the backlog is compacted in place and the
+// written-prefix cursor adjusted for each retired entry it covered.
+func (s *ResilientSender) retireLocked(a Ack) {
+	// Fast path: nothing of this stream is pending before the first
+	// non-matching entry — common because acks arrive in send order.
+	keep := s.backlog[:0]
+	sent := s.sent
+	for i, m := range s.backlog {
+		if m.StreamID == a.Stream && m.Seq <= a.Seq {
+			if i < s.sent {
+				sent--
+			}
+			s.acked.Inc()
+			continue
+		}
+		keep = append(keep, m)
+	}
+	// Clear the vacated tail so retired frames' direction slices are not
+	// pinned by the backing array.
+	for i := len(keep); i < len(s.backlog); i++ {
+		s.backlog[i] = Msg{}
+	}
+	s.backlog = keep
+	s.sent = sent
 }
 
 // Pending returns the number of buffered (undelivered) messages.
@@ -343,8 +395,12 @@ func (s *ResilientSender) Metrics() ResilientMetrics {
 // sequence, and the coordinator's dedup discards everything it already
 // consumed.
 type SenderState struct {
-	NextSeq uint64
-	Backlog []Msg
+	// NextSeq is the default stream's sequence counter; StreamSeqs holds
+	// the non-default streams' counters (nil when none — pre-stream
+	// checkpoints decode with a nil map and restore unchanged).
+	NextSeq    uint64
+	StreamSeqs map[string]uint64
+	Backlog    []Msg
 }
 
 // State deep-copies the sender's replay state.
@@ -352,6 +408,12 @@ func (s *ResilientSender) State() SenderState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := SenderState{NextSeq: s.nextSeq, Backlog: make([]Msg, len(s.backlog))}
+	if len(s.streamSeq) > 0 {
+		st.StreamSeqs = make(map[string]uint64, len(s.streamSeq))
+		for id, seq := range s.streamSeq {
+			st.StreamSeqs[id] = seq
+		}
+	}
 	for i, m := range s.backlog {
 		m.V = append([]float64(nil), m.V...)
 		st.Backlog[i] = m
@@ -360,20 +422,38 @@ func (s *ResilientSender) State() SenderState {
 }
 
 // RestoreState overwrites the sender's replay state from a checkpoint.
-// Restore into a fresh sender before its first Send.
+// Restore into a fresh sender before its first Send. Sequence ordering is
+// validated per stream: each stream's backlog entries must be strictly
+// increasing and must not run ahead of that stream's counter.
 func (s *ResilientSender) RestoreState(st SenderState) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i := 1; i < len(st.Backlog); i++ {
-		if st.Backlog[i].Seq <= st.Backlog[i-1].Seq {
-			return fmt.Errorf("wire: sender state backlog out of order at %d", i)
+	last := make(map[string]uint64)
+	for i, m := range st.Backlog {
+		if prev, ok := last[m.StreamID]; ok && m.Seq <= prev {
+			return fmt.Errorf("wire: sender state backlog out of order at %d (stream %q)", i, m.StreamID)
+		}
+		last[m.StreamID] = m.Seq
+	}
+	for id, tail := range last {
+		next := st.NextSeq
+		if id != "" {
+			next = st.StreamSeqs[id]
+		}
+		if tail > next {
+			return fmt.Errorf("wire: sender state counter %d behind backlog tail %d (stream %q)", next, tail, id)
 		}
 	}
-	if n := len(st.Backlog); n > 0 && st.Backlog[n-1].Seq > st.NextSeq {
-		return fmt.Errorf("wire: sender state NextSeq %d behind backlog tail %d", st.NextSeq, st.Backlog[n-1].Seq)
-	}
 	s.nextSeq = st.NextSeq
+	s.streamSeq = nil
+	if len(st.StreamSeqs) > 0 {
+		s.streamSeq = make(map[string]uint64, len(st.StreamSeqs))
+		for id, seq := range st.StreamSeqs {
+			s.streamSeq[id] = seq
+		}
+	}
 	s.maxSent = 0
+	s.maxSentStream = nil
 	s.sent = 0
 	s.backlog = make([]Msg, len(st.Backlog))
 	for i, m := range st.Backlog {
@@ -408,33 +488,75 @@ func (s *ResilientSender) Close() error {
 // Snapshot is a serializable copy of a coordinator's state, for failover
 // or checkpoint/restore.
 type Snapshot struct {
-	D     int
-	Chat  []float64
-	Sum   float64
-	Msgs  int64
-	Bytes int64
-	// SiteSeqs carries the per-site dedup horizon, so a failed-over
-	// coordinator keeps discarding replays its predecessor already
-	// applied. Absent in pre-ack snapshots (gob leaves the map nil).
-	SiteSeqs map[int]uint64
+	D int
+	// Chat and Sum are the default stream's estimate; Streams carries the
+	// non-default streams' estimates (nil when none — pre-stream
+	// snapshots decode with a nil map and restore unchanged).
+	Chat    []float64
+	Sum     float64
+	Streams map[string]StreamState
+	Msgs    int64
+	Bytes   int64
+	// SiteSeqs carries the default stream's per-site dedup horizon, so a
+	// failed-over coordinator keeps discarding replays its predecessor
+	// already applied. Absent in pre-ack snapshots (gob leaves the map
+	// nil). StreamSeqs carries the non-default streams' horizons.
+	SiteSeqs   map[int]uint64
+	StreamSeqs []StreamSeq
+}
+
+// StreamState is one non-default stream's serialized estimate.
+type StreamState struct {
+	Chat []float64
+	Sum  float64
+}
+
+// StreamSeq is one non-default (site, stream) dedup horizon.
+type StreamSeq struct {
+	Site   int
+	Stream string
+	Seq    uint64
 }
 
 // Snapshot captures the coordinator's current state.
 func (c *Coordinator) Snapshot() Snapshot {
 	c.mu.Lock()
-	data := make([]float64, len(c.chat.Data()))
-	copy(data, c.chat.Data())
-	sum := c.sum
+	data := make([]float64, len(c.def.chat.Data()))
+	copy(data, c.def.chat.Data())
+	sum := c.def.sum
+	var streams map[string]StreamState
+	if len(c.streams) > 0 {
+		streams = make(map[string]StreamState, len(c.streams))
+		for id, e := range c.streams {
+			streams[id] = StreamState{Chat: append([]float64(nil), e.chat.Data()...), Sum: e.sum}
+		}
+	}
 	c.mu.Unlock()
 	c.siteMu.Lock()
 	seqs := make(map[int]uint64, len(c.siteStates))
-	for site, st := range c.siteStates {
-		if st.lastSeq > 0 {
-			seqs[site] = st.lastSeq
+	var streamSeqs []StreamSeq
+	for key, st := range c.siteStates {
+		if st.lastSeq == 0 {
+			continue
+		}
+		if key.stream == "" {
+			seqs[key.site] = st.lastSeq
+		} else {
+			streamSeqs = append(streamSeqs, StreamSeq{Site: key.site, Stream: key.stream, Seq: st.lastSeq})
 		}
 	}
 	c.siteMu.Unlock()
-	return Snapshot{D: c.d, Chat: data, Sum: sum, Msgs: c.msgs.Load(), Bytes: c.bytes.Load(), SiteSeqs: seqs}
+	sort.Slice(streamSeqs, func(i, j int) bool {
+		if streamSeqs[i].Site != streamSeqs[j].Site {
+			return streamSeqs[i].Site < streamSeqs[j].Site
+		}
+		return streamSeqs[i].Stream < streamSeqs[j].Stream
+	})
+	return Snapshot{
+		D: c.d, Chat: data, Sum: sum, Streams: streams,
+		Msgs: c.msgs.Load(), Bytes: c.bytes.Load(),
+		SiteSeqs: seqs, StreamSeqs: streamSeqs,
+	}
 }
 
 // WriteSnapshot gob-encodes a snapshot to w.
@@ -448,14 +570,28 @@ func RestoreCoordinator(s Snapshot) (*Coordinator, error) {
 		return nil, fmt.Errorf("wire: invalid snapshot d=%d chat=%d", s.D, len(s.Chat))
 	}
 	c := NewCoordinator(s.D)
-	copy(c.chat.Data(), s.Chat)
-	c.sum = s.Sum
+	copy(c.def.chat.Data(), s.Chat)
+	c.def.sum = s.Sum
+	for id, ss := range s.Streams {
+		if id == "" || len(ss.Chat) != s.D*s.D {
+			return nil, fmt.Errorf("wire: invalid snapshot stream %q chat=%d", id, len(ss.Chat))
+		}
+		e := &streamEst{chat: mat.NewDense(s.D, s.D), sum: ss.Sum}
+		copy(e.chat.Data(), ss.Chat)
+		if c.streams == nil {
+			c.streams = make(map[string]*streamEst, len(s.Streams))
+		}
+		c.streams[id] = e
+	}
 	c.msgs.Add(s.Msgs)
 	c.bytes.Add(s.Bytes)
-	if len(s.SiteSeqs) > 0 {
-		c.siteStates = make(map[int]*siteState, len(s.SiteSeqs))
+	if len(s.SiteSeqs) > 0 || len(s.StreamSeqs) > 0 {
+		c.siteStates = make(map[siteKey]*siteState, len(s.SiteSeqs)+len(s.StreamSeqs))
 		for site, seq := range s.SiteSeqs {
-			c.siteStates[site] = &siteState{lastSeq: seq, lastSeen: c.now()}
+			c.siteStates[siteKey{site: site}] = &siteState{lastSeq: seq, lastSeen: c.now()}
+		}
+		for _, ss := range s.StreamSeqs {
+			c.siteStates[siteKey{site: ss.Site, stream: ss.Stream}] = &siteState{lastSeq: ss.Seq, lastSeen: c.now()}
 		}
 	}
 	return c, nil

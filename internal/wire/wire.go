@@ -38,6 +38,12 @@ import (
 // it does not know. The same matching rule covers Seq: an old sender's
 // frames decode with Seq 0 (unsequenced, no dedup, no acks) and a new
 // sender's frames decode at an old coordinator, which simply never acks.
+// StreamID rides the same rule: an old sender's frames decode with
+// StreamID "" (the default stream), and a stream-aware sender's frames
+// decode at an old coordinator, which folds every stream into its single
+// estimate and acks without the stream tag — correct only for the default
+// stream, which is why multiplexing non-default streams requires a
+// stream-aware coordinator (see PROTOCOLS.md).
 type Msg struct {
 	// Site identifies the sender.
 	Site int
@@ -58,18 +64,29 @@ type Msg struct {
 	// every sequenced frame it consumes and drops frames whose Seq it has
 	// already seen, so replaying an unacknowledged backlog after a
 	// reconnect or a site restart is exactly-once instead of at-most-once.
-	// One site must use one sequence space: its deltas are dedup-keyed by
-	// (Site, Seq).
+	// One (site, stream) pair must use one sequence space: its deltas are
+	// dedup-keyed by (Site, StreamID, Seq).
 	Seq uint64
+	// StreamID names the logical stream this frame belongs to, letting
+	// many independently-tracked streams multiplex over one connection.
+	// "" is the default stream — the only stream that existed before
+	// multiplexing, so legacy frames decode onto it unchanged. Each
+	// stream has its own coordinator estimate, its own sequence space and
+	// its own dedup/liveness record.
+	StreamID string
 }
 
-// Ack acknowledges every sequenced frame of one connection up to and
-// including Seq. Acks are cumulative and flow coordinator→site on the
-// same TCP connection the frames arrived on; a sender may retire its
-// whole backlog prefix on one ack.
+// Ack acknowledges every sequenced frame of one (connection, stream) up
+// to and including Seq. Acks are cumulative per stream and flow
+// coordinator→site on the same TCP connection the frames arrived on; a
+// sender may retire a whole per-stream backlog prefix on one ack.
 type Ack struct {
-	// Seq is the highest consumed sequence number.
+	// Seq is the highest consumed sequence number of the stream.
 	Seq uint64
+	// Stream names the acknowledged stream ("" = default). Pre-stream
+	// coordinators never set it, so their acks only retire the default
+	// stream — see the Msg.StreamID compatibility note.
+	Stream string
 }
 
 // Kind enumerates message payloads.
@@ -83,8 +100,15 @@ const (
 	SumDelta
 )
 
-// Coordinator receives messages from any number of sites and maintains
-// Ĉ = Σ flag·vᵀv plus the scalar sum estimate. Safe for concurrent use.
+// Coordinator receives messages from any number of sites and maintains,
+// per logical stream, Ĉ = Σ flag·vᵀv plus the scalar sum estimate. Safe
+// for concurrent use.
+//
+// Frames carry a StreamID ("" = the default stream); each distinct id
+// gets its own estimate, created on first frame. Every stream shares the
+// coordinator's dimension d — heterogeneous dimensions need separate
+// coordinators. The un-suffixed accessors (Sketch, Sum) read the default
+// stream, so single-stream deployments are unchanged.
 //
 // The traffic counters are atomic, so Metrics (and the mux returned by
 // MetricsMux) can be read while connections stream; only the matrix state
@@ -93,8 +117,11 @@ type Coordinator struct {
 	d  int
 	mu sync.Mutex
 
-	chat *mat.Dense
-	sum  float64
+	// def is the default stream's estimate (always present); streams holds
+	// the non-default estimates, lazily created on first frame. Both are
+	// guarded by mu.
+	def     streamEst
+	streams map[string]*streamEst
 
 	msgs    obs.Counter
 	bytes   obs.Counter
@@ -106,12 +133,12 @@ type Coordinator struct {
 	sink    obs.Sink
 	tracer  *trace.Tracer
 
-	// Per-site delivery and liveness state: highest consumed sequence
-	// number (the dedup horizon for replayed frames) and when the site was
-	// last heard from. Guarded by siteMu, not mu — liveness bookkeeping
-	// must not serialize against the matrix fold.
+	// Per-(site, stream) delivery and liveness state: highest consumed
+	// sequence number (the dedup horizon for replayed frames) and when the
+	// sender was last heard from. Guarded by siteMu, not mu — liveness
+	// bookkeeping must not serialize against the matrix fold.
 	siteMu     sync.Mutex
-	siteStates map[int]*siteState
+	siteStates map[siteKey]*siteState
 	staleAfter time.Duration
 	now        func() time.Time
 
@@ -121,7 +148,21 @@ type Coordinator struct {
 	closed bool
 }
 
-// siteState is the coordinator's per-site delivery record.
+// streamEst is one logical stream's coordinator estimate.
+type streamEst struct {
+	chat *mat.Dense
+	sum  float64
+}
+
+// siteKey identifies one sender's sequence space: exactly-once delivery
+// holds per (site, stream), so dedup and liveness are recorded at the
+// same granularity.
+type siteKey struct {
+	site   int
+	stream string
+}
+
+// siteState is the coordinator's per-(site, stream) delivery record.
 type siteState struct {
 	lastSeq  uint64
 	lastT    int64
@@ -134,7 +175,24 @@ func NewCoordinator(d int) *Coordinator {
 	if d < 1 {
 		panic("wire: d must be positive")
 	}
-	return &Coordinator{d: d, chat: mat.NewDense(d, d), now: time.Now}
+	return &Coordinator{d: d, def: streamEst{chat: mat.NewDense(d, d)}, now: time.Now}
+}
+
+// est returns the estimate for one stream, creating it on first use.
+// Callers must hold mu.
+func (c *Coordinator) est(stream string) *streamEst {
+	if stream == "" {
+		return &c.def
+	}
+	e := c.streams[stream]
+	if e == nil {
+		e = &streamEst{chat: mat.NewDense(c.d, c.d)}
+		if c.streams == nil {
+			c.streams = make(map[string]*streamEst)
+		}
+		c.streams[stream] = e
+	}
+	return e
 }
 
 // SetStaleAfter configures the liveness bound: a site whose last frame is
@@ -168,16 +226,18 @@ func (c *Coordinator) reject(m Msg) {
 // reports whether the frame is new (true) or a replay of one already
 // consumed (false). The dedup horizon advances for every fresh sequenced
 // frame — including frames Apply goes on to reject — so a poison frame is
-// consumed once, not re-rejected on every replay.
+// consumed once, not re-rejected on every replay. The horizon is keyed by
+// (site, stream): multiplexed streams carry independent sequence spaces.
 func (c *Coordinator) admit(m Msg) bool {
 	c.siteMu.Lock()
 	if c.siteStates == nil {
-		c.siteStates = make(map[int]*siteState)
+		c.siteStates = make(map[siteKey]*siteState)
 	}
-	st := c.siteStates[m.Site]
+	key := siteKey{site: m.Site, stream: m.StreamID}
+	st := c.siteStates[key]
 	if st == nil {
 		st = &siteState{}
-		c.siteStates[m.Site] = st
+		c.siteStates[key] = st
 	}
 	st.lastSeen = c.now()
 	wasStale := st.stale
@@ -229,12 +289,12 @@ func (c *Coordinator) Apply(m Msg) error {
 			flag = -1
 		}
 		c.mu.Lock()
-		mat.OuterAdd(c.chat, m.V, flag)
+		mat.OuterAdd(c.est(m.StreamID).chat, m.V, flag)
 		c.mu.Unlock()
 	case SumDelta:
 		payload = 8 * 3
 		c.mu.Lock()
-		c.sum += m.Delta
+		c.est(m.StreamID).sum += m.Delta
 		c.mu.Unlock()
 	default:
 		c.reject(m)
@@ -249,21 +309,54 @@ func (c *Coordinator) Apply(m Msg) error {
 	return nil
 }
 
-// Sketch returns B = Σ^{1/2}Vᵀ of the PSD-clipped Ĉ.
-func (c *Coordinator) Sketch() *mat.Dense {
+// Sketch returns B = Σ^{1/2}Vᵀ of the default stream's PSD-clipped Ĉ.
+func (c *Coordinator) Sketch() *mat.Dense { return c.SketchOf("") }
+
+// SketchOf returns B = Σ^{1/2}Vᵀ of one stream's PSD-clipped Ĉ. A stream
+// the coordinator has never heard from yields the zero sketch.
+func (c *Coordinator) SketchOf(stream string) *mat.Dense {
 	sp := c.tracer.StartDetached(trace.OpQuery, -1, 0)
 	defer sp.End()
 	c.mu.Lock()
-	chat := c.chat.Clone()
+	var chat *mat.Dense
+	if stream == "" {
+		chat = c.def.chat.Clone()
+	} else if e := c.streams[stream]; e != nil {
+		chat = e.chat.Clone()
+	} else {
+		chat = mat.NewDense(c.d, c.d)
+	}
 	c.mu.Unlock()
 	return mat.PSDSqrt(chat)
 }
 
-// Sum returns the scalar estimate.
-func (c *Coordinator) Sum() float64 {
+// Sum returns the default stream's scalar estimate.
+func (c *Coordinator) Sum() float64 { return c.SumOf("") }
+
+// SumOf returns one stream's scalar estimate (0 for an unseen stream).
+func (c *Coordinator) SumOf(stream string) float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.sum
+	if stream == "" {
+		return c.def.sum
+	}
+	if e := c.streams[stream]; e != nil {
+		return e.sum
+	}
+	return 0
+}
+
+// Streams lists the non-default stream ids heard from, sorted. The
+// default stream "" always exists and is not listed.
+func (c *Coordinator) Streams() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.streams))
+	for id := range c.streams {
+		out = append(out, id)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Stats returns messages received and approximate payload bytes.
@@ -271,10 +364,13 @@ func (c *Coordinator) Stats() (msgs, bytes int64) {
 	return c.msgs.Load(), c.bytes.Load()
 }
 
-// SiteStatus is the coordinator's liveness view of one site.
+// SiteStatus is the coordinator's liveness view of one (site, stream)
+// sender.
 type SiteStatus struct {
 	// Site is the site's identifier.
 	Site int
+	// Stream is the logical stream id ("" = default stream).
+	Stream string
 	// LastSeq is the highest consumed sequence number (0 for unsequenced
 	// senders).
 	LastSeq uint64
@@ -296,41 +392,46 @@ func (c *Coordinator) CheckLiveness() int {
 		return 0
 	}
 	cut := c.now().Add(-c.staleAfter)
-	var went []int
+	var went []siteKey
 	stale := 0
 	c.siteMu.Lock()
-	for site, st := range c.siteStates {
+	for key, st := range c.siteStates {
 		if st.lastSeen.Before(cut) {
 			if !st.stale {
 				st.stale = true
-				went = append(went, site)
+				went = append(went, key)
 			}
 			stale++
 		}
 	}
 	c.siteMu.Unlock()
 	if c.sink != nil {
-		for _, site := range went {
-			c.sink.OnEvent(obs.Event{Kind: obs.EvSiteStale, Site: site})
+		for _, key := range went {
+			c.sink.OnEvent(obs.Event{Kind: obs.EvSiteStale, Site: key.site})
 		}
 	}
 	return stale
 }
 
-// SiteStatuses runs a liveness sweep and returns the per-site delivery
-// records, sorted by site.
+// SiteStatuses runs a liveness sweep and returns the per-(site, stream)
+// delivery records, sorted by site then stream.
 func (c *Coordinator) SiteStatuses() []SiteStatus {
 	c.CheckLiveness()
 	c.siteMu.Lock()
 	out := make([]SiteStatus, 0, len(c.siteStates))
-	for site, st := range c.siteStates {
+	for key, st := range c.siteStates {
 		out = append(out, SiteStatus{
-			Site: site, LastSeq: st.lastSeq, LastT: st.lastT,
+			Site: key.site, Stream: key.stream, LastSeq: st.lastSeq, LastT: st.lastT,
 			LastSeen: st.lastSeen, Stale: st.stale,
 		})
 	}
 	c.siteMu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Stream < out[j].Stream
+	})
 	return out
 }
 
@@ -353,8 +454,12 @@ type CoordinatorMetrics struct {
 	AckedMsgs int64
 	// SitesSeen is the number of distinct site ids heard from.
 	SitesSeen int64
-	// StaleSites is the number of sites currently past the SetStaleAfter
-	// liveness bound (0 when staleness detection is disabled).
+	// Streams is the number of distinct logical streams heard from (the
+	// default stream counts once it has carried a frame).
+	Streams int64
+	// StaleSites is the number of (site, stream) senders currently past
+	// the SetStaleAfter liveness bound (0 when staleness detection is
+	// disabled).
 	StaleSites int64
 	// Conns is the number of currently connected sites (Serve only).
 	Conns int64
@@ -365,7 +470,14 @@ type CoordinatorMetrics struct {
 func (c *Coordinator) Metrics() CoordinatorMetrics {
 	stale := int64(c.CheckLiveness())
 	c.siteMu.Lock()
-	seen := int64(len(c.siteStates))
+	sites := make(map[int]struct{}, len(c.siteStates))
+	streams := make(map[string]struct{}, len(c.siteStates))
+	for key := range c.siteStates {
+		sites[key.site] = struct{}{}
+		streams[key.stream] = struct{}{}
+	}
+	seen := int64(len(sites))
+	nstreams := int64(len(streams))
 	c.siteMu.Unlock()
 	return CoordinatorMetrics{
 		Msgs:             c.msgs.Load(),
@@ -377,6 +489,7 @@ func (c *Coordinator) Metrics() CoordinatorMetrics {
 		DupMsgs:          c.dups.Load(),
 		AckedMsgs:        c.acks.Load(),
 		SitesSeen:        seen,
+		Streams:          nstreams,
 		StaleSites:       stale,
 		Conns:            c.conns.Load(),
 	}
@@ -424,7 +537,7 @@ func (c *Coordinator) HandleConn(conn io.Reader) error {
 		// Rejections are already counted and reported inside Apply.
 		_ = c.Apply(m)
 		if m.Seq != 0 && ackEnc != nil {
-			if err := ackEnc.Encode(Ack{Seq: m.Seq}); err != nil {
+			if err := ackEnc.Encode(Ack{Seq: m.Seq, Stream: m.StreamID}); err != nil {
 				return err
 			}
 			c.acks.Inc()
@@ -521,6 +634,29 @@ func (s *ConnSender) Metrics() SenderMetrics {
 
 // Close closes the underlying connection.
 func (s *ConnSender) Close() error { return s.conn.Close() }
+
+// StreamOf returns a Sender stamping every message with the given stream
+// id before forwarding to out, so one transport (typically a
+// ResilientSender over one TCP connection) can carry many logical
+// streams: give each stream's protocol sites their own StreamOf view of
+// the shared sender. The empty id returns out unchanged — the default
+// stream needs no stamping.
+func StreamOf(out Sender, id string) Sender {
+	if id == "" {
+		return out
+	}
+	return streamSender{out: out, id: id}
+}
+
+type streamSender struct {
+	out Sender
+	id  string
+}
+
+func (s streamSender) Send(m Msg) error {
+	m.StreamID = s.id
+	return s.out.Send(m)
+}
 
 // Loopback delivers messages to a coordinator in process — useful in
 // tests and single-binary deployments.

@@ -1,0 +1,76 @@
+package mat
+
+import "sync"
+
+// WorkspacePool shares Workspaces across tracker instances. A Workspace
+// grows its buffers monotonically and may be reused dirty, so one pool can
+// serve callers of any dimension: a recycled workspace simply regrows (or
+// already fits) the next caller's sizes. The pool exists for multi-tenant
+// deployments where thousands of trackers are opened and evicted — without
+// it every open re-pays the workspace warm-up allocations that the
+// zero-alloc steady state depends on.
+//
+// Get and Put are safe for concurrent use. The Workspaces themselves are
+// not: a workspace checked out of the pool is owned exclusively by the
+// caller until Put returns it.
+type WorkspacePool struct {
+	mu   sync.Mutex
+	free []*Workspace
+	max  int
+}
+
+// DefaultWorkspacePoolCap bounds a pool's retained workspaces when
+// NewWorkspacePool is given no cap.
+const DefaultWorkspacePoolCap = 256
+
+// NewWorkspacePool returns a pool retaining at most max idle workspaces
+// (≤0 means DefaultWorkspacePoolCap). Beyond the cap, Put drops the
+// workspace for the GC.
+func NewWorkspacePool(max int) *WorkspacePool {
+	if max <= 0 {
+		max = DefaultWorkspacePoolCap
+	}
+	return &WorkspacePool{max: max}
+}
+
+// Get returns a workspace — recycled when one is idle, fresh otherwise.
+// A nil pool is valid and always allocates fresh, so call sites need no
+// nil-guard.
+func (p *WorkspacePool) Get() *Workspace {
+	if p == nil {
+		return NewWorkspace()
+	}
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		ws := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return ws
+	}
+	p.mu.Unlock()
+	return NewWorkspace()
+}
+
+// Put returns a workspace to the pool. The caller must not use ws
+// afterwards. Nil pools and nil workspaces are no-ops.
+func (p *WorkspacePool) Put(ws *Workspace) {
+	if p == nil || ws == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < p.max {
+		p.free = append(p.free, ws)
+	}
+	p.mu.Unlock()
+}
+
+// Idle reports the number of workspaces currently retained.
+func (p *WorkspacePool) Idle() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -1,0 +1,66 @@
+package mat
+
+import "testing"
+
+func TestWorkspacePoolRecycles(t *testing.T) {
+	p := NewWorkspacePool(2)
+	ws := p.Get()
+	if ws == nil {
+		t.Fatal("Get returned nil")
+	}
+	if p.Idle() != 0 {
+		t.Fatalf("Idle = %d after Get", p.Idle())
+	}
+	p.Put(ws)
+	if p.Idle() != 1 {
+		t.Fatalf("Idle = %d after Put", p.Idle())
+	}
+	if got := p.Get(); got != ws {
+		t.Fatal("Get did not return the pooled workspace")
+	}
+}
+
+func TestWorkspacePoolCap(t *testing.T) {
+	p := NewWorkspacePool(2)
+	for i := 0; i < 5; i++ {
+		p.Put(NewWorkspace())
+	}
+	if p.Idle() != 2 {
+		t.Fatalf("Idle = %d, want cap 2", p.Idle())
+	}
+}
+
+func TestWorkspacePoolNilSafe(t *testing.T) {
+	var p *WorkspacePool
+	ws := p.Get()
+	if ws == nil {
+		t.Fatal("nil pool Get returned nil workspace")
+	}
+	p.Put(ws)
+	if p.Idle() != 0 {
+		t.Fatalf("nil pool Idle = %d", p.Idle())
+	}
+	// Nil workspace is likewise a no-op.
+	NewWorkspacePool(1).Put(nil)
+}
+
+// TestWorkspacePoolCrossDimension verifies a workspace recycled from a
+// small-dimension user serves a larger one — buffers regrow on demand, so
+// one pool covers heterogeneous tenants.
+func TestWorkspacePoolCrossDimension(t *testing.T) {
+	p := NewWorkspacePool(0)
+	ws := p.Get()
+	small := NewDense(3, 3)
+	small.Set(0, 0, 1)
+	EigSymInto(small, ws)
+	p.Put(ws)
+	ws2 := p.Get()
+	big := NewDense(8, 8)
+	for i := 0; i < 8; i++ {
+		big.Set(i, i, float64(i+1))
+	}
+	eig := EigSymInto(big, ws2)
+	if got := eig.Values[0]; got < 7.999 || got > 8.001 {
+		t.Fatalf("recycled workspace top eigenvalue = %g, want 8", got)
+	}
+}

@@ -1,5 +1,7 @@
 package distwindow
 
+import "distwindow/internal/core"
+
 // options collects the construction-time settings applied by New.
 type options struct {
 	parallel bool
@@ -9,6 +11,29 @@ type options struct {
 	haveSink bool
 	tracing  *TraceConfig
 	audit    *AuditConfig
+	// pools shares workspace/mEH storage across trackers; set only by the
+	// Registry (withPools) — sharing is an ownership contract the registry
+	// manages, not something callers opt into per tracker.
+	pools core.Pools
+}
+
+// buildOptions folds an option list into its settings struct.
+func buildOptions(opts []Option) *options {
+	o := &options{}
+	for _, fn := range opts {
+		if fn != nil {
+			fn(o)
+		}
+	}
+	return o
+}
+
+// withPools attaches the registry's shared storage pools. Unexported: the
+// Registry owns pool lifecycle (Evict donates a tracker's storage back),
+// and a pool shared wider than its owner could reuse buffers while a
+// released tracker still runs.
+func withPools(p core.Pools) Option {
+	return func(o *options) { o.pools = p }
 }
 
 // Option configures a Tracker at construction. Options are applied by New

@@ -1,0 +1,238 @@
+package distwindow
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+
+	"distwindow/internal/core"
+	"distwindow/internal/obs"
+	"distwindow/internal/tenant"
+)
+
+// Registry owns many concurrently-tracked streams behind one handle: a
+// sharded map of stream id → Tracker, shared storage pools so thousands
+// of tenants reuse decomposition workspaces and mEH bucket storage
+// instead of allocating per stream, and aggregate observability across
+// every stream it owns.
+//
+// Concurrency: Open, Get, Evict, Range, Len, Metrics and the HTTP
+// handler may all be called concurrently from any goroutine — lookups
+// take only a shard read lock and do not allocate, so a per-row
+// Registry.Get costs nothing against the 0 allocs/row ingest budget.
+// Each Tracker keeps its own concurrency contract (one ingest goroutine
+// per sequential tracker; per-site feeders with WithParallel); the
+// registry adds exactly one rule on top: Evict must not race with
+// ingestion on the stream being evicted, because eviction donates the
+// tracker's storage back to the shared pools and a still-running
+// observer would write into buffers another stream may have claimed.
+//
+// Determinism survives multi-tenancy: pooled buffers are zeroed or
+// fully overwritten on reuse, so a stream tracked through a Registry is
+// bit-for-bit identical to the same stream tracked by a standalone New
+// tracker (the registry determinism test locks this in).
+type Registry struct {
+	entries *tenant.Map[*registryEntry]
+	pools   core.Pools
+	// events tallies every stream's events in one place; each entry also
+	// counts privately, so per-stream and aggregate views are both O(1).
+	events  *obs.CountingSink
+	opened  atomic.Int64
+	evicted atomic.Int64
+}
+
+// registryEntry pairs a tracker with its private event tally.
+type registryEntry struct {
+	t      *Tracker
+	events *obs.CountingSink
+}
+
+// NewRegistry returns an empty registry with freshly-created shared
+// pools. Trackers opened through it share workspace and mEH storage;
+// trackers built directly with New never touch a registry's pools.
+func NewRegistry() *Registry {
+	return &Registry{
+		entries: tenant.NewMap[*registryEntry](0),
+		pools:   core.NewPools(),
+		events:  &obs.CountingSink{},
+	}
+}
+
+// Open returns the tracker for id, creating it from cfg and opts if the
+// id is new. created reports which happened; when the stream already
+// exists, cfg and opts are ignored — the first Open wins, matching the
+// exactly-one-constructor guarantee the sharded map provides under
+// concurrent opens. Construction errors (invalid cfg, unsupported option
+// combinations) are New's errors and store nothing.
+//
+// The tracker's events flow into the registry's aggregate tally and a
+// per-stream tally (see Metrics and StreamMetrics) as well as any sink
+// passed via WithSink, and its storage draws from the registry's shared
+// pools. Everything else about the returned *Tracker — TryObserve,
+// Advance, Sketch, Estimate, checkpointing — is the ordinary facade API.
+func (r *Registry) Open(id string, cfg Config, opts ...Option) (t *Tracker, created bool, err error) {
+	if id == "" {
+		return nil, false, fmt.Errorf("distwindow: empty stream id")
+	}
+	e, created, err := r.entries.LoadOrCreate(id, func() (*registryEntry, error) {
+		o := buildOptions(opts)
+		per := &obs.CountingSink{}
+		sinks := obs.MultiSink{per, r.events}
+		if o.haveSink {
+			sinks = append(sinks, o.sink)
+		}
+		o.sink, o.haveSink = sinks, true
+		o.pools = r.pools
+		trk, err := newWithOptions(cfg, o)
+		if err != nil {
+			return nil, err
+		}
+		return &registryEntry{t: trk, events: per}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if created {
+		r.opened.Add(1)
+	}
+	return e.t, created, nil
+}
+
+// Get returns the tracker for id, if open. It takes only a shard read
+// lock and performs no allocations — safe to call per row.
+func (r *Registry) Get(id string) (*Tracker, bool) {
+	e, ok := r.entries.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return e.t, true
+}
+
+// Evict closes the stream's tracker, donates its pooled storage
+// (workspaces, mEH rows and sketches) back to the registry's shared
+// pools for other streams to reuse, and removes the id. It reports
+// whether the stream existed. The caller must guarantee no goroutine is
+// still observing into the evicted stream; concurrent traffic on other
+// streams is fine.
+func (r *Registry) Evict(id string) bool {
+	e, ok := r.entries.Delete(id)
+	if !ok {
+		return false
+	}
+	e.t.Close()
+	if rel, ok := e.t.inner.(core.Releaser); ok {
+		rel.Release()
+	}
+	r.evicted.Add(1)
+	return true
+}
+
+// Range calls fn for every open stream until fn returns false. fn may
+// call back into the registry (including Evict); streams opened or
+// evicted while Range runs may or may not be visited.
+func (r *Registry) Range(fn func(id string, t *Tracker) bool) {
+	r.entries.Range(func(id string, e *registryEntry) bool {
+		return fn(id, e.t)
+	})
+}
+
+// Len returns the number of open streams.
+func (r *Registry) Len() int { return r.entries.Len() }
+
+// Close evicts every stream. The registry remains usable (a drained
+// pool set and zero streams), so Close doubles as a reset.
+func (r *Registry) Close() {
+	for _, id := range r.entries.Keys() {
+		r.Evict(id)
+	}
+}
+
+// RegistryMetrics is a point-in-time aggregate snapshot across every
+// stream a Registry owns.
+type RegistryMetrics struct {
+	// Streams is the number of currently-open streams.
+	Streams int
+	// Opened and Evicted count lifecycle transitions since creation;
+	// Opened-Evicted equals Streams when nothing is mid-churn.
+	Opened  int64
+	Evicted int64
+	// Events tallies every stream's observability events by kind name
+	// (bucket lifecycle, message traffic, skew drops, …).
+	Events map[string]int64
+	// PooledWorkspaces, PooledRows and PooledSketches count idle pooled
+	// storage waiting for reuse — evicted tenants' donations that new
+	// streams will claim instead of allocating.
+	PooledWorkspaces int
+	PooledRows       int
+	PooledSketches   int
+}
+
+// Metrics returns the aggregate snapshot. Safe to call at any time from
+// any goroutine.
+func (r *Registry) Metrics() RegistryMetrics {
+	m := RegistryMetrics{
+		Streams: r.entries.Len(),
+		Opened:  r.opened.Load(),
+		Evicted: r.evicted.Load(),
+		Events:  r.events.Counts(),
+	}
+	m.PooledWorkspaces = r.pools.WS.Idle()
+	m.PooledRows, m.PooledSketches = r.pools.Meh.Idle()
+	return m
+}
+
+// StreamMetrics returns one stream's tracker Metrics plus its private
+// event tally, if the stream is open.
+func (r *Registry) StreamMetrics(id string) (Metrics, map[string]int64, bool) {
+	e, ok := r.entries.Get(id)
+	if !ok {
+		return Metrics{}, nil, false
+	}
+	return e.t.Metrics(), e.events.Counts(), true
+}
+
+// streamSummary is one row of the /streams listing.
+type streamSummary struct {
+	ID       string
+	Protocol string
+	Rows     int64
+	Events   map[string]int64
+}
+
+// MetricsHandler returns an http.Handler for the registry:
+//
+//	GET /metrics  — aggregate RegistryMetrics (JSON)
+//	GET /streams  — per-stream listing, sorted by id: protocol, row
+//	                count and event tally for every open stream
+//	GET /healthz  — process liveness
+//
+// plus expvar under /debug/vars and whatever extra endpoints the options
+// mount (WithPprof, WithHandler). Per-stream deep dives keep using the
+// individual Tracker.MetricsHandler; this handler is the fleet view.
+func (r *Registry) MetricsHandler(opts ...MuxOption) http.Handler {
+	streams := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var out []streamSummary
+		r.entries.Range(func(id string, e *registryEntry) bool {
+			out = append(out, streamSummary{
+				ID:       id,
+				Protocol: e.t.inner.Name(),
+				Rows:     e.t.rows.Load(),
+				Events:   e.events.Counts(),
+			})
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	all := append([]MuxOption{obs.WithHandler("/streams", streams)}, opts...)
+	return obs.Mux(
+		func() (any, bool) { return r.Metrics(), true },
+		func() bool { return true },
+		all...,
+	)
+}
