@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz chaos experiments examples fmt vet lint clean
+.PHONY: all build test test-short race cover bench bench-json fuzz chaos fleet-smoke experiments examples fmt vet lint clean
 
 all: build test
 
@@ -30,10 +30,10 @@ bench:
 # Headline performance figures (ingest rate, words/window, sketch-query
 # latency, parallel-vs-sequential ingest ratio at 8 sites, and the
 # multi-stream registry streams × workers throughput grid) on a fixed
-# reference workload, written as BENCH_PR6.json for machine comparison
+# reference workload, written as BENCH_PR7.json for machine comparison
 # across changes.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
 
 # Short fuzz sessions over the invariant fuzz targets.
 fuzz:
@@ -47,6 +47,14 @@ fuzz:
 # is seed-deterministic, so a failure here reproduces exactly.
 chaos:
 	$(GO) test -race -run Chaos -count=1 ./internal/wire/ ./internal/chaos/
+
+# Fleet telemetry smoke: a telemetry-enabled coordinator, two
+# chaos-injected sites ingesting while publishing telemetry frames over
+# their wire connections, and a Prometheus-format scrape of /metrics
+# validated by the in-repo exposition parser. The CI fleet job runs
+# exactly this test.
+fleet-smoke:
+	$(GO) test -run TestFleetSmoke -count=1 -v ./internal/wire/
 
 # Regenerate the paper's tables and figures (default scale, ~30 min).
 experiments:

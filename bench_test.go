@@ -14,10 +14,12 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"distwindow"
 	"distwindow/internal/bench"
 	"distwindow/internal/datagen"
+	"distwindow/internal/obs/telemetry"
 )
 
 var (
@@ -315,6 +317,57 @@ func BenchmarkObserveHotPathTraced(b *testing.B) {
 					b.Fatal(err)
 				}
 				tr.EnableTracing(distwindow.TraceConfig{SampleEvery: variant.every})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tr.Observe(i%sites, distwindow.Row{T: int64(i + 1), V: rows[i%len(rows)]})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkObserveHotPathTelemetry measures the fleet telemetry plane's
+// ingest cost against BenchmarkObserveHotPath: "off" runs the bare loop,
+// "on" runs it while a Publisher snapshots the tracker into frames every
+// 10ms on its own goroutine (10× the default distrun cadence, to make any
+// interference measurable). Collection never touches the ingest path —
+// it reads the same atomic counters Metrics does — so on/off must stay
+// within the <2% overhead budget benchjson gates on.
+func BenchmarkObserveHotPathTelemetry(b *testing.B) {
+	const (
+		d     = 32
+		sites = 4
+	)
+	rows := make([][]float64, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range rows {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		rows[i] = v
+	}
+	for _, proto := range []distwindow.Protocol{distwindow.PWOR, distwindow.DA2} {
+		for _, teleOn := range []bool{false, true} {
+			name := string(proto) + "/off"
+			if teleOn {
+				name = string(proto) + "/on"
+			}
+			b.Run(name, func(b *testing.B) {
+				tr, err := distwindow.New(distwindow.Config{
+					Protocol: proto, D: d, W: 1 << 20, Eps: 0.1, Sites: sites, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if teleOn {
+					pub := telemetry.NewPublisher(
+						func() telemetry.Frame { return tr.TelemetryFrame(0, "bench") },
+						func(telemetry.Frame) error { return nil },
+					)
+					pub.Start(10 * time.Millisecond)
+					defer pub.Stop()
+				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					tr.Observe(i%sites, distwindow.Row{T: int64(i + 1), V: rows[i%len(rows)]})

@@ -1,19 +1,20 @@
 // Command benchjson runs a fixed reference workload through the
 // representative protocols and writes the headline performance figures —
 // ingest update rate, communication words per window, sketch-query
-// latency, the parallel-vs-sequential ingest ratio, and the multi-stream
-// registry throughput sweep — as a JSON document for machine comparison
-// across changes (`make bench-json` → BENCH_PR6.json). Alongside
-// throughput it records allocs/op for the ingest loop
-// (runtime.MemStats mallocs over the timed rows), sweeps the parallel
-// pipeline over 1/2/4 workers, and sweeps a Registry over a
-// streams × workers grid to price the multi-tenant layer.
+// latency, the parallel-vs-sequential ingest ratio, the multi-stream
+// registry throughput sweep, and the telemetry-on-vs-off ingest overhead
+// — as a JSON document for machine comparison across changes
+// (`make bench-json` → BENCH_PR7.json). Alongside throughput it records
+// allocs/op for the ingest loop (runtime.MemStats mallocs over the timed
+// rows), sweeps the parallel pipeline over 1/2/4 workers, and sweeps a
+// Registry over a streams × workers grid to price the multi-tenant layer.
 //
 // The workload is deterministic (fixed seed, synthetic Gaussian rows), so
 // two runs on the same machine differ only by measurement noise; compare
 // figures across commits, not across machines. The parallel speedup in
-// particular scales with the recorded core count — on a single-core
-// machine the pipeline can only break even.
+// particular scales with the recorded GOMAXPROCS/NumCPU — on an
+// effectively single-core machine the sweep is refused outright (the
+// document records why) rather than publishing a meaningless "speedup".
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"distwindow"
+	"distwindow/internal/obs/telemetry"
 )
 
 type result struct {
@@ -84,19 +86,45 @@ type registryResult struct {
 	AllocsPerRow float64 `json:"allocs_per_row"`
 }
 
+// telemetryResult prices the fleet telemetry plane on the ingest loop:
+// the same rows streamed with no publisher versus with one snapshotting
+// the tracker into frames at a realistic cadence on its own goroutine.
+// OverheadPct is off/on − 1 in percent; the budget is <2%. The publisher
+// is designed to run on a spare core, so on a single-core machine —
+// where every tick preempts the only core the ingest loop has — the
+// measurement is recorded but the gate is advisory (Advisory says why).
+type telemetryResult struct {
+	Protocol      string  `json:"protocol"`
+	Rows          int64   `json:"rows"`
+	IntervalMs    int64   `json:"interval_ms"`
+	OffRowsPerSec float64 `json:"off_rows_per_sec"`
+	OnRowsPerSec  float64 `json:"on_rows_per_sec"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	Pass          bool    `json:"pass"`
+	Advisory      string  `json:"advisory,omitempty"`
+}
+
 type doc struct {
 	Generated string `json:"generated"`
 	GoArch    string `json:"config"`
 	// Cores is GOMAXPROCS at run time — the parallel speedup ceiling.
-	Cores    int              `json:"cores"`
-	Results  []result         `json:"results"`
-	Parallel []parallelResult `json:"parallel"`
-	Registry []registryResult `json:"registry"`
+	// NumCPU is the machine's logical core count; when either is 1 the
+	// parallel sweep is refused (ParallelSkipped records why) because a
+	// pipeline cannot beat sequential without a second core, and a
+	// "0.9x speedup" figure from a starved run would read as a regression.
+	Cores   int      `json:"cores"`
+	NumCPU  int      `json:"num_cpu"`
+	Results []result `json:"results"`
+	// ParallelSkipped is empty when the parallel sweep ran.
+	ParallelSkipped string            `json:"parallel_skipped,omitempty"`
+	Parallel        []parallelResult  `json:"parallel"`
+	Registry        []registryResult  `json:"registry"`
+	Telemetry       []telemetryResult `json:"telemetry"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR6.json", "output path")
+		out     = flag.String("out", "BENCH_PR7.json", "output path")
 		rows    = flag.Int64("rows", 200_000, "rows to stream per protocol")
 		d       = flag.Int("d", 32, "row dimension")
 		sites   = flag.Int("sites", 8, "number of sites")
@@ -180,7 +208,21 @@ func main() {
 	// the recorded core count).
 	perSite := *rows / int64(*sites)
 	var parallels []parallelResult
-	for _, proto := range []distwindow.Protocol{distwindow.DA1, distwindow.DA2} {
+	parallelSkipped := ""
+	switch {
+	case runtime.NumCPU() < 2:
+		parallelSkipped = fmt.Sprintf("single-core machine (NumCPU=%d)", runtime.NumCPU())
+	case runtime.GOMAXPROCS(0) < 2:
+		parallelSkipped = fmt.Sprintf("GOMAXPROCS=%d pins the process to one core", runtime.GOMAXPROCS(0))
+	}
+	if parallelSkipped != "" {
+		fmt.Printf("parallel sweep skipped: %s\n", parallelSkipped)
+	}
+	protos := []distwindow.Protocol{distwindow.DA1, distwindow.DA2}
+	if parallelSkipped != "" {
+		protos = nil
+	}
+	for _, proto := range protos {
 		cfg := distwindow.Config{Protocol: proto, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed}
 
 		seqTr, err := distwindow.New(cfg)
@@ -310,6 +352,74 @@ func main() {
 		}
 	}
 
+	// Telemetry overhead: the same ingest loop with and without a live
+	// publisher snapshotting the tracker every 10ms (10× the distrun
+	// default, to make interference measurable). Collection reads the same
+	// atomic counters Metrics does and never touches the ingest path, so
+	// the on/off ratio must stay under the 2% budget. Best of three trials
+	// per side, trials interleaved, so a background-load spike cannot
+	// charge one side only.
+	const teleInterval = 10 * time.Millisecond
+	var teleResults []telemetryResult
+	for _, proto := range []distwindow.Protocol{distwindow.PWOR, distwindow.DA2} {
+		cfg := distwindow.Config{Protocol: proto, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed}
+		ingest := func(withTele bool) float64 {
+			tr, err := distwindow.New(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer tr.Close()
+			if withTele {
+				pub := telemetry.NewPublisher(
+					func() telemetry.Frame { return tr.TelemetryFrame(0, "bench") },
+					func(telemetry.Frame) error { return nil },
+				)
+				pub.Start(teleInterval)
+				defer pub.Stop()
+			}
+			start := time.Now()
+			for i := int64(1); i <= *rows; i++ {
+				k := int(i) & (len(vs) - 1)
+				if err := tr.TryObserve(siteOf[k], distwindow.Row{T: i, V: vs[k]}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return float64(*rows) / time.Since(start).Seconds()
+		}
+		var offBest, onBest float64
+		for trial := 0; trial < 3; trial++ {
+			if r := ingest(false); r > offBest {
+				offBest = r
+			}
+			if r := ingest(true); r > onBest {
+				onBest = r
+			}
+		}
+		overhead := (offBest/onBest - 1) * 100
+		tres := telemetryResult{
+			Protocol:      string(proto),
+			Rows:          *rows,
+			IntervalMs:    teleInterval.Milliseconds(),
+			OffRowsPerSec: offBest,
+			OnRowsPerSec:  onBest,
+			OverheadPct:   overhead,
+			Pass:          overhead < 2,
+		}
+		if !tres.Pass && parallelSkipped != "" {
+			tres.Advisory = "single-core machine: the publisher time-shares the ingest core, so the <2% budget applies to multi-core runs"
+		}
+		teleResults = append(teleResults, tres)
+		verdict := "PASS"
+		if !tres.Pass {
+			verdict = "WARN"
+		}
+		if tres.Advisory != "" {
+			verdict += " (advisory: single-core)"
+		}
+		fmt.Printf("telemetry  %-10s on %9.0f rows/s vs off %9.0f rows/s  overhead %+.2f%%  %s (<2%% budget)\n",
+			proto, onBest, offBest, overhead, verdict)
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -317,12 +427,15 @@ func main() {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoArch:    fmt.Sprintf("d=%d sites=%d w=%d eps=%g rows=%d", *d, *sites, *w, *eps, *rows),
-		Cores:     runtime.GOMAXPROCS(0),
-		Results:   results,
-		Parallel:  parallels,
-		Registry:  regResults,
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		GoArch:          fmt.Sprintf("d=%d sites=%d w=%d eps=%g rows=%d", *d, *sites, *w, *eps, *rows),
+		Cores:           runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Results:         results,
+		ParallelSkipped: parallelSkipped,
+		Parallel:        parallels,
+		Registry:        regResults,
+		Telemetry:       teleResults,
 	}); err != nil {
 		log.Fatal(err)
 	}

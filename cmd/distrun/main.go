@@ -28,10 +28,13 @@ import (
 	"sync"
 	"time"
 
+	"text/tabwriter"
+
 	"distwindow"
 	"distwindow/internal/audit"
 	"distwindow/internal/chaos"
 	"distwindow/internal/obs"
+	"distwindow/internal/obs/telemetry"
 	"distwindow/internal/stream"
 	"distwindow/internal/trace"
 	"distwindow/internal/window"
@@ -55,6 +58,9 @@ func main() {
 		pipe    = flag.Bool("pipeline", false, "run in-process through the parallel per-site pipeline instead of TCP")
 		nStream = flag.Int("streams", 1, "multiplex this many logical streams over the per-site connections (each stream is an independent window; implies -resilient)")
 
+		tele      = flag.Bool("telemetry", false, "fleet telemetry: sites publish counter frames over their wire connections; coordinator aggregates, serves Prometheus /metrics and /debug/fleet, and prints a fleet report at exit")
+		teleEvery = flag.Duration("telemetry-interval", 100*time.Millisecond, "how often each site publishes a telemetry frame (requires -telemetry)")
+
 		resilient = flag.Bool("resilient", false, "use acknowledged resilient senders (seq/ack frames, reconnect + replay) instead of bare connections")
 		chSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos fault stream")
 		chDrop    = flag.Float64("chaos-drop", 0, "chaos: probability a frame write is accepted but never delivered (requires -resilient)")
@@ -74,6 +80,9 @@ func main() {
 		if *nStream > 1 {
 			log.Fatal("-streams multiplexes TCP connections; it cannot be combined with -pipeline")
 		}
+		if *tele {
+			log.Fatal("-telemetry piggybacks frames on the wire; it cannot be combined with -pipeline")
+		}
 		runPipeline(*proto, *m, *rows, *d, *w, *eps, *seed)
 		return
 	}
@@ -81,7 +90,7 @@ func main() {
 		runMultiStream(*proto, *m, *nStream, *rows, *d, *w, *eps, *seed, chaos.Config{
 			Seed: *chSeed, PDrop: *chDrop, PCut: *chCut, PDup: *chDup,
 			PDelay: *chDelay, PDialFail: *chDial,
-		})
+		}, *tele, *teleEvery)
 		return
 	}
 
@@ -90,6 +99,9 @@ func main() {
 		log.Fatal(err)
 	}
 	coord := wire.NewCoordinator(*d)
+	if *tele {
+		coord.EnableTelemetry()
+	}
 
 	// One shared injector gives the whole run a single seeded fault stream;
 	// every site's dials and connections draw from it.
@@ -153,6 +165,9 @@ func main() {
 			}
 		}()
 		fmt.Printf("metrics on http://%s/metrics\n", *metrics)
+		if *tele {
+			fmt.Printf("fleet dashboard on http://%s/debug/fleet\n", *metrics)
+		}
 	}
 
 	// Generate the whole event stream up front so the exact window is
@@ -228,6 +243,19 @@ func main() {
 				defer cs.Close()
 				sender = cs
 			}
+			// Telemetry rides the same connection as the estimates, best
+			// effort and outside the seq/ack space; the deferred Stop runs
+			// before the sender closes, so the final frame (with the site's
+			// finished counters) still goes out.
+			var rowsN obs.Counter
+			if *tele {
+				pub := telemetry.NewPublisher(
+					wire.CollectSite(si, "", *proto, rowsN.Load, resSenders[si]),
+					wire.TelemetrySender(sender),
+				)
+				pub.Start(*teleEvery)
+				defer pub.Stop()
+			}
 			cfg := wire.SiteConfig{ID: si, D: *d, W: *w, Eps: *eps}
 			var observe func(t int64, v []float64) error
 			var advance func(t int64) error
@@ -259,6 +287,7 @@ func main() {
 					drain()
 					return
 				}
+				rowsN.Inc()
 			}
 			if err := advance(int64(*rows)); err != nil {
 				log.Printf("site %d: %v", si, err)
@@ -322,6 +351,20 @@ func main() {
 		am := aud.Metrics()
 		fmt.Printf("live audit:       %d ticks, %d violations, last err %.4f, max %.4f (ε=%g)\n",
 			am.Ticks, am.Violations, am.LastErr, am.MaxErr, am.Eps)
+	}
+	if *tele {
+		// The coordinator contributes its own auditor figures as site -1, so
+		// the paper-native series (ε-headroom, words/window) appear in the
+		// fleet view next to the sites' ingest series.
+		if aud != nil {
+			am := aud.Metrics()
+			coord.Fleet().Record(wire.TeleFrame{
+				Site: -1, Proto: *proto, UnixNs: time.Now().UnixNano(),
+				Eps: am.Eps, Err: am.LastErr, Headroom: am.Headroom,
+				WordsPerWindow: am.WordsPerWindow, Violations: am.Violations,
+			})
+		}
+		printFleetReport(coord.Fleet())
 	}
 	if *traceO != "" {
 		if ring == nil {
@@ -408,4 +451,47 @@ func runPipeline(proto string, m, rows, d int, w int64, eps float64, seed int64)
 		met.Net.MsgsUp, float64(met.Net.WordsUp)*8/1024)
 	raw := float64(truth.Len()*(d+2)) * 8 / 1024
 	fmt.Printf("vs. shipping the active window: %.1f KiB\n", raw)
+}
+
+// printFleetReport renders the coordinator's fleet telemetry view as the
+// end-of-run table: one row per (site, stream) series with the latest
+// counters, ring-derived rates and degradation, plus the fleet totals.
+// Site -1 is the coordinator's own auditor series.
+func printFleetReport(f *telemetry.Fleet) {
+	m := f.Snapshot()
+	fmt.Printf("fleet telemetry:  %d series across %d sites, %d frames received (%d dropped)\n",
+		len(m.Series), m.Sites, m.FramesTotal, m.DroppedFrames)
+	if len(m.DegradedSites) > 0 {
+		fmt.Printf("                  degraded sites: %v\n", m.DegradedSites)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "  site\tstream\tproto\trows\trows/s\twords\treplays\tbacklog\tε-headroom\twords/window\t")
+	for _, v := range m.Series {
+		headroom := "-"
+		if v.Eps > 0 {
+			headroom = fmt.Sprintf("%.4f", v.Headroom)
+		}
+		wpw := "-"
+		if v.WordsPerWindow > 0 {
+			wpw = fmt.Sprintf("%.0f", v.WordsPerWindow)
+		}
+		stream := v.Stream
+		if stream == "" {
+			stream = "default"
+		}
+		deg := ""
+		if v.Degraded {
+			deg = " (degraded)"
+		}
+		fmt.Fprintf(tw, "  %d\t%s\t%s\t%d\t%.0f\t%d\t%d\t%d\t%s\t%s\t%s\n",
+			v.Site, stream, v.Proto, v.Rows, v.RowsPerSec, v.Words,
+			v.Replays, v.Backlog, headroom, wpw, deg)
+	}
+	tw.Flush()
+	if m.UpdateLat.Count > 0 {
+		fmt.Printf("  update latency: %d samples, p50 %v, p99 %v\n",
+			m.UpdateLat.Count,
+			time.Duration(m.UpdateLat.QuantileUpperNs(0.5)),
+			time.Duration(m.UpdateLat.QuantileUpperNs(0.99)))
+	}
 }

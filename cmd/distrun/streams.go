@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"distwindow/internal/chaos"
+	"distwindow/internal/obs"
+	"distwindow/internal/obs/telemetry"
 	"distwindow/internal/stream"
 	"distwindow/internal/window"
 	"distwindow/internal/wire"
@@ -22,7 +24,10 @@ import (
 // backlog with per-(site, stream) sequence spaces and per-stream acks.
 // The coordinator keeps a separate estimate per stream, and the run
 // checks every stream's covariance error against its own exact window.
-func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64, seed int64, chCfg chaos.Config) {
+// With telemetry on, each site runs one publisher over its shared sender
+// (stream "", aggregating rows across the multiplexed streams) and the
+// run ends with the coordinator's fleet report.
+func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64, seed int64, chCfg chaos.Config, tele bool, teleEvery time.Duration) {
 	perStream := rows / nStream
 	if perStream < 1 {
 		log.Fatalf("-rows %d spread over -streams %d leaves no rows per stream", rows, nStream)
@@ -38,6 +43,9 @@ func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64,
 	}
 	coord := wire.NewCoordinator(d)
 	coord.SetStaleAfter(2 * time.Second)
+	if tele {
+		coord.EnableTelemetry()
+	}
 	go coord.Serve(ln)
 	fmt.Printf("coordinator listening on %s (%d logical streams over %d connections)\n", ln.Addr(), nStream, m)
 
@@ -99,6 +107,19 @@ func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64,
 				}
 			}()
 
+			// One telemetry publisher per site over the shared sender; its
+			// deferred Stop runs before the sender-close defers, so the final
+			// frame goes out on the live connection.
+			var rowsN obs.Counter
+			if tele {
+				pub := telemetry.NewPublisher(
+					wire.CollectSite(si, "", proto, rowsN.Load, rs),
+					wire.TelemetrySender(rs),
+				)
+				pub.Start(teleEvery)
+				defer pub.Stop()
+			}
+
 			// One protocol instance per stream, all sharing this sender.
 			observe := make([]func(int64, []float64) error, nStream)
 			advance := make([]func(int64) error, nStream)
@@ -129,6 +150,7 @@ func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64,
 					}
 					return
 				}
+				rowsN.Inc()
 			}
 			for k := 0; k < nStream; k++ {
 				if err := advance[k](int64(perStream)); err != nil {
@@ -194,6 +216,9 @@ func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64,
 		st := inj.Stats()
 		fmt.Printf("chaos:            %d writes (%d dropped, %d cut, %d duped, %d delayed), %d of %d dials refused\n",
 			st.Writes, st.Drops, st.Cuts, st.Dups, st.Delays, st.DialFails, st.Dials)
+	}
+	if tele {
+		printFleetReport(coord.Fleet())
 	}
 	coord.Close()
 }

@@ -22,7 +22,9 @@ import (
 //	GET  /query?stream=id[&top=k]   sketch shape, top-k σ² and cost
 //	POST /evict?stream=id
 //	GET  /streams                   per-stream listing (id, protocol, rows)
-//	GET  /metrics                   aggregate registry metrics
+//	GET  /metrics                   aggregate registry metrics (JSON, or the
+//	                                Prometheus text exposition when Accept
+//	                                or ?format=prom asks for it)
 //	GET  /healthz
 //
 // Ingest requests for one stream must not be issued concurrently with

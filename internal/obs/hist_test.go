@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// linearBucketOf is the pre-optimization bucket assignment — a linear
+// scan over the bounds — kept as the reference the bit-twiddling
+// histBucketOf must match exactly.
+func linearBucketOf(ns int64) int {
+	for i, b := range histBounds {
+		if ns <= b {
+			return i
+		}
+	}
+	return HistBuckets - 1
+}
+
+// TestHistBucketOfMatchesLinearScan is the property test guarding the
+// bits.Len64 index: every boundary value, its neighbors, and a random
+// sweep must land in the same bucket the linear scan chose.
+func TestHistBucketOfMatchesLinearScan(t *testing.T) {
+	check := func(ns int64) {
+		t.Helper()
+		if got, want := histBucketOf(ns), linearBucketOf(ns); got != want {
+			t.Fatalf("histBucketOf(%d) = %d, linear scan says %d", ns, got, want)
+		}
+	}
+	check(0)
+	check(1)
+	for _, b := range histBounds {
+		check(b - 1)
+		check(b)
+		check(b + 1)
+	}
+	check(math.MaxInt64)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100_000; i++ {
+		// Exercise every magnitude: random bit width, then random value.
+		width := rng.Intn(63) + 1
+		check(rng.Int63() % (int64(1) << width))
+	}
+}
+
+// TestObserveAllocationFree gates the hot path: Observe must not allocate
+// (the bits.Len64 rewrite must stay as allocation-free as the scan).
+func TestObserveAllocationFree(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(1234 * time.Nanosecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestObserveNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNs != 0 {
+		t.Fatalf("negative observation: Count=%d SumNs=%d, want 1/0", s.Count, s.SumNs)
+	}
+	if s.Buckets[0].Count != 1 {
+		t.Fatalf("negative observation landed outside bucket 0: %+v", s.Buckets)
+	}
+}
+
+func TestQuantileUpperNsEdges(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var s HistSnapshot
+		if got := s.QuantileUpperNs(0.5); got != 0 {
+			t.Fatalf("empty histogram quantile = %d, want 0", got)
+		}
+	})
+
+	t.Run("single bucket", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 10; i++ {
+			h.Observe(100 * time.Nanosecond) // all in bucket 0 (≤256ns)
+		}
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.001, 0.5, 1} {
+			if got := s.QuantileUpperNs(q); got != histBounds[0] {
+				t.Fatalf("q=%v: got %d, want first bound %d", q, got, histBounds[0])
+			}
+		}
+	})
+
+	t.Run("q=0 and q=1 across buckets", func(t *testing.T) {
+		var h Histogram
+		h.Observe(100 * time.Nanosecond)  // bucket 0
+		h.Observe(time.Millisecond)       // mid bucket
+		h.Observe(500 * time.Millisecond) // high bucket
+		s := h.Snapshot()
+		// q=0 targets the first observation's bucket.
+		if got := s.QuantileUpperNs(0); got != histBounds[0] {
+			t.Fatalf("q=0: got %d, want %d", got, histBounds[0])
+		}
+		// q=1 targets the last non-empty bucket's bound.
+		want := int64(1 << 30) // 500ms ≤ ~1.07s bound
+		if got := s.QuantileUpperNs(1); got != want {
+			t.Fatalf("q=1: got %d, want %d", got, want)
+		}
+		// Out-of-range q clamps rather than panics.
+		if got := s.QuantileUpperNs(-3); got != s.QuantileUpperNs(0) {
+			t.Fatalf("q<0 did not clamp: %d", got)
+		}
+		if got := s.QuantileUpperNs(9); got != s.QuantileUpperNs(1) {
+			t.Fatalf("q>1 did not clamp: %d", got)
+		}
+	})
+
+	t.Run("overflow bucket", func(t *testing.T) {
+		var h Histogram
+		h.Observe(10 * time.Second) // beyond the last bound
+		s := h.Snapshot()
+		if got := s.QuantileUpperNs(0.5); got != math.MaxInt64 {
+			t.Fatalf("overflow quantile = %d, want MaxInt64", got)
+		}
+		if got := s.QuantileUpperNs(1); got != math.MaxInt64 {
+			t.Fatalf("overflow q=1 = %d, want MaxInt64", got)
+		}
+	})
+}
+
+// fillHist builds a histogram snapshot from durations.
+func fillHist(ds ...time.Duration) HistSnapshot {
+	var h Histogram
+	for _, d := range ds {
+		h.Observe(d)
+	}
+	return h.Snapshot()
+}
+
+func sameSnapshot(a, b HistSnapshot) bool {
+	if a.Count != b.Count || a.SumNs != b.SumNs || len(a.Buckets) != len(b.Buckets) {
+		return false
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHistSnapshotMergeLaws(t *testing.T) {
+	a := fillHist(100*time.Nanosecond, time.Millisecond, 10*time.Second)
+	b := fillHist(5*time.Microsecond, 5*time.Microsecond, 200*time.Millisecond)
+	c := fillHist(time.Second)
+
+	// Commutative: merge(a,b) ≡ merge(b,a).
+	if !sameSnapshot(a.Merge(b), b.Merge(a)) {
+		t.Fatalf("merge not commutative:\n a·b=%+v\n b·a=%+v", a.Merge(b), b.Merge(a))
+	}
+	// Associative: (a·b)·c ≡ a·(b·c).
+	if !sameSnapshot(a.Merge(b).Merge(c), a.Merge(b.Merge(c))) {
+		t.Fatalf("merge not associative")
+	}
+	// Totals are sums.
+	m := a.Merge(b)
+	if m.Count != a.Count+b.Count || m.SumNs != a.SumNs+b.SumNs {
+		t.Fatalf("merged totals %d/%d, want %d/%d", m.Count, m.SumNs, a.Count+b.Count, a.SumNs+b.SumNs)
+	}
+	// The empty snapshot is the identity on both sides.
+	var zero HistSnapshot
+	if !sameSnapshot(a.Merge(zero), a) {
+		t.Fatalf("a·0 != a: %+v", a.Merge(zero))
+	}
+	if !sameSnapshot(zero.Merge(a), a) {
+		t.Fatalf("0·a != a")
+	}
+	// Merging two empties stays bucketless and zero.
+	z := zero.Merge(zero)
+	if z.Count != 0 || z.SumNs != 0 || len(z.Buckets) != 0 {
+		t.Fatalf("0·0 = %+v, want zero", z)
+	}
+	// Quantiles of a merge see both inputs' mass.
+	if got := m.QuantileUpperNs(1); got != math.MaxInt64 {
+		t.Fatalf("merged q=1 lost a's overflow observation: %d", got)
+	}
+}

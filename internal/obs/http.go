@@ -3,68 +3,106 @@ package obs
 import (
 	"encoding/json"
 	"expvar"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
+// muxConfig carries the optional behaviours MuxOptions can install. The
+// ServeMux field is what endpoint options mutate; prom is the optional
+// Prometheus exposition source for /metrics content negotiation.
+type muxConfig struct {
+	mux  *http.ServeMux
+	prom func(io.Writer) error
+}
+
 // MuxOption extends the mux returned by Mux with optional debug
-// endpoints.
-type MuxOption func(*http.ServeMux)
+// endpoints or exposition formats.
+type MuxOption func(*muxConfig)
 
 // WithPprof mounts net/http/pprof under /debug/pprof/ so CPU and heap
 // profiles are reachable next to /metrics. Opt-in: profiling endpoints
 // expose internals and cost CPU while sampled, so production listeners
 // only get them behind an explicit flag (-pprof in sketchd/distrun).
 func WithPprof() MuxOption {
-	return func(mux *http.ServeMux) {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return func(c *muxConfig) {
+		c.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		c.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		c.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		c.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		c.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 }
 
 // WithHandler mounts an extra handler on the mux — the hook the tracing
-// ring (/debug/trace) and the audit panel (/debug/audit) use. A nil
-// handler is ignored, so callers can pass optional endpoints
-// unconditionally.
+// ring (/debug/trace), the audit panel (/debug/audit) and the fleet
+// dashboard (/debug/fleet) use. A nil handler is ignored, so callers can
+// pass optional endpoints unconditionally.
 func WithHandler(pattern string, h http.Handler) MuxOption {
-	return func(mux *http.ServeMux) {
+	return func(c *muxConfig) {
 		if h != nil {
-			mux.Handle(pattern, h)
+			c.mux.Handle(pattern, h)
 		}
 	}
+}
+
+// WithPrometheus installs a Prometheus text exposition source for
+// /metrics: requests whose Accept header prefers text/plain (what a
+// Prometheus scraper sends) — or that ask explicitly with ?format=prom —
+// get write's output as `text/plain; version=0.0.4` instead of the JSON
+// snapshot. JSON remains the default for everything else, so existing
+// consumers keep working unchanged. A nil write is ignored.
+func WithPrometheus(write func(io.Writer) error) MuxOption {
+	return func(c *muxConfig) {
+		if write != nil {
+			c.prom = write
+		}
+	}
+}
+
+// wantsProm reports whether a /metrics request negotiated the Prometheus
+// exposition: an explicit ?format=prom|prometheus|text wins, else the
+// Accept header decides — a scraper advertises text/plain (or the
+// OpenMetrics type), while JSON consumers either ask for application/json
+// or send no preference at all.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 // Mux returns an HTTP mux serving the two production endpoints:
 //
 //	GET /metrics  — the JSON encoding of snapshot(); 503 while snapshot
-//	                reports not-ready (e.g. no tracker built yet).
+//	                reports not-ready (e.g. no tracker built yet). JSON is
+//	                compact unless ?pretty=1 asks for indentation. With a
+//	                WithPrometheus source installed, requests preferring
+//	                text/plain (Accept header or ?format=prom) get the
+//	                Prometheus text exposition instead.
 //	GET /healthz  — 200 "ok" while healthy() is true, 503 otherwise. A nil
 //	                healthy always reports healthy (process liveness).
 //
 // It also mounts expvar's /debug/vars so anything published through
 // PublishExpvar (and Go's default memstats/cmdline vars) is reachable from
 // the same listener. Options add opt-in debug endpoints: WithPprof for
-// profiles, WithHandler for /debug/trace and /debug/audit.
+// profiles, WithHandler for /debug/trace, /debug/audit and /debug/fleet.
 //
 // snapshot is called per request and must be safe to call concurrently
 // with ingestion — the facade and wire snapshots are built from atomics
 // for exactly this reason.
 func Mux(snapshot func() (any, bool), healthy func() bool, opts ...MuxOption) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		snap, ok := snapshot()
-		if !ok {
-			http.Error(w, `{"error":"metrics not ready"}`, http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(snap)
-	})
+	cfg := muxConfig{mux: http.NewServeMux()}
+	mux := cfg.mux
+	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if healthy != nil && !healthy() {
 			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
@@ -73,10 +111,32 @@ func Mux(snapshot func() (any, bool), healthy func() bool, opts ...MuxOption) *h
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte("ok\n"))
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
 	for _, opt := range opts {
-		opt(mux)
+		opt(&cfg)
 	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.prom != nil && wantsProm(r) {
+			w.Header().Set("Content-Type", PromContentType)
+			if err := cfg.prom(w); err != nil {
+				// Headers are gone; all that is left is to stop writing.
+				return
+			}
+			return
+		}
+		snap, ok := snapshot()
+		if !ok {
+			http.Error(w, `{"error":"metrics not ready"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		// Indented JSON costs a re-encode per request; serve it only when a
+		// human asks (?pretty=1), not to every poller.
+		if r.URL.Query().Get("pretty") == "1" {
+			enc.SetIndent("", "  ")
+		}
+		_ = enc.Encode(snap)
+	})
 	return mux
 }
 

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -129,5 +130,107 @@ func TestWithHandler(t *testing.T) {
 	}
 	if rec := get(t, mux, "/debug/absent"); rec.Code != http.StatusNotFound {
 		t.Fatalf("nil WithHandler mounted something: status %d", rec.Code)
+	}
+}
+
+func getAccept(t *testing.T, mux *http.ServeMux, path, accept string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+func promMux(t *testing.T) *http.ServeMux {
+	t.Helper()
+	type snap struct{ Rows int64 }
+	return Mux(
+		func() (any, bool) { return snap{Rows: 7}, true },
+		nil,
+		WithPrometheus(func(w io.Writer) error {
+			pw := NewPromWriter(w)
+			pw.Counter("rows_total", "Rows.", nil, 7)
+			return pw.Err()
+		}),
+	)
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	mux := promMux(t)
+
+	// A Prometheus scraper's Accept header gets the text exposition.
+	rec := getAccept(t, mux, "/metrics", "text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("scraper Content-Type = %q, want %q", ct, PromContentType)
+	}
+	if _, err := ParseProm(strings.NewReader(rec.Body.String())); err != nil {
+		t.Fatalf("scraper body is not valid exposition: %v\n%s", err, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "rows_total 7") {
+		t.Fatalf("exposition missing sample:\n%s", rec.Body.String())
+	}
+
+	// ?format=prom forces the exposition regardless of Accept.
+	rec = getAccept(t, mux, "/metrics?format=prom", "application/json")
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("?format=prom Content-Type = %q", ct)
+	}
+
+	// No Accept preference stays JSON — existing consumers unchanged.
+	rec = getAccept(t, mux, "/metrics", "")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default Content-Type = %q, want application/json", ct)
+	}
+	var got struct{ Rows int64 }
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil || got.Rows != 7 {
+		t.Fatalf("default body not the JSON snapshot: %v %q", err, rec.Body.String())
+	}
+
+	// An explicit JSON Accept stays JSON even though prom is installed.
+	rec = getAccept(t, mux, "/metrics", "application/json")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Accept json Content-Type = %q", ct)
+	}
+
+	// ?format=json overrides a text Accept.
+	rec = getAccept(t, mux, "/metrics?format=json", "text/plain")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("?format=json Content-Type = %q", ct)
+	}
+
+	// Without WithPrometheus, a text Accept still gets JSON (no source).
+	plain := Mux(func() (any, bool) { return struct{}{}, true }, nil)
+	rec = getAccept(t, plain, "/metrics", "text/plain")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("no-prom text Accept Content-Type = %q", ct)
+	}
+}
+
+func TestMetricsJSONCompactUnlessPretty(t *testing.T) {
+	type snap struct{ Rows, Cols int64 }
+	mux := Mux(func() (any, bool) { return snap{Rows: 1, Cols: 2}, true }, nil)
+
+	compact := get(t, mux, "/metrics").Body.String()
+	if strings.Contains(compact, "\n  ") {
+		t.Fatalf("default JSON is indented: %q", compact)
+	}
+
+	pretty := get(t, mux, "/metrics?pretty=1").Body.String()
+	if !strings.Contains(pretty, "\n  ") {
+		t.Fatalf("?pretty=1 JSON is not indented: %q", pretty)
+	}
+	// Both decode to the same snapshot.
+	var a, b snap
+	if err := json.Unmarshal([]byte(compact), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(pretty), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("compact %+v != pretty %+v", a, b)
 	}
 }

@@ -17,6 +17,7 @@ package obs
 
 import (
 	"math"
+	"math/bits"
 	"sync/atomic"
 	"time"
 )
@@ -103,6 +104,23 @@ type Histogram struct {
 	buckets [HistBuckets]atomic.Int64
 }
 
+// histBucketOf maps a non-negative duration to its bucket index without
+// scanning: the bounds are 2^(8+2i), so the smallest i with ns ≤ 2^(8+2i)
+// is ⌈(L−8)/2⌉ where L = bits.Len64(ns−1) (the number of bits needed for
+// ns−1, i.e. L ≤ k ⟺ ns ≤ 2^k). Values at or below the first bound short
+// out before the ns−1 underflow; indices past the last bound land in the
+// overflow bucket.
+func histBucketOf(ns int64) int {
+	if ns <= histBounds[0] {
+		return 0
+	}
+	i := (bits.Len64(uint64(ns-1)) - 7) / 2
+	if i >= HistBuckets-1 {
+		return HistBuckets - 1
+	}
+	return i
+}
+
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	ns := int64(d)
@@ -111,13 +129,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.count.Add(1)
 	h.sumNs.Add(ns)
-	for i, b := range histBounds {
-		if ns <= b {
-			h.buckets[i].Add(1)
-			return
-		}
-	}
-	h.buckets[HistBuckets-1].Add(1)
+	h.buckets[histBucketOf(ns)].Add(1)
 }
 
 // HistBucket is one bucket of a histogram snapshot. UpperNs is the bucket's
@@ -186,4 +198,35 @@ func (s HistSnapshot) QuantileUpperNs(q float64) int64 {
 		}
 	}
 	return s.Buckets[len(s.Buckets)-1].UpperNs
+}
+
+// Merge returns the element-wise sum of two snapshots — the fleet view of
+// the same latency measured at many sites. Merge is commutative and
+// associative, so any aggregation order yields the same fleet histogram.
+// An empty snapshot (zero value, nil buckets) acts as the identity; two
+// non-empty snapshots must share the fixed bucket scale, which every
+// Histogram in this package does.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if len(s.Buckets) == 0 && len(o.Buckets) == 0 {
+		return HistSnapshot{Count: s.Count + o.Count, SumNs: s.SumNs + o.SumNs}
+	}
+	out := HistSnapshot{
+		Count:   s.Count + o.Count,
+		SumNs:   s.SumNs + o.SumNs,
+		Buckets: make([]HistBucket, HistBuckets),
+	}
+	for i := range out.Buckets {
+		upper := int64(math.MaxInt64)
+		if i < len(histBounds) {
+			upper = histBounds[i]
+		}
+		out.Buckets[i].UpperNs = upper
+		if i < len(s.Buckets) {
+			out.Buckets[i].Count += s.Buckets[i].Count
+		}
+		if i < len(o.Buckets) {
+			out.Buckets[i].Count += o.Buckets[i].Count
+		}
+	}
+	return out
 }

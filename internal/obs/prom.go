@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// This file is the repository's Prometheus text exposition writer
+// (text/plain; version=0.0.4): enough of the format — HELP/TYPE headers,
+// escaped label pairs, cumulative histogram buckets — for any scraper to
+// consume the fleet metrics, with no dependency beyond the standard
+// library. ParseProm (promparse.go) is the matching validator used by
+// tests and the CI fleet smoke.
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name, Value string
+}
+
+// PromWriter accumulates Prometheus text exposition onto an io.Writer.
+// Errors are sticky: the first write failure is retained and every later
+// call is a no-op, so callers check Err once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+	// seen tracks metric families whose HELP/TYPE header went out, so a
+	// family written from several sources is headed exactly once.
+	seen map[string]bool
+}
+
+// NewPromWriter returns a writer targeting w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first underlying write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// escapeHelp escapes a HELP text (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// header emits the HELP/TYPE lines for a family once per writer.
+func (p *PromWriter) header(name, help, typ string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// labelSet renders a label list as {a="b",c="d"} ("" when empty).
+func labelSet(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects (+Inf,
+// -Inf and NaN spelled out).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Counter emits one counter sample, heading the family on first use.
+func (p *PromWriter) Counter(name, help string, labels []Label, v float64) {
+	p.header(name, help, "counter")
+	p.printf("%s%s %s\n", name, labelSet(labels), formatValue(v))
+}
+
+// Gauge emits one gauge sample, heading the family on first use.
+func (p *PromWriter) Gauge(name, help string, labels []Label, v float64) {
+	p.header(name, help, "gauge")
+	p.printf("%s%s %s\n", name, labelSet(labels), formatValue(v))
+}
+
+// Histogram emits one histogram from a snapshot: cumulative _bucket
+// samples with le in seconds (the Prometheus base unit; the snapshot's
+// bounds are nanoseconds), a final le="+Inf", _sum in seconds and _count.
+// name should therefore end in _seconds by convention.
+func (p *PromWriter) Histogram(name, help string, labels []Label, h HistSnapshot) {
+	p.header(name, help, "histogram")
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if b.UpperNs != math.MaxInt64 {
+			le = formatValue(float64(b.UpperNs) / 1e9)
+		}
+		all := append(append([]Label(nil), labels...), Label{"le", le})
+		p.printf("%s_bucket%s %d\n", name, labelSet(all), cum)
+	}
+	if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].UpperNs != math.MaxInt64 {
+		all := append(append([]Label(nil), labels...), Label{"le", "+Inf"})
+		p.printf("%s_bucket%s %d\n", name, labelSet(all), h.Count)
+	}
+	p.printf("%s_sum%s %s\n", name, labelSet(labels), formatValue(float64(h.SumNs)/1e9))
+	p.printf("%s_count%s %d\n", name, labelSet(labels), h.Count)
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromWriterRoundTrip(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(time.Millisecond)
+	h.Observe(10 * time.Second) // overflow bucket
+
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	ls := []Label{{Name: "site", Value: "0"}, {Name: "stream", Value: "default"}}
+	pw.Counter("test_rows_total", "Rows observed.", ls, 42)
+	pw.Counter("test_rows_total", "Rows observed.", []Label{{Name: "site", Value: "1"}}, 7)
+	pw.Gauge("test_backlog", "Backlog depth.", nil, 3)
+	pw.Histogram("test_latency_seconds", "Latency.", ls, h.Snapshot())
+	if err := pw.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+	text := b.String()
+
+	// The family header appears exactly once despite two samples.
+	if got := strings.Count(text, "# TYPE test_rows_total counter"); got != 1 {
+		t.Fatalf("TYPE header count = %d, want 1\n%s", got, text)
+	}
+
+	samples, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("own output does not parse: %v\n%s", err, text)
+	}
+	byName := make(map[string][]PromSample)
+	for _, s := range samples {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	if n := len(byName["test_rows_total"]); n != 2 {
+		t.Fatalf("test_rows_total samples = %d, want 2", n)
+	}
+	if v := byName["test_rows_total"][0].Value; v != 42 {
+		t.Fatalf("first counter = %v, want 42", v)
+	}
+	// Histogram: one bucket line per fixed bucket, plus sum and count.
+	if n := len(byName["test_latency_seconds_bucket"]); n != HistBuckets {
+		t.Fatalf("bucket lines = %d, want %d", n, HistBuckets)
+	}
+	// The last bucket is +Inf and equals the count.
+	last := byName["test_latency_seconds_bucket"][HistBuckets-1]
+	if le, _ := findLabel(last.Labels, "le"); le != "+Inf" {
+		t.Fatalf("last bucket le = %q, want +Inf", le)
+	}
+	if last.Value != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3", last.Value)
+	}
+	if v := byName["test_latency_seconds_count"][0].Value; v != 3 {
+		t.Fatalf("count = %v, want 3", v)
+	}
+}
+
+func TestPromWriterLabelEscaping(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Gauge("esc_test", "with \\ and \n in help", []Label{{Name: "s", Value: "a\"b\\c\nd"}}, 1)
+	if err := pw.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+	samples, err := ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("escaped output does not parse: %v\n%s", err, b.String())
+	}
+	if got, _ := findLabel(samples[0].Labels, "s"); got != "a\"b\\c\nd" {
+		t.Fatalf("label round-trip = %q", got)
+	}
+}
+
+func TestFormatValueSpecials(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+	}
+	for v, want := range cases {
+		if got := formatValue(v); got != want {
+			t.Fatalf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Fatalf("formatValue(NaN) = %q", got)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":             "orphan_metric 1\n",
+		"bad name":            "# TYPE 9bad counter\n9bad 1\n",
+		"bad type":            "# TYPE x wibble\nx 1\n",
+		"duplicate TYPE":      "# TYPE x counter\nx 1\n# TYPE x counter\n",
+		"unparseable value":   "# TYPE x counter\nx notanumber\n",
+		"unterminated labels": "# TYPE x counter\nx{a=\"b\" 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n",
+		"missing +Inf":           "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n",
+		"family without samples": "# TYPE x counter\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseProm(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parsed without error:\n%s", name, text)
+		}
+	}
+}
+
+func TestParsePromAcceptsTimestampsAndComments(t *testing.T) {
+	text := "# a bare comment\n# TYPE x counter\n# HELP x some help\nx{a=\"b\"} 4 1700000000000\n"
+	samples, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(samples) != 1 || samples[0].Value != 4 {
+		t.Fatalf("samples = %+v", samples)
+	}
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// A small validating parser for the Prometheus text exposition format
+// (text/plain; version=0.0.4) — the test-side counterpart of PromWriter.
+// It is not a full client: it checks exactly the guarantees this
+// repository's exposition relies on — metric/label name syntax, escaped
+// label values, parseable sample values, TYPE declarations preceding
+// samples, and cumulative non-decreasing histogram buckets ending in
+// le="+Inf" — so the CI fleet smoke can fail on malformed output instead
+// of shipping it to a real scraper.
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Name is the sample's metric name (bucket/sum/count suffixes kept).
+	Name string
+	// Labels holds the label pairs in order of appearance.
+	Labels []Label
+	// Value is the parsed sample value.
+	Value float64
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promFamily tracks one declared family while parsing.
+type promFamily struct {
+	typ     string
+	samples int
+}
+
+// ParseProm reads a complete exposition, returning every sample. It
+// errors on the first syntax violation: an undeclared or malformed name,
+// a bad label, an unparseable value, a histogram whose buckets are not
+// cumulative or that lacks the +Inf bucket.
+func ParseProm(r io.Reader) ([]PromSample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var samples []PromSample
+	families := make(map[string]*promFamily)
+	// histCum tracks the last cumulative bucket value per histogram series
+	// (identified by name + non-le labels), and histInf whether +Inf
+	// arrived.
+	histCum := make(map[string]int64)
+	histInf := make(map[string]bool)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parsePromComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := s.Name
+		fam := families[base]
+		if fam == nil {
+			// _bucket/_sum/_count attach to their histogram family.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(base, suf) {
+					if f := families[strings.TrimSuffix(base, suf)]; f != nil && f.typ == "histogram" {
+						fam = f
+						base = strings.TrimSuffix(base, suf)
+					}
+					break
+				}
+			}
+		}
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, s.Name)
+		}
+		fam.samples++
+		if fam.typ == "histogram" && strings.HasSuffix(s.Name, "_bucket") {
+			key := base + labelSetWithout(s.Labels, "le")
+			le, ok := findLabel(s.Labels, "le")
+			if !ok {
+				return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			cum := int64(s.Value)
+			if prev, seen := histCum[key]; seen && cum < prev {
+				return nil, fmt.Errorf("line %d: histogram %s buckets not cumulative (%d after %d)", lineNo, key, cum, prev)
+			}
+			histCum[key] = cum
+			if le == "+Inf" {
+				histInf[key] = true
+			}
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for key := range histCum {
+		if !histInf[key] {
+			return nil, fmt.Errorf("histogram %s lacks an le=\"+Inf\" bucket", key)
+		}
+	}
+	for name, fam := range families {
+		if fam.samples == 0 {
+			return nil, fmt.Errorf("family %s declared but has no samples", name)
+		}
+	}
+	return samples, nil
+}
+
+// parsePromComment validates a # HELP / # TYPE line (other comments pass).
+func parsePromComment(line string, families map[string]*promFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !promNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !promNameRe.MatchString(name) {
+			return fmt.Errorf("bad metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if families[name] != nil {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		families[name] = &promFamily{typ: typ}
+	}
+	return nil
+}
+
+// parsePromSample parses one sample line: name[{labels}] value [timestamp].
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	// Metric name runs to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("sample %q lacks a value", line)
+	}
+	s.Name = rest[:end]
+	if !promNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		close := strings.LastIndex(rest, "}")
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parsePromLabels(rest[1:close])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q has %d value fields, want 1 or 2", line, len(fields))
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parsePromLabels parses the inside of a {…} label set.
+func parsePromLabels(s string) ([]Label, error) {
+	var labels []Label
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q lacks '='", s)
+		}
+		name := s[:eq]
+		if !promLabelRe.MatchString(name) {
+			return nil, fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("label %s value not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label %s", name)
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("unknown escape \\%c in label %s", s[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated value for label %s", name)
+		}
+		labels = append(labels, Label{Name: name, Value: val.String()})
+		s = s[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return labels, nil
+}
+
+// parsePromValue parses a sample value, accepting the +Inf/-Inf/NaN
+// spellings.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "Nan":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// findLabel returns a label's value by name.
+func findLabel(labels []Label, name string) (string, bool) {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// labelSetWithout renders a label set omitting one label — the series
+// identity of a histogram bucket family.
+func labelSetWithout(labels []Label, drop string) string {
+	kept := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Name != drop {
+			kept = append(kept, l)
+		}
+	}
+	return labelSet(kept)
+}

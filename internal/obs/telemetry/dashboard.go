@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"distwindow/internal/svgplot"
+)
+
+// The /debug/fleet dashboard: one HTML page summarizing the fleet — a
+// per-(site,stream) table of the latest counters and derived rates, and
+// two embedded SVG charts (ingest rate and ε-headroom over time) drawn
+// from the per-series frame rings, in the style of /debug/audit.
+
+// maxChartSeries bounds the charted series so a thousand-stream registry
+// doesn't render a thousand polylines; the page states the truncation
+// explicitly rather than capping silently.
+const maxChartSeries = 12
+
+// Dashboard renders the fleet as a standalone HTML page.
+func (f *Fleet) Dashboard() string {
+	m := f.Snapshot()
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><title>fleet telemetry</title>\n")
+	b.WriteString("<style>body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}" +
+		"th,td{border:1px solid #999;padding:4px 8px;text-align:right}" +
+		"th{background:#eee}td.l{text-align:left}tr.deg{background:#fdd}" +
+		".note{color:#666;font-size:90%}</style></head><body>\n")
+	fmt.Fprintf(&b, "<h1>fleet telemetry</h1>\n<p>%d series across %d sites / %d streams · %d frames received",
+		len(m.Series), m.Sites, m.Streams, m.FramesTotal)
+	if m.DroppedFrames > 0 {
+		fmt.Fprintf(&b, " · <b>%d frames dropped by the series cap</b>", m.DroppedFrames)
+	}
+	if len(m.DegradedSites) > 0 {
+		fmt.Fprintf(&b, " · <b>degraded sites: %v</b>", m.DegradedSites)
+	}
+	b.WriteString("</p>\n")
+
+	b.WriteString("<table>\n<tr><th>site</th><th>stream</th><th>protocol</th>" +
+		"<th>rows</th><th>rows/s</th><th>words</th><th>words/s</th><th>words/window</th>" +
+		"<th>ε</th><th>headroom</th><th>replays</th><th>backlog</th><th>age</th></tr>\n")
+	for _, v := range m.Series {
+		cls := ""
+		if v.Degraded {
+			cls = ` class="deg"`
+		}
+		fmt.Fprintf(&b, "<tr%s><td>%d</td><td class=\"l\">%s</td><td class=\"l\">%s</td>"+
+			"<td>%d</td><td>%.1f</td><td>%d</td><td>%.1f</td><td>%.1f</td>"+
+			"<td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+			cls, v.Site, html.EscapeString(streamLabel(v.Stream)), html.EscapeString(v.Proto),
+			v.Rows, v.RowsPerSec, v.Words, v.WordsPerSec, v.WordsPerWindow,
+			fmtEps(v.Eps), fmtEps(v.Headroom), v.Replays, v.Backlog,
+			(time.Duration(v.AgeMs) * time.Millisecond).String())
+	}
+	b.WriteString("</table>\n")
+
+	if lat := m.UpdateLat; lat.Count > 0 {
+		fmt.Fprintf(&b, "<p>fleet update latency: mean %.1fµs · p50 ≤ %s · p99 ≤ %s over %d observations</p>\n",
+			lat.MeanNs()/1e3,
+			time.Duration(lat.QuantileUpperNs(0.5)).String(),
+			time.Duration(lat.QuantileUpperNs(0.99)).String(),
+			lat.Count)
+	}
+
+	keys := f.chartKeys(m)
+	if len(keys) < len(m.Series) {
+		fmt.Fprintf(&b, "<p class=\"note\">charts show the %d busiest of %d series (by rows); the table above is complete.</p>\n",
+			len(keys), len(m.Series))
+	}
+	if rateChart := f.rateChart(keys); rateChart != "" {
+		b.WriteString("<h2>ingest rate</h2>\n")
+		b.WriteString(rateChart)
+	}
+	if headChart := f.headroomChart(keys); headChart != "" {
+		b.WriteString("<h2>ε-headroom</h2>\n")
+		b.WriteString(headChart)
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func fmtEps(v float64) string {
+	if v == 0 {
+		return "–"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// chartKeys picks up to maxChartSeries keys, busiest (most rows) first,
+// then re-sorts by key for stable legends.
+func (f *Fleet) chartKeys(m FleetMetrics) []Key {
+	views := append([]SeriesView(nil), m.Series...)
+	sort.SliceStable(views, func(i, j int) bool { return views[i].Rows > views[j].Rows })
+	if len(views) > maxChartSeries {
+		views = views[:maxChartSeries]
+	}
+	keys := make([]Key, len(views))
+	for i, v := range views {
+		keys[i] = Key{Site: v.Site, Stream: v.Stream}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Site != keys[j].Site {
+			return keys[i].Site < keys[j].Site
+		}
+		return keys[i].Stream < keys[j].Stream
+	})
+	return keys
+}
+
+// seriesName labels a chart series.
+func seriesName(k Key) string {
+	return fmt.Sprintf("site %d / %s", k.Site, streamLabel(k.Stream))
+}
+
+// rateChart plots the rows/s between consecutive frames of each key's
+// ring against time since the ring's first frame.
+func (f *Fleet) rateChart(keys []Key) string {
+	var series []svgplot.Series
+	for _, k := range keys {
+		frames := f.History(k)
+		if len(frames) < 2 {
+			continue
+		}
+		s := svgplot.Series{Name: seriesName(k)}
+		t0 := frames[0].UnixNs
+		for i := 1; i < len(frames); i++ {
+			r := rate(frames[i-1].Rows, frames[i].Rows, frames[i-1].UnixNs, frames[i].UnixNs)
+			s.Points = append(s.Points, svgplot.Point{
+				X: float64(frames[i].UnixNs-t0) / 1e9,
+				Y: r,
+			})
+		}
+		series = append(series, s)
+	}
+	if len(series) == 0 {
+		return ""
+	}
+	return svgplot.Plot{
+		Title:  "ingest rate by (site, stream)",
+		XLabel: "seconds since first frame",
+		YLabel: "rows/s",
+		Series: series,
+	}.Render()
+}
+
+// headroomChart plots each key's audited ε-headroom over time (series
+// without an auditor — Eps 0 — are skipped).
+func (f *Fleet) headroomChart(keys []Key) string {
+	var series []svgplot.Series
+	for _, k := range keys {
+		frames := f.History(k)
+		s := svgplot.Series{Name: seriesName(k)}
+		var t0 int64
+		for _, fr := range frames {
+			if fr.Eps == 0 {
+				continue
+			}
+			if t0 == 0 {
+				t0 = fr.UnixNs
+			}
+			s.Points = append(s.Points, svgplot.Point{
+				X: float64(fr.UnixNs-t0) / 1e9,
+				Y: fr.Headroom,
+			})
+		}
+		if len(s.Points) > 0 {
+			series = append(series, s)
+		}
+	}
+	if len(series) == 0 {
+		return ""
+	}
+	return svgplot.Plot{
+		Title:  "ε-headroom by (site, stream)",
+		XLabel: "seconds since first audited frame",
+		YLabel: "ε − observed error",
+		Series: series,
+	}.Render()
+}
+
+// Handler serves the dashboard as text/html — the /debug/fleet endpoint.
+func (f *Fleet) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(f.Dashboard()))
+	})
+}

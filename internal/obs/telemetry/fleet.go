@@ -1,0 +1,351 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"distwindow/internal/obs"
+)
+
+// Fleet is the coordinator-side aggregate of telemetry frames, keyed by
+// (site, stream). Each series keeps a fixed-capacity ring of recent
+// frames — enough history to derive rates and draw the dashboard, with a
+// hard memory bound no matter how long the deployment runs or how often
+// sites publish.
+type Fleet struct {
+	mu     sync.Mutex
+	series map[Key]*seriesState
+
+	// ringCap bounds each series' frame history; maxSeries bounds the
+	// number of distinct (site, stream) keys — a misbehaving sender cannot
+	// grow coordinator memory without bound. Set before first Record.
+	ringCap   int
+	maxSeries int
+
+	// staleAfter is the telemetry-liveness horizon: a series with no frame
+	// for longer is reported degraded.
+	staleAfter time.Duration
+	// degraded, when set, folds an external liveness source (the wire
+	// coordinator's frame-level SiteStatuses) into degraded-site
+	// detection, so one signal covers both "no data frames" and "no
+	// telemetry frames".
+	degraded func() []int
+
+	now func() time.Time
+
+	frames        obs.Counter
+	droppedFrames obs.Counter
+}
+
+// Key identifies one telemetry series.
+type Key struct {
+	Site   int
+	Stream string
+}
+
+type seriesState struct {
+	// ring holds the last ringCap frames, oldest at index tail when full.
+	ring []Frame
+	head int // next write position
+	n    int // frames stored (≤ cap)
+	// seen is the receiver's clock at the last Record — the staleness
+	// basis (sender clocks only order frames within one series).
+	seen time.Time
+}
+
+func (s *seriesState) push(fr Frame, capacity int) {
+	if len(s.ring) == 0 {
+		s.ring = make([]Frame, capacity)
+	}
+	s.ring[s.head] = fr
+	s.head = (s.head + 1) % len(s.ring)
+	if s.n < len(s.ring) {
+		s.n++
+	}
+}
+
+// at returns the i-th stored frame, oldest first.
+func (s *seriesState) at(i int) Frame {
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.ring)
+	}
+	return s.ring[(start+i)%len(s.ring)]
+}
+
+func (s *seriesState) latest() Frame { return s.at(s.n - 1) }
+func (s *seriesState) oldest() Frame { return s.at(0) }
+
+// NewFleet returns a fleet view with defaults: 64 frames of history per
+// series, at most 4096 series, 10s telemetry staleness.
+func NewFleet() *Fleet {
+	return &Fleet{
+		series:     make(map[Key]*seriesState),
+		ringCap:    64,
+		maxSeries:  4096,
+		staleAfter: 10 * time.Second,
+		now:        time.Now,
+	}
+}
+
+// SetRingCap resizes the per-series history bound for series created
+// after the call (existing rings keep their size).
+func (f *Fleet) SetRingCap(n int) {
+	if n < 2 {
+		n = 2 // rates need two endpoints
+	}
+	f.mu.Lock()
+	f.ringCap = n
+	f.mu.Unlock()
+}
+
+// SetStaleAfter sets the telemetry-liveness horizon (0 disables
+// telemetry-based degradation).
+func (f *Fleet) SetStaleAfter(d time.Duration) {
+	f.mu.Lock()
+	f.staleAfter = d
+	f.mu.Unlock()
+}
+
+// SetDegradedSource installs an external degraded-site source — the wire
+// coordinator's stale-site list — unified into Snapshot's per-series
+// Degraded flag and the fleet's DegradedSites set.
+func (f *Fleet) SetDegradedSource(src func() []int) {
+	f.mu.Lock()
+	f.degraded = src
+	f.mu.Unlock()
+}
+
+// Record folds one frame into the fleet. It is safe for concurrent use
+// and cheap (one mutex acquisition, one ring write); it never blocks on
+// I/O, so calling it from a connection-handling goroutine is fine.
+func (f *Fleet) Record(fr Frame) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := Key{Site: fr.Site, Stream: fr.Stream}
+	st := f.series[k]
+	if st == nil {
+		if len(f.series) >= f.maxSeries {
+			// Bounded memory beats complete data: drop frames for new keys
+			// past the cap, and count the drops so the cap is never silent.
+			f.droppedFrames.Inc()
+			return
+		}
+		st = &seriesState{}
+		f.series[k] = st
+	}
+	st.push(fr, f.ringCap)
+	st.seen = f.now()
+	f.frames.Inc()
+}
+
+// SeriesView is one (site, stream) row of the fleet snapshot: the latest
+// frame's cumulative counters and gauges plus rates derived from the
+// ring's endpoints.
+type SeriesView struct {
+	Site   int
+	Stream string
+	Proto  string
+
+	// Latest cumulative counters / gauges (Frame field meanings).
+	Rows, Msgs, Words       int64
+	Replays, Acked, Backlog int64
+	Dials, DialFails        int64
+	Eps, Err, Headroom      float64
+	WordsPerWindow          float64
+	Violations              int64
+
+	// RowsPerSec and WordsPerSec are derived from the oldest and newest
+	// ring frames (0 with fewer than two frames, after a counter reset,
+	// or a non-advancing sender clock).
+	RowsPerSec, WordsPerSec float64
+
+	// Frames is the ring occupancy; AgeMs the receiver-side time since the
+	// last frame; Degraded folds telemetry staleness with the external
+	// liveness source.
+	Frames   int
+	AgeMs    int64
+	Degraded bool
+
+	UpdateLat obs.HistSnapshot
+}
+
+// FleetMetrics is the full fleet snapshot.
+type FleetMetrics struct {
+	// Series lists every tracked (site, stream) pair, sorted by site then
+	// stream.
+	Series []SeriesView
+	// Sites and Streams count distinct key components.
+	Sites, Streams int
+	// FramesTotal counts frames folded in; DroppedFrames counts frames
+	// refused by the series cap.
+	FramesTotal   int64
+	DroppedFrames int64
+	// DegradedSites is the sorted union of telemetry-stale sites and the
+	// external (wire-liveness) degraded set.
+	DegradedSites []int
+	// UpdateLat is every series' latest latency histogram merged into one
+	// fleet distribution.
+	UpdateLat obs.HistSnapshot
+}
+
+// rate returns (new−old)/Δt clamped to ≥0, guarding counter resets
+// (restarted sender) and non-advancing clocks.
+func rate(oldV, newV, oldNs, newNs int64) float64 {
+	if newNs <= oldNs || newV < oldV {
+		return 0
+	}
+	return float64(newV-oldV) / (float64(newNs-oldNs) / 1e9)
+}
+
+// Snapshot assembles the current fleet view. Safe to call concurrently
+// with Record.
+func (f *Fleet) Snapshot() FleetMetrics {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.now()
+	var extDeg map[int]bool
+	if f.degraded != nil {
+		// The source reads coordinator liveness under the coordinator's own
+		// lock; safe to call under f.mu because the coordinator never calls
+		// back into the fleet while holding it.
+		extDeg = make(map[int]bool)
+		for _, s := range f.degraded() {
+			extDeg[s] = true
+		}
+	}
+	m := FleetMetrics{
+		FramesTotal:   f.frames.Load(),
+		DroppedFrames: f.droppedFrames.Load(),
+	}
+	sites := make(map[int]bool)
+	streams := make(map[string]bool)
+	degSites := make(map[int]bool)
+	for k, st := range f.series {
+		last := st.latest()
+		v := SeriesView{
+			Site: k.Site, Stream: k.Stream, Proto: last.Proto,
+			Rows: last.Rows, Msgs: last.Msgs, Words: last.Words,
+			Replays: last.Replays, Acked: last.Acked, Backlog: last.Backlog,
+			Dials: last.Dials, DialFails: last.DialFails,
+			Eps: last.Eps, Err: last.Err, Headroom: last.Headroom,
+			WordsPerWindow: last.WordsPerWindow, Violations: last.Violations,
+			Frames:    st.n,
+			AgeMs:     now.Sub(st.seen).Milliseconds(),
+			UpdateLat: last.UpdateLat,
+		}
+		if st.n >= 2 {
+			first := st.oldest()
+			v.RowsPerSec = rate(first.Rows, last.Rows, first.UnixNs, last.UnixNs)
+			v.WordsPerSec = rate(first.Words, last.Words, first.UnixNs, last.UnixNs)
+		}
+		if f.staleAfter > 0 && now.Sub(st.seen) > f.staleAfter {
+			v.Degraded = true
+		}
+		if extDeg[k.Site] {
+			v.Degraded = true
+		}
+		if v.Degraded {
+			degSites[k.Site] = true
+		}
+		sites[k.Site] = true
+		streams[k.Stream] = true
+		m.UpdateLat = m.UpdateLat.Merge(last.UpdateLat)
+		m.Series = append(m.Series, v)
+	}
+	// External degradation also covers sites that never sent telemetry.
+	for s := range extDeg {
+		degSites[s] = true
+	}
+	sort.Slice(m.Series, func(i, j int) bool {
+		if m.Series[i].Site != m.Series[j].Site {
+			return m.Series[i].Site < m.Series[j].Site
+		}
+		return m.Series[i].Stream < m.Series[j].Stream
+	})
+	for s := range degSites {
+		m.DegradedSites = append(m.DegradedSites, s)
+	}
+	sort.Ints(m.DegradedSites)
+	m.Sites, m.Streams = len(sites), len(streams)
+	return m
+}
+
+// History returns a series' retained frames oldest-first (nil when the
+// key is unknown) — the dashboard's chart source.
+func (f *Fleet) History(k Key) []Frame {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.series[k]
+	if st == nil {
+		return nil
+	}
+	out := make([]Frame, st.n)
+	for i := 0; i < st.n; i++ {
+		out[i] = st.at(i)
+	}
+	return out
+}
+
+// streamLabel renders the stream label value ("" is the default stream).
+func streamLabel(s string) string {
+	if s == "" {
+		return "default"
+	}
+	return s
+}
+
+// WritePrometheus writes the fleet's per-(site,stream) series and
+// fleet-level aggregates in the Prometheus text exposition format. The
+// caller may pre-write its own coordinator-local families on the same
+// PromWriter by wrapping this in a closure; pw state (family headers,
+// sticky error) carries across.
+func (f *Fleet) WritePrometheus(pw *obs.PromWriter) {
+	m := f.Snapshot()
+	for _, v := range m.Series {
+		ls := []obs.Label{
+			{Name: "site", Value: strconv.Itoa(v.Site)},
+			{Name: "stream", Value: streamLabel(v.Stream)},
+			{Name: "protocol", Value: v.Proto},
+		}
+		pw.Counter("distwindow_site_rows_total", "Rows observed by the site for this stream.", ls, float64(v.Rows))
+		pw.Counter("distwindow_site_msgs_total", "Estimate messages sent toward the coordinator.", ls, float64(v.Msgs))
+		pw.Counter("distwindow_site_words_total", "Communication words sent toward the coordinator (paper accounting).", ls, float64(v.Words))
+		pw.Counter("distwindow_site_replays_total", "Frames replayed by the resilient sender after reconnect.", ls, float64(v.Replays))
+		pw.Counter("distwindow_site_acked_total", "Frames acknowledged by the coordinator.", ls, float64(v.Acked))
+		pw.Gauge("distwindow_site_backlog", "Frames buffered awaiting acknowledgement.", ls, float64(v.Backlog))
+		pw.Counter("distwindow_site_dials_total", "Connection attempts by the resilient sender.", ls, float64(v.Dials))
+		pw.Counter("distwindow_site_dial_failures_total", "Failed connection attempts.", ls, float64(v.DialFails))
+		pw.Gauge("distwindow_site_ingest_rows_per_second", "Ingest rate derived from consecutive telemetry frames.", ls, v.RowsPerSec)
+		pw.Gauge("distwindow_site_words_per_second", "Communication rate derived from consecutive telemetry frames.", ls, v.WordsPerSec)
+		pw.Gauge("distwindow_site_words_per_window", "Words per sliding window (the paper's communication figure).", ls, v.WordsPerWindow)
+		if v.Eps > 0 {
+			pw.Gauge("distwindow_site_epsilon", "Configured error budget ε.", ls, v.Eps)
+			pw.Gauge("distwindow_site_epsilon_error", "Latest audited covariance error.", ls, v.Err)
+			pw.Gauge("distwindow_site_epsilon_headroom", "ε minus audited error (negative = violation).", ls, v.Headroom)
+			pw.Counter("distwindow_site_epsilon_violations_total", "Audit ticks whose error exceeded ε.", ls, float64(v.Violations))
+		}
+		deg := 0.0
+		if v.Degraded {
+			deg = 1
+		}
+		pw.Gauge("distwindow_site_degraded", "1 while the series is degraded (telemetry-stale or wire-stale).", ls, deg)
+	}
+	pw.Histogram("distwindow_update_latency_seconds", "Per-row update latency merged across the fleet.", nil, m.UpdateLat)
+	pw.Gauge("distwindow_fleet_series", "Tracked (site, stream) telemetry series.", nil, float64(len(m.Series)))
+	pw.Counter("distwindow_fleet_frames_total", "Telemetry frames folded into the fleet view.", nil, float64(m.FramesTotal))
+	pw.Counter("distwindow_fleet_dropped_frames_total", "Telemetry frames refused by the series cap.", nil, float64(m.DroppedFrames))
+	pw.Gauge("distwindow_fleet_degraded_sites", "Sites currently degraded (telemetry or wire liveness).", nil, float64(len(m.DegradedSites)))
+}
+
+// WritePrometheusTo is the io.Writer-facing form used by
+// obs.WithPrometheus: it creates the PromWriter, writes, and returns the
+// sticky error.
+func (f *Fleet) WritePrometheusTo(w io.Writer) error {
+	pw := obs.NewPromWriter(w)
+	f.WritePrometheus(pw)
+	return pw.Err()
+}

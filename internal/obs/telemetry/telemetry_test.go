@@ -1,0 +1,330 @@
+package telemetry
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distwindow/internal/obs"
+)
+
+// fakeClock is a settable time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestFleet(clk *fakeClock) *Fleet {
+	f := NewFleet()
+	f.now = clk.now
+	return f
+}
+
+func frameAt(site int, stream string, rows int64, at time.Time) Frame {
+	return Frame{Site: site, Stream: stream, Proto: "DA2", Rows: rows, Words: rows / 10, UnixNs: at.UnixNano()}
+}
+
+func TestFleetRatesFromRings(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	f := newTestFleet(clk)
+
+	// Site 0 publishes 100 rows/s for 4 seconds.
+	for i := int64(0); i <= 4; i++ {
+		f.Record(frameAt(0, "", i*100, clk.t.Add(time.Duration(i)*time.Second)))
+	}
+	m := f.Snapshot()
+	if len(m.Series) != 1 {
+		t.Fatalf("series = %d, want 1", len(m.Series))
+	}
+	v := m.Series[0]
+	if v.Rows != 400 {
+		t.Fatalf("latest rows = %d, want 400", v.Rows)
+	}
+	if v.RowsPerSec < 99 || v.RowsPerSec > 101 {
+		t.Fatalf("rows/s = %v, want ~100", v.RowsPerSec)
+	}
+	if v.Frames != 5 {
+		t.Fatalf("ring frames = %d, want 5", v.Frames)
+	}
+}
+
+func TestFleetRingEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	f := newTestFleet(clk)
+	f.SetRingCap(4)
+	for i := int64(0); i < 10; i++ {
+		f.Record(frameAt(1, "s", i, clk.t.Add(time.Duration(i)*time.Second)))
+	}
+	h := f.History(Key{Site: 1, Stream: "s"})
+	if len(h) != 4 {
+		t.Fatalf("history = %d frames, want ring cap 4", len(h))
+	}
+	if h[0].Rows != 6 || h[3].Rows != 9 {
+		t.Fatalf("ring kept wrong window: first=%d last=%d, want 6/9", h[0].Rows, h[3].Rows)
+	}
+	if f.Snapshot().FramesTotal != 10 {
+		t.Fatalf("FramesTotal = %d, want 10", f.Snapshot().FramesTotal)
+	}
+}
+
+func TestFleetCounterResetYieldsZeroRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	f := newTestFleet(clk)
+	f.Record(frameAt(0, "", 500, clk.t))
+	// The site restarted: counters reset below the previous frame.
+	f.Record(frameAt(0, "", 10, clk.t.Add(time.Second)))
+	if r := f.Snapshot().Series[0].RowsPerSec; r != 0 {
+		t.Fatalf("rate after counter reset = %v, want 0", r)
+	}
+}
+
+func TestFleetSeriesCapDropsNewKeys(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	f := newTestFleet(clk)
+	f.maxSeries = 2
+	f.Record(frameAt(0, "a", 1, clk.t))
+	f.Record(frameAt(0, "b", 1, clk.t))
+	f.Record(frameAt(0, "c", 1, clk.t)) // over the cap: dropped
+	f.Record(frameAt(0, "a", 2, clk.t)) // existing key: recorded
+	m := f.Snapshot()
+	if len(m.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(m.Series))
+	}
+	if m.DroppedFrames != 1 {
+		t.Fatalf("dropped = %d, want 1", m.DroppedFrames)
+	}
+	if m.FramesTotal != 3 {
+		t.Fatalf("recorded = %d, want 3", m.FramesTotal)
+	}
+}
+
+func TestFleetDegradedUnifiesTelemetryAndWireLiveness(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	f := newTestFleet(clk)
+	f.SetStaleAfter(5 * time.Second)
+	f.Record(frameAt(0, "", 1, clk.t))
+	f.Record(frameAt(1, "", 1, clk.t))
+
+	// Fresh: nobody degraded.
+	if m := f.Snapshot(); len(m.DegradedSites) != 0 {
+		t.Fatalf("fresh fleet degraded: %v", m.DegradedSites)
+	}
+
+	// Site 0 goes silent past the horizon; site 1 keeps publishing.
+	clk.advance(6 * time.Second)
+	f.Record(frameAt(1, "", 2, clk.t))
+	m := f.Snapshot()
+	if len(m.DegradedSites) != 1 || m.DegradedSites[0] != 0 {
+		t.Fatalf("degraded = %v, want [0]", m.DegradedSites)
+	}
+	for _, v := range m.Series {
+		if (v.Site == 0) != v.Degraded {
+			t.Fatalf("site %d Degraded=%v", v.Site, v.Degraded)
+		}
+	}
+
+	// The wire-liveness source adds site 7 (which never sent telemetry)
+	// and site 1 (telemetry-fresh but data-stale).
+	f.SetDegradedSource(func() []int { return []int{7, 1} })
+	m = f.Snapshot()
+	if len(m.DegradedSites) != 3 {
+		t.Fatalf("unified degraded = %v, want [0 1 7]", m.DegradedSites)
+	}
+	for i, want := range []int{0, 1, 7} {
+		if m.DegradedSites[i] != want {
+			t.Fatalf("unified degraded = %v, want [0 1 7]", m.DegradedSites)
+		}
+	}
+}
+
+func TestFleetMergesHistograms(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	f := newTestFleet(clk)
+	var h1, h2 obs.Histogram
+	h1.Observe(time.Microsecond)
+	h2.Observe(time.Millisecond)
+	h2.Observe(time.Millisecond)
+	fr1 := frameAt(0, "", 1, clk.t)
+	fr1.UpdateLat = h1.Snapshot()
+	fr2 := frameAt(1, "", 1, clk.t)
+	fr2.UpdateLat = h2.Snapshot()
+	f.Record(fr1)
+	f.Record(fr2)
+	lat := f.Snapshot().UpdateLat
+	if lat.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", lat.Count)
+	}
+}
+
+func TestFleetWritePrometheus(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	f := newTestFleet(clk)
+	fr := frameAt(3, "tenant-a", 1000, clk.t)
+	fr.Eps = 0.2
+	fr.Headroom = 0.15
+	fr.WordsPerWindow = 123
+	var h obs.Histogram
+	h.Observe(time.Microsecond)
+	fr.UpdateLat = h.Snapshot()
+	f.Record(fr)
+	f.Record(frameAt(4, "", 50, clk.t))
+
+	var b strings.Builder
+	if err := f.WritePrometheusTo(&b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	text := b.String()
+	samples, err := obs.ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("fleet exposition does not parse: %v\n%s", err, text)
+	}
+	want := map[string]bool{
+		"distwindow_site_rows_total":              false,
+		"distwindow_site_words_per_window":        false,
+		"distwindow_site_epsilon_headroom":        false,
+		"distwindow_site_degraded":                false,
+		"distwindow_update_latency_seconds_count": false,
+		"distwindow_fleet_series":                 false,
+	}
+	foundLabels := false
+	for _, s := range samples {
+		if _, ok := want[s.Name]; ok {
+			want[s.Name] = true
+		}
+		if s.Name == "distwindow_site_rows_total" {
+			var site, stream, proto string
+			for _, l := range s.Labels {
+				switch l.Name {
+				case "site":
+					site = l.Value
+				case "stream":
+					stream = l.Value
+				case "protocol":
+					proto = l.Value
+				}
+			}
+			if site == "3" && stream == "tenant-a" && proto == "DA2" {
+				foundLabels = true
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("exposition missing %s:\n%s", name, text)
+		}
+	}
+	if !foundLabels {
+		t.Errorf("no rows sample with site/stream/protocol labels:\n%s", text)
+	}
+	// The default stream is labeled "default", never empty.
+	if strings.Contains(text, `stream=""`) {
+		t.Errorf("empty stream label leaked:\n%s", text)
+	}
+	// ε families are omitted for the auditor-less series, not zero-filled.
+	for _, s := range samples {
+		if s.Name == "distwindow_site_epsilon" {
+			if v, _ := findSite(s.Labels); v == "4" {
+				t.Errorf("epsilon emitted for auditor-less site 4")
+			}
+		}
+	}
+}
+
+func findSite(ls []obs.Label) (string, bool) {
+	for _, l := range ls {
+		if l.Name == "site" {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+func TestPublisherStampsAndCounts(t *testing.T) {
+	var got []Frame
+	fail := false
+	p := NewPublisher(
+		func() Frame { return Frame{Site: 2, Stream: "x", Rows: 9} },
+		func(fr Frame) error {
+			if fail {
+				return errors.New("conn down")
+			}
+			got = append(got, fr)
+			return nil
+		},
+	)
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	p.now = clk.now
+
+	if err := p.Publish(); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if len(got) != 1 || got[0].UnixNs != clk.t.UnixNano() || got[0].Rows != 9 {
+		t.Fatalf("published frame = %+v", got)
+	}
+	fail = true
+	if err := p.Publish(); err == nil {
+		t.Fatalf("publish swallowed the send error")
+	}
+	if p.Sent() != 1 || p.Dropped() != 1 {
+		t.Fatalf("sent/dropped = %d/%d, want 1/1", p.Sent(), p.Dropped())
+	}
+}
+
+func TestPublisherTicker(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	p := NewPublisher(
+		func() Frame { return Frame{} },
+		func(Frame) error { mu.Lock(); n++; mu.Unlock(); return nil },
+	)
+	p.Start(2 * time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	p.Stop()
+	mu.Lock()
+	final := n
+	mu.Unlock()
+	// Stop publishes one final frame, so at least that one must land even
+	// on a slow machine.
+	if final < 1 {
+		t.Fatalf("ticker published %d frames, want ≥ 1", final)
+	}
+	// No more frames after Stop.
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	after := n
+	mu.Unlock()
+	if after != final {
+		t.Fatalf("publisher kept ticking after Stop: %d -> %d", final, after)
+	}
+}
+
+func TestDashboardRenders(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	f := newTestFleet(clk)
+	for i := int64(0); i < 5; i++ {
+		fr := frameAt(0, "", i*50, clk.t.Add(time.Duration(i)*time.Second))
+		fr.Eps, fr.Headroom = 0.2, 0.1
+		f.Record(fr)
+	}
+	page := f.Dashboard()
+	for _, want := range []string{"<table>", "fleet telemetry", "<svg", "ingest rate", "ε-headroom"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("dashboard Content-Type = %q", ct)
+	}
+}

@@ -166,6 +166,33 @@ func (s *ResilientSender) Send(m Msg) error {
 	return nil
 }
 
+// SendBestEffort writes one message on the current connection without
+// entering the delivery machinery: no sequence number, no backlog, no
+// replay. With no live connection it tries one dial (inside the backoff
+// window) and otherwise reports an error — the message is dropped, which
+// is the contract telemetry frames want: a fleet snapshot competes with
+// nothing, and the next ticker interval brings a fresher one anyway. An
+// encode failure drops the connection exactly like a data-path failure,
+// so the estimate traffic redials and replays as usual.
+func (s *ResilientSender) SendBestEffort(m Msg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m.Seq = 0
+	if s.conn == nil {
+		// Reuse the data path's dial/backoff by draining (possibly nothing):
+		// drainLocked dials when allowed and leaves conn set on success.
+		s.drainLocked()
+		if s.conn == nil {
+			return fmt.Errorf("wire: no connection for best-effort send")
+		}
+	}
+	if err := s.enc.Encode(m); err != nil {
+		s.dropConnLocked()
+		return err
+	}
+	return nil
+}
+
 // Flush attempts to deliver everything buffered; it returns the number of
 // messages still pending. On an acknowledged transport, pending counts
 // unacknowledged messages — a frame already written may remain pending

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"distwindow/internal/obs"
+	"distwindow/internal/obs/telemetry"
 	"distwindow/internal/trace"
 	"distwindow/mat"
 )
@@ -74,6 +75,16 @@ type Msg struct {
 	// stream has its own coordinator estimate, its own sequence space and
 	// its own dedup/liveness record.
 	StreamID string
+	// Tele carries a telemetry frame (Telemetry kind only, nil otherwise).
+	// Telemetry rides the same connection as the estimate traffic but
+	// outside the seq/ack space: frames are unsequenced (Seq 0), never
+	// acked, never deduped, and never touch the estimates or the delivery
+	// counters, so enabling telemetry cannot perturb a deterministic data
+	// soak. The usual gob field-matching keeps both directions compatible:
+	// a pre-telemetry coordinator decodes the unknown field away and
+	// rejects the unknown kind without dropping the connection (see
+	// PROTOCOLS.md).
+	Tele *TeleFrame
 }
 
 // Ack acknowledges every sequenced frame of one (connection, stream) up
@@ -93,11 +104,13 @@ type Ack struct {
 type Kind uint8
 
 // Message kinds: directions add/remove vᵀv from the coordinator's Ĉ;
-// SumDelta adjusts the scalar estimate.
+// SumDelta adjusts the scalar estimate; Telemetry carries a metrics frame
+// for the fleet view (never part of the estimate or the seq/ack space).
 const (
 	DirectionAdd Kind = iota
 	DirectionRemove
 	SumDelta
+	Telemetry
 )
 
 // Coordinator receives messages from any number of sites and maintains,
@@ -123,15 +136,20 @@ type Coordinator struct {
 	def     streamEst
 	streams map[string]*streamEst
 
-	msgs    obs.Counter
-	bytes   obs.Counter
-	perKind [3]obs.Counter
-	badMsgs obs.Counter
-	dups    obs.Counter
-	acks    obs.Counter
-	conns   obs.Gauge
-	sink    obs.Sink
-	tracer  *trace.Tracer
+	msgs     obs.Counter
+	bytes    obs.Counter
+	perKind  [3]obs.Counter
+	badMsgs  obs.Counter
+	dups     obs.Counter
+	acks     obs.Counter
+	teleMsgs obs.Counter
+	conns    obs.Gauge
+	sink     obs.Sink
+	tracer   *trace.Tracer
+	// fleet aggregates telemetry frames when EnableTelemetry has been
+	// called (nil = frames are counted and discarded). Install before
+	// serving; read without synchronization, like sink and tracer.
+	fleet *telemetry.Fleet
 
 	// Per-(site, stream) delivery and liveness state: highest consumed
 	// sequence number (the dedup horizon for replayed frames) and when the
@@ -267,6 +285,17 @@ func (c *Coordinator) admit(m Msg) bool {
 // in DupMsgs, reported as EvMsgDeduped — and return nil: a replayed delta
 // was applied exactly once already.
 func (c *Coordinator) Apply(m Msg) error {
+	if m.Kind == Telemetry {
+		// Telemetry bypasses admit() and the traffic counters entirely: it
+		// must not advance dedup horizons, refresh data-plane liveness or
+		// perturb Msgs/Bytes, so a soak with telemetry enabled stays
+		// bit-identical to one without.
+		c.teleMsgs.Inc()
+		if c.fleet != nil && m.Tele != nil {
+			c.fleet.Record(*m.Tele)
+		}
+		return nil
+	}
 	if m.Site >= 0 {
 		if !c.admit(m) {
 			return nil
@@ -452,6 +481,10 @@ type CoordinatorMetrics struct {
 	DupMsgs int64
 	// AckedMsgs counts acknowledgements written back to sites.
 	AckedMsgs int64
+	// TelemetryFrames counts telemetry frames received (recorded into the
+	// fleet view when telemetry is enabled, discarded otherwise). Never
+	// part of Msgs/Bytes — telemetry stays outside the data accounting.
+	TelemetryFrames int64
 	// SitesSeen is the number of distinct site ids heard from.
 	SitesSeen int64
 	// Streams is the number of distinct logical streams heard from (the
@@ -488,6 +521,7 @@ func (c *Coordinator) Metrics() CoordinatorMetrics {
 		BadMsgs:          c.badMsgs.Load(),
 		DupMsgs:          c.dups.Load(),
 		AckedMsgs:        c.acks.Load(),
+		TelemetryFrames:  c.teleMsgs.Load(),
 		SitesSeen:        seen,
 		Streams:          nstreams,
 		StaleSites:       stale,
@@ -499,7 +533,18 @@ func (c *Coordinator) Metrics() CoordinatorMetrics {
 // CoordinatorMetrics), GET /healthz and /debug/vars, for mounting on an
 // operations listener next to the site listener. Options add opt-in
 // debug endpoints (obs.WithPprof, obs.WithHandler for /debug/trace).
+//
+// With telemetry enabled (EnableTelemetry), /metrics also content-
+// negotiates the Prometheus text exposition — coordinator counters plus
+// the per-(site, stream) fleet series — and /debug/fleet serves the
+// fleet dashboard.
 func (c *Coordinator) MetricsMux(opts ...obs.MuxOption) *http.ServeMux {
+	if c.fleet != nil {
+		opts = append([]obs.MuxOption{
+			obs.WithPrometheus(c.WritePrometheusTo),
+			obs.WithHandler("/debug/fleet", c.fleet.Handler()),
+		}, opts...)
+	}
 	return obs.Mux(
 		func() (any, bool) { return c.Metrics(), true },
 		nil,

@@ -1,10 +1,12 @@
 package distwindow
 
 import (
+	"io"
 	"net/http"
 
 	"distwindow/internal/core"
 	"distwindow/internal/obs"
+	"distwindow/internal/obs/telemetry"
 	"distwindow/internal/protocol"
 )
 
@@ -131,14 +133,17 @@ func (t *Tracker) SetSink(s Sink) {
 }
 
 // MetricsHandler returns an http.Handler serving the tracker's snapshot:
-// GET /metrics (JSON Metrics), GET /healthz, and expvar under /debug/vars.
+// GET /metrics (JSON Metrics by default; the Prometheus text exposition
+// when the request's Accept header prefers text/plain or ?format=prom
+// asks for it), GET /healthz, and expvar under /debug/vars.
 // When tracing or auditing is enabled (EnableTracing, EnableAudit) it also
 // mounts /debug/trace (Chrome trace-event JSON) and /debug/audit (SVG
 // error panel); further endpoints can be added with options (WithPprof,
 // WithHandler). Mount it on any mux; the handler snapshots atomically, so
 // it is safe while the tracker ingests on another goroutine.
 func (t *Tracker) MetricsHandler(opts ...MuxOption) http.Handler {
-	all := make([]obs.MuxOption, 0, len(opts)+2)
+	all := make([]obs.MuxOption, 0, len(opts)+3)
+	all = append(all, obs.WithPrometheus(t.WritePrometheusTo))
 	if t.traceRing != nil {
 		all = append(all, obs.WithHandler("/debug/trace", t.traceRing.Handler()))
 	}
@@ -151,6 +156,57 @@ func (t *Tracker) MetricsHandler(opts ...MuxOption) http.Handler {
 		func() bool { return true },
 		all...,
 	)
+}
+
+// WritePrometheusTo writes the tracker's metrics in the Prometheus text
+// exposition format (text/plain; version=0.0.4) — the format
+// MetricsHandler serves to scrapers via content negotiation.
+func (t *Tracker) WritePrometheusTo(w io.Writer) error {
+	pw := obs.NewPromWriter(w)
+	m := t.Metrics()
+	ls := []obs.Label{{Name: "protocol", Value: m.Protocol}}
+	pw.Counter("distwindow_rows_total", "Rows delivered into the protocol.", ls, float64(m.Rows))
+	pw.Counter("distwindow_stale_drops_total", "Rows rejected for out-of-order timestamps.", ls, float64(m.StaleDrops))
+	pw.Counter("distwindow_skew_drops_total", "Rows dropped by the skew machinery.", ls, float64(m.SkewDropped))
+	pw.Counter("distwindow_queries_total", "Coordinator sketch queries.", ls, float64(m.Queries))
+	pw.Gauge("distwindow_live_buckets", "Sampled total histogram bucket count across sites.", ls, float64(m.LiveBuckets))
+	pw.Counter("distwindow_words_up_total", "Words sent from sites to the coordinator.", ls, float64(m.Net.WordsUp))
+	pw.Counter("distwindow_words_down_total", "Words sent from the coordinator to sites.", ls, float64(m.Net.WordsDown))
+	pw.Gauge("distwindow_max_site_words", "Maximum words of state held by any site.", ls, float64(m.Net.MaxSiteWords))
+	pw.Histogram("distwindow_update_latency_seconds", "Sampled per-row update latency.", ls, m.UpdateLatency)
+	if m.Audit != nil {
+		pw.Gauge("distwindow_epsilon", "Configured error budget ε.", ls, m.Audit.Eps)
+		pw.Gauge("distwindow_epsilon_error", "Latest audited covariance error.", ls, m.Audit.LastErr)
+		pw.Gauge("distwindow_epsilon_headroom", "ε minus the latest audited error.", ls, m.Audit.Headroom)
+		pw.Gauge("distwindow_words_per_window", "Latest communication-per-window figure.", ls, m.Audit.WordsPerWindow)
+		pw.Counter("distwindow_epsilon_violations_total", "Audit ticks whose error exceeded ε.", ls, float64(m.Audit.Violations))
+	}
+	return pw.Err()
+}
+
+// TelemetryFrame snapshots the tracker as a fleet telemetry frame for
+// site and stream — the collect seam for telemetry publishers in
+// single-binary deployments (sketchd -serve) and for the coordinator
+// process publishing its own local series into the fleet it aggregates.
+func (t *Tracker) TelemetryFrame(site int, stream string) telemetry.Frame {
+	m := t.Metrics()
+	fr := telemetry.Frame{
+		Site:      site,
+		Stream:    stream,
+		Proto:     m.Protocol,
+		Rows:      m.Rows,
+		Msgs:      m.Net.MsgsUp,
+		Words:     m.Net.WordsUp,
+		UpdateLat: m.UpdateLatency,
+	}
+	if m.Audit != nil {
+		fr.Eps = m.Audit.Eps
+		fr.Err = m.Audit.LastErr
+		fr.Headroom = m.Audit.Headroom
+		fr.WordsPerWindow = m.Audit.WordsPerWindow
+		fr.Violations = m.Audit.Violations
+	}
+	return fr
 }
 
 // PublishExpvar publishes the tracker's Metrics snapshot as an expvar

@@ -3,6 +3,7 @@ package distwindow
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync/atomic"
@@ -229,10 +230,51 @@ func (r *Registry) MetricsHandler(opts ...MuxOption) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(out)
 	})
-	all := append([]MuxOption{obs.WithHandler("/streams", streams)}, opts...)
+	all := append([]MuxOption{
+		obs.WithHandler("/streams", streams),
+		obs.WithPrometheus(r.WritePrometheusTo),
+	}, opts...)
 	return obs.Mux(
 		func() (any, bool) { return r.Metrics(), true },
 		func() bool { return true },
 		all...,
 	)
+}
+
+// WritePrometheusTo writes the registry's aggregate counters plus one
+// per-stream series set (rows, words, update latency, labeled by stream
+// and protocol) in the Prometheus text exposition format — what
+// MetricsHandler serves to scrapers via content negotiation. With
+// thousands of streams the exposition grows linearly; scrape accordingly
+// or front it with the aggregate-only JSON view.
+func (r *Registry) WritePrometheusTo(w io.Writer) error {
+	pw := obs.NewPromWriter(w)
+	m := r.Metrics()
+	pw.Gauge("distwindow_registry_streams", "Currently open streams.", nil, float64(m.Streams))
+	pw.Counter("distwindow_registry_opened_total", "Streams opened since creation.", nil, float64(m.Opened))
+	pw.Counter("distwindow_registry_evicted_total", "Streams evicted since creation.", nil, float64(m.Evicted))
+	pw.Gauge("distwindow_registry_pooled_workspaces", "Idle pooled decomposition workspaces.", nil, float64(m.PooledWorkspaces))
+	pw.Gauge("distwindow_registry_pooled_rows", "Idle pooled mEH rows.", nil, float64(m.PooledRows))
+	pw.Gauge("distwindow_registry_pooled_sketches", "Idle pooled sketches.", nil, float64(m.PooledSketches))
+	names := make([]string, 0, len(m.Events))
+	for name := range m.Events {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pw.Counter("distwindow_registry_events_total", "Observability events across every stream, by kind.",
+			[]obs.Label{{Name: "kind", Value: name}}, float64(m.Events[name]))
+	}
+	r.entries.Range(func(id string, e *registryEntry) bool {
+		sm := e.t.Metrics()
+		ls := []obs.Label{
+			{Name: "stream", Value: id},
+			{Name: "protocol", Value: sm.Protocol},
+		}
+		pw.Counter("distwindow_stream_rows_total", "Rows delivered into the stream's protocol.", ls, float64(sm.Rows))
+		pw.Counter("distwindow_stream_words_up_total", "Stream words sent from sites to the coordinator.", ls, float64(sm.Net.WordsUp))
+		pw.Histogram("distwindow_stream_update_latency_seconds", "Sampled per-row update latency.", ls, sm.UpdateLatency)
+		return true
+	})
+	return pw.Err()
 }
