@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json fuzz chaos fleet-smoke experiments examples fmt vet lint clean
+.PHONY: all build test test-short race cover bench bench-json fuzz fuzz-smoke chaos fleet-smoke experiments examples fmt vet lint clean
 
 all: build test
 
@@ -28,18 +28,26 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Headline performance figures (ingest rate, words/window, sketch-query
-# latency, parallel-vs-sequential ingest ratio at 8 sites, and the
-# multi-stream registry streams × workers throughput grid) on a fixed
-# reference workload, written as BENCH_PR7.json for machine comparison
-# across changes.
+# latency, parallel-vs-sequential ingest ratio at 8 sites, the
+# multi-stream registry streams × workers throughput grid, and the
+# gob-vs-binary-v2 wire codec comparison) on a fixed reference workload,
+# written as BENCH_PR8.json for machine comparison across changes.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
 
 # Short fuzz sessions over the invariant fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzHistogramInvariant -fuzztime=30s ./internal/eh/
 	$(GO) test -fuzz=FuzzSketchGuarantee -fuzztime=30s ./internal/fd/
 	$(GO) test -fuzz=FuzzSkewBufferOrdering -fuzztime=30s ./internal/stream/
+
+# Short fuzz sessions over the binary v2 wire decoder: arbitrary bytes
+# must never panic, never loop, and only ever fail with a frame-local
+# CorruptFrameError or an EOF-shaped transport error. The CI fuzz job
+# runs exactly this target.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeMsg -fuzztime=30s ./internal/wire/codec/
+	$(GO) test -fuzz=FuzzDecodeAck -fuzztime=30s ./internal/wire/codec/
 
 # Seeded chaos soak under the race detector: replays the same workload
 # fault-free and under injected transport faults plus a site crash, and

@@ -44,6 +44,7 @@ import (
 func main() {
 	var (
 		proto   = flag.String("proto", "da2", "protocol: da1 or da2")
+		codecF  = flag.String("codec", "gob", "wire framing: gob (legacy) or v2 (binary, CRC-checked, coalesced writes)")
 		m       = flag.Int("sites", 8, "number of site connections")
 		rows    = flag.Int("rows", 30_000, "rows to stream")
 		d       = flag.Int("d", 24, "row dimension")
@@ -71,6 +72,10 @@ func main() {
 	)
 	flag.Parse()
 
+	cdc, ok := wire.CodecByName(*codecF)
+	if !ok {
+		log.Fatalf("unknown -codec %q (want gob or v2)", *codecF)
+	}
 	chaosOn := *chDrop > 0 || *chCut > 0 || *chDup > 0 || *chDelay > 0 || *chDial > 0
 	if chaosOn && !*resilient {
 		log.Fatal("-chaos-* flags inject faults the bare sender cannot survive; add -resilient")
@@ -90,7 +95,7 @@ func main() {
 		runMultiStream(*proto, *m, *nStream, *rows, *d, *w, *eps, *seed, chaos.Config{
 			Seed: *chSeed, PDrop: *chDrop, PCut: *chCut, PDup: *chDup,
 			PDelay: *chDelay, PDialFail: *chDial,
-		}, *tele, *teleEvery)
+		}, *tele, *teleEvery, cdc)
 		return
 	}
 
@@ -98,10 +103,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	coord := wire.NewCoordinator(*d)
-	if *tele {
-		coord.EnableTelemetry()
+	// Tracing: every site goroutine owns a Tracer (the current-span chain
+	// is single-goroutine) but all record into one shared ring, and the
+	// coordinator's apply spans join the sites' traces via the context the
+	// frames carry.
+	var ring *trace.Ring
+	var copts []wire.CoordinatorOption
+	if *traceN > 0 {
+		ring = trace.NewRing(0)
+		copts = append(copts, wire.WithTracer(trace.New(ring, *traceN)))
 	}
+	if *tele {
+		copts = append(copts, wire.WithTelemetry())
+	}
+	if *resilient {
+		copts = append(copts, wire.WithStaleAfter(2*time.Second))
+	}
+	coord := wire.NewCoordinator(*d, copts...)
 
 	// One shared injector gives the whole run a single seeded fault stream;
 	// every site's dials and connections draw from it.
@@ -112,20 +130,6 @@ func main() {
 			PDelay: *chDelay, PDialFail: *chDial,
 		})
 	}
-	if *resilient {
-		coord.SetStaleAfter(2 * time.Second)
-	}
-
-	// Tracing: every site goroutine owns a Tracer (the current-span chain
-	// is single-goroutine) but all record into one shared ring, and the
-	// coordinator's apply spans join the sites' traces via the context the
-	// frames carry.
-	var ring *trace.Ring
-	if *traceN > 0 {
-		ring = trace.NewRing(0)
-		coord.SetTracer(trace.New(ring, *traceN))
-	}
-
 	// The live auditor shadows the exact union window in the coordinator
 	// process and checks the assembled sketch against ε as rows stream in.
 	// Transient violations are expected over a real network: each audit
@@ -213,10 +217,14 @@ func main() {
 				if inj != nil {
 					dial = inj.Dial(dial)
 				}
-				rs := wire.NewResilientSenderFunc(dial)
-				rs.BackoffBase = 5 * time.Millisecond
-				rs.BackoffMax = 200 * time.Millisecond
-				rs.SetJitterSeed(*chSeed + int64(si))
+				rs, err := wire.DialFunc(dial, wire.WithCodec(cdc), wire.WithResilience(wire.ResilienceConfig{
+					BackoffBase: 5 * time.Millisecond,
+					BackoffMax:  200 * time.Millisecond,
+					JitterSeed:  *chSeed + int64(si),
+				}))
+				if err != nil {
+					log.Fatal(err)
+				}
 				resSenders[si] = rs
 				sender = rs
 				defer func() {
@@ -239,7 +247,10 @@ func main() {
 					drain()
 					return
 				}
-				cs := wire.NewConnSender(conn)
+				cs, err := wire.NewSender(conn, wire.WithCodec(cdc))
+				if err != nil {
+					log.Fatal(err)
+				}
 				defer cs.Close()
 				sender = cs
 			}
@@ -313,7 +324,7 @@ func main() {
 	}
 	b := coord.Sketch()
 	cm := coord.Metrics()
-	fmt.Printf("protocol:         %s over TCP, %d sites\n", *proto, *m)
+	fmt.Printf("protocol:         %s over TCP (%s framing), %d sites\n", *proto, cdc, *m)
 	fmt.Printf("streamed:         %d rows (d=%d) in %v\n", *rows, *d, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("covariance error: %.4f (target ε=%.3g)\n", truth.CovErr(*d, b), *eps)
 	fmt.Printf("wire traffic:     %d messages, %.1f KiB payload\n", cm.Msgs, float64(cm.Bytes)/1024)

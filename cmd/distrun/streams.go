@@ -27,7 +27,7 @@ import (
 // With telemetry on, each site runs one publisher over its shared sender
 // (stream "", aggregating rows across the multiplexed streams) and the
 // run ends with the coordinator's fleet report.
-func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64, seed int64, chCfg chaos.Config, tele bool, teleEvery time.Duration) {
+func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64, seed int64, chCfg chaos.Config, tele bool, teleEvery time.Duration, cdc wire.Codec) {
 	perStream := rows / nStream
 	if perStream < 1 {
 		log.Fatalf("-rows %d spread over -streams %d leaves no rows per stream", rows, nStream)
@@ -41,11 +41,11 @@ func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64,
 	if err != nil {
 		log.Fatal(err)
 	}
-	coord := wire.NewCoordinator(d)
-	coord.SetStaleAfter(2 * time.Second)
+	copts := []wire.CoordinatorOption{wire.WithStaleAfter(2 * time.Second)}
 	if tele {
-		coord.EnableTelemetry()
+		copts = append(copts, wire.WithTelemetry())
 	}
+	coord := wire.NewCoordinator(d, copts...)
 	go coord.Serve(ln)
 	fmt.Printf("coordinator listening on %s (%d logical streams over %d connections)\n", ln.Addr(), nStream, m)
 
@@ -94,10 +94,14 @@ func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64,
 			if inj != nil {
 				dial = inj.Dial(dial)
 			}
-			rs := wire.NewResilientSenderFunc(dial)
-			rs.BackoffBase = 5 * time.Millisecond
-			rs.BackoffMax = 200 * time.Millisecond
-			rs.SetJitterSeed(seed + int64(si))
+			rs, err := wire.DialFunc(dial, wire.WithCodec(cdc), wire.WithResilience(wire.ResilienceConfig{
+				BackoffBase: 5 * time.Millisecond,
+				BackoffMax:  200 * time.Millisecond,
+				JitterSeed:  seed + int64(si),
+			}))
+			if err != nil {
+				log.Fatal(err)
+			}
 			senders[si] = rs
 			defer rs.Close()
 			defer func() {
@@ -125,7 +129,7 @@ func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64,
 			advance := make([]func(int64) error, nStream)
 			cfg := wire.SiteConfig{ID: si, D: d, W: w, Eps: eps}
 			for k := 0; k < nStream; k++ {
-				out := wire.StreamOf(rs, ids[k])
+				out := rs.Stream(ids[k])
 				switch proto {
 				case "da1":
 					s, err := wire.NewDA1Site(cfg, out)
@@ -203,7 +207,7 @@ func runMultiStream(proto string, m, nStream, rows, d int, w int64, eps float64,
 		rm.Replayed += sm.Replayed
 		rm.Pending += sm.Pending
 	}
-	fmt.Printf("protocol:         %s over TCP, %d sites × %d streams\n", proto, m, nStream)
+	fmt.Printf("protocol:         %s over TCP (%s framing), %d sites × %d streams\n", proto, cdc, m, nStream)
 	fmt.Printf("streamed:         %d rows (%d per stream, d=%d) in %v\n",
 		len(evs), perStream, d, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("covariance error: mean %.4f, worst %.4f (%s), target ε=%.3g\n",

@@ -100,7 +100,7 @@ func wrapDA2(s *DA2Site) *soakSite {
 // inj non-nil every connection draws faults from it; with crash true,
 // site 0 is killed mid-stream and resumed from its last checkpoint plus a
 // re-feed of the rows observed since — the crashed process's input replay.
-func runSoak(t *testing.T, proto string, inj *chaos.Injector, crash bool) soakResult {
+func runSoak(t *testing.T, proto string, inj *chaos.Injector, crash bool, cdc Codec) soakResult {
 	t.Helper()
 	const (
 		d       = 6
@@ -129,10 +129,14 @@ func runSoak(t *testing.T, proto string, inj *chaos.Injector, crash bool) soakRe
 		if inj != nil {
 			dial = inj.Dial(dial)
 		}
-		s := NewResilientSenderFunc(dial)
-		s.BackoffBase = time.Millisecond
-		s.BackoffMax = 8 * time.Millisecond
-		s.SetJitterSeed(jitterSeed)
+		s, err := DialFunc(dial, WithCodec(cdc), WithResilience(ResilienceConfig{
+			BackoffBase: time.Millisecond,
+			BackoffMax:  8 * time.Millisecond,
+			JitterSeed:  jitterSeed,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
 		return s
 	}
 
@@ -238,13 +242,13 @@ func soakInjector() *chaos.Injector {
 	})
 }
 
-func runChaosSoak(t *testing.T, proto string) {
+func runChaosSoak(t *testing.T, proto string, cdc Codec) {
 	if testing.Short() {
 		t.Skip("chaos soak is a multi-second TCP test")
 	}
-	clean := runSoak(t, proto, nil, false)
+	clean := runSoak(t, proto, nil, false, cdc)
 	inj := soakInjector()
-	faulty := runSoak(t, proto, inj, true)
+	faulty := runSoak(t, proto, inj, true, cdc)
 
 	if len(clean.chat) != len(faulty.chat) {
 		t.Fatalf("estimate sizes differ: %d vs %d", len(clean.chat), len(faulty.chat))
@@ -274,6 +278,13 @@ func runChaosSoak(t *testing.T, proto string) {
 	t.Logf("proto %s: %d applied msgs, %d deduped replays; chaos %+v", proto, faulty.cm.Msgs, faulty.cm.DupMsgs, st)
 }
 
-func TestChaosSoakDA1(t *testing.T)  { runChaosSoak(t, "da1") }
-func TestChaosSoakDA2(t *testing.T)  { runChaosSoak(t, "da2") }
-func TestChaosSoakDA2C(t *testing.T) { runChaosSoak(t, "da2c") }
+func TestChaosSoakDA1(t *testing.T)  { runChaosSoak(t, "da1", Gob) }
+func TestChaosSoakDA2(t *testing.T)  { runChaosSoak(t, "da2", Gob) }
+func TestChaosSoakDA2C(t *testing.T) { runChaosSoak(t, "da2c", Gob) }
+
+// The binary v2 soaks pin the codec-independence of the delivery
+// guarantee: the same workload under the same seeded faults must produce
+// the same bit-identical estimate whether the frames travel as gob or as
+// v2 binary (with its coalesced batches and CRC-checked frames).
+func TestChaosSoakDA1BinaryV2(t *testing.T) { runChaosSoak(t, "da1", BinaryV2) }
+func TestChaosSoakDA2BinaryV2(t *testing.T) { runChaosSoak(t, "da2", BinaryV2) }

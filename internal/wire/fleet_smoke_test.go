@@ -23,7 +23,10 @@ import (
 // exposition is syntactically valid, carries per-(site, stream) series
 // with site/stream/protocol labels from live telemetry, and the data
 // plane stayed exactly-once under the injected faults.
-func TestFleetSmoke(t *testing.T) {
+func TestFleetSmoke(t *testing.T)         { runFleetSmoke(t, Gob) }
+func TestFleetSmokeBinaryV2(t *testing.T) { runFleetSmoke(t, BinaryV2) }
+
+func runFleetSmoke(t *testing.T, cdc Codec) {
 	const sites = 2
 	const rowsPerSite = 200
 
@@ -49,9 +52,13 @@ func TestFleetSmoke(t *testing.T) {
 	var fleetSites [sites]*site
 	for i := 0; i < sites; i++ {
 		s := &site{}
-		s.sender = NewResilientSenderFunc(inj.Dial(func() (io.WriteCloser, error) {
+		sender, err := DialFunc(inj.Dial(func() (io.WriteCloser, error) {
 			return net.DialTimeout("tcp", addr, time.Second)
-		}))
+		}), WithCodec(cdc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.sender = sender
 		stream := fmt.Sprintf("stream-%c", 'a'+i)
 		base := CollectSite(i, stream, "SUM", s.rows.Load, s.sender)
 		var lat obs.Histogram

@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"distwindow/internal/obs"
+	"distwindow/internal/trace"
+)
+
+// This file is the transport construction API: NewSender/Dial/DialFunc
+// for the site side and the CoordinatorOption set for NewCoordinator,
+// mirroring the facade's New(cfg, opts...) idiom. The pre-options
+// constructors (NewConnSender, NewResilientSender, NewResilientSenderFunc)
+// and mutators (SetSink, SetTracer, SetStaleAfter) remain as thin
+// deprecated shims over this API.
+
+// ErrOptionUnsupported reports an option that does not apply to the
+// transport being built — e.g. WithResilience on NewSender, whose fixed
+// connection cannot redial. Callers can errors.Is against it.
+var ErrOptionUnsupported = errors.New("wire: option not supported by this transport")
+
+// SenderOption configures a sender built by NewSender, Dial or DialFunc.
+type SenderOption func(*senderOptions) error
+
+type senderOptions struct {
+	codec     Codec
+	stream    string
+	res       *ResilienceConfig
+	resilient bool // the transport being built can honor WithResilience
+}
+
+// WithCodec selects the wire framing (Gob or BinaryV2). The default is
+// Gob — the frame format every coordinator understands; BinaryV2 needs a
+// codec-aware coordinator (see PROTOCOLS.md's negotiation matrix).
+func WithCodec(c Codec) SenderOption {
+	return func(o *senderOptions) error {
+		if c == nil {
+			return errors.New("wire: WithCodec(nil)")
+		}
+		o.codec = c
+		return nil
+	}
+}
+
+// WithStream sets the sender's default stream id: messages sent with an
+// empty StreamID are stamped with it. Messages already stamped (e.g. via
+// the Stream view) pass through unchanged, so a sender with a default
+// stream can still multiplex others.
+func WithStream(id string) SenderOption {
+	return func(o *senderOptions) error {
+		o.stream = id
+		return nil
+	}
+}
+
+// ResilienceConfig tunes the resilient delivery machinery; the zero
+// value of each field keeps the corresponding default documented on
+// ResilientSender.
+type ResilienceConfig struct {
+	// DialTimeout bounds each reconnection attempt (default 5s for Dial,
+	// 1s for DialFunc).
+	DialTimeout time.Duration
+	// MaxBacklog bounds buffered unacknowledged messages (0 = unlimited).
+	MaxBacklog int
+	// MaxInflight is the per-connection flow-control window (0 keeps the
+	// default of 64; negative = unlimited).
+	MaxInflight int
+	// BackoffBase and BackoffMax bound the exponential dial backoff.
+	// Dial defaults to 50ms/5s; DialFunc leaves backoff disabled unless
+	// BackoffBase is set.
+	BackoffBase, BackoffMax time.Duration
+	// JitterSeed seeds the dial-jitter RNG for reproducible runs (0 =
+	// time-seeded for Dial, fixed seed 1 for DialFunc, as before).
+	JitterSeed int64
+	// DiscardPending lets Close drop undelivered messages silently.
+	DiscardPending bool
+}
+
+// WithResilience tunes the reconnect/replay machinery of a sender built
+// by Dial or DialFunc. NewSender rejects it with ErrOptionUnsupported: a
+// sender over one fixed connection has nothing to redial.
+func WithResilience(rc ResilienceConfig) SenderOption {
+	return func(o *senderOptions) error {
+		if !o.resilient {
+			return fmt.Errorf("%w: WithResilience requires Dial or DialFunc", ErrOptionUnsupported)
+		}
+		o.res = &rc
+		return nil
+	}
+}
+
+func applySenderOptions(resilient bool, opts []SenderOption) (senderOptions, error) {
+	o := senderOptions{codec: Gob, resilient: resilient}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return o, err
+		}
+	}
+	return o, nil
+}
+
+// NewSender wraps one established connection in a sender: every Send is
+// encoded in the configured codec (WithCodec, default Gob) and flushed
+// through immediately. Delivery is as reliable as the connection — for
+// reconnect-and-replay semantics use Dial or DialFunc instead.
+func NewSender(conn io.WriteCloser, opts ...SenderOption) (*ConnSender, error) {
+	o, err := applySenderOptions(false, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ConnSender{enc: o.codec.NewEncoder(conn), conn: conn, stream: o.stream}, nil
+}
+
+// Dial returns a resilient sender that (re)dials addr over TCP,
+// delivering exactly-once via the seq/ack/replay machinery. Options:
+// WithCodec, WithStream, WithResilience.
+func Dial(addr string, opts ...SenderOption) (*ResilientSender, error) {
+	o, err := applySenderOptions(true, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := NewResilientSender(addr)
+	configureResilient(s, o)
+	return s, nil
+}
+
+// DialFunc is Dial over an arbitrary dial seam — fault-injection
+// wrappers (package chaos), in-process pipes, tests. The returned conn's
+// capabilities pick the delivery mode: an io.Reader gets the
+// acknowledged path, a bare io.WriteCloser the retire-on-write one.
+func DialFunc(dial func() (io.WriteCloser, error), opts ...SenderOption) (*ResilientSender, error) {
+	o, err := applySenderOptions(true, opts)
+	if err != nil {
+		return nil, err
+	}
+	s := NewResilientSenderFunc(dial)
+	configureResilient(s, o)
+	return s, nil
+}
+
+func configureResilient(s *ResilientSender, o senderOptions) {
+	s.codec = o.codec
+	s.stream = o.stream
+	if rc := o.res; rc != nil {
+		if rc.DialTimeout > 0 {
+			s.DialTimeout = rc.DialTimeout
+		}
+		if rc.MaxBacklog != 0 {
+			s.MaxBacklog = rc.MaxBacklog
+		}
+		if rc.MaxInflight > 0 {
+			s.MaxInflight = rc.MaxInflight
+		} else if rc.MaxInflight < 0 {
+			s.MaxInflight = 0
+		}
+		if rc.BackoffBase != 0 {
+			s.BackoffBase = rc.BackoffBase
+		}
+		if rc.BackoffMax != 0 {
+			s.BackoffMax = rc.BackoffMax
+		}
+		if rc.JitterSeed != 0 {
+			s.rng = rand.New(rand.NewSource(rc.JitterSeed))
+		}
+		s.DiscardPending = rc.DiscardPending
+	}
+}
+
+// CoordinatorOption configures a coordinator at construction. None of
+// the options can fail, so NewCoordinator keeps its error-free
+// signature; misuse (a nil dimension) still panics as before.
+type CoordinatorOption func(*Coordinator)
+
+// WithSink installs an event sink receiving one EvMsgReceived per
+// applied message and one EvMsgRejected per malformed or corrupt frame
+// (nil disables).
+func WithSink(s obs.Sink) CoordinatorOption {
+	return func(c *Coordinator) { c.sink = s }
+}
+
+// WithTracer installs a causal tracer (nil disables); see SetTracer for
+// the span semantics.
+func WithTracer(tr *trace.Tracer) CoordinatorOption {
+	return func(c *Coordinator) { c.tracer = tr }
+}
+
+// WithStaleAfter configures the per-site liveness bound (0 disables
+// staleness detection).
+func WithStaleAfter(d time.Duration) CoordinatorOption {
+	return func(c *Coordinator) { c.staleAfter = d }
+}
+
+// WithTelemetry attaches a fleet telemetry view at construction; read it
+// back with Fleet(). Equivalent to calling EnableTelemetry before
+// serving.
+func WithTelemetry() CoordinatorOption {
+	return func(c *Coordinator) { c.EnableTelemetry() }
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"distwindow/internal/obs"
+	"distwindow/internal/wire/codec"
 	"distwindow/mat"
 )
 
@@ -58,8 +59,8 @@ type ResilientSender struct {
 	// connection survives the ENTIRE replay plus an ack round-trip — on a
 	// lossy link that probability decays geometrically with backlog depth,
 	// and retirement stalls forever while replay traffic burns. 0 means
-	// unlimited (the constructors default it to 64). Ignored on write-only
-	// transports, which retire on write.
+	// unlimited (the constructors default it to DefaultMaxInflight).
+	// Ignored on write-only transports, which retire on write.
 	MaxInflight int
 	// BackoffBase and BackoffMax bound the exponential backoff between
 	// failed dial attempts. BackoffBase <= 0 disables backoff (every Send
@@ -69,9 +70,15 @@ type ResilientSender struct {
 	// of returning a *PendingError.
 	DiscardPending bool
 
+	// codec is the wire framing Send speaks (Gob unless WithCodec chose
+	// BinaryV2); stream is the default stream id stamped onto messages
+	// sent without one (WithStream). Set at construction, read-only after.
+	codec  Codec
+	stream string
+
 	mu      sync.Mutex
 	conn    io.WriteCloser
-	enc     *gob.Encoder
+	enc     codec.Encoder
 	ackMode bool   // current conn carries acks (it implements io.Reader)
 	gen     uint64 // connection generation; stale ack readers exit on mismatch
 	backlog []Msg  // unacknowledged messages, per-stream seq order
@@ -97,16 +104,24 @@ type ResilientSender struct {
 	dialFails obs.Counter
 }
 
+// DefaultMaxInflight is the flow-control window the constructors install
+// when ResilienceConfig.MaxInflight is zero.
+const DefaultMaxInflight = 64
+
 // NewResilientSender returns a sender that (re)dials addr over TCP, with
 // backoff defaults of 50ms base and 5s cap and a time-seeded dial jitter
 // (use SetJitterSeed for reproducible runs).
+//
+// Deprecated: use Dial, which takes options (WithCodec, WithStream,
+// WithResilience).
 func NewResilientSender(addr string) *ResilientSender {
 	s := &ResilientSender{
 		addr:        addr,
+		codec:       Gob,
 		DialTimeout: 5 * time.Second,
 		BackoffBase: 50 * time.Millisecond,
 		BackoffMax:  5 * time.Second,
-		MaxInflight: 64,
+		MaxInflight: DefaultMaxInflight,
 		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
 		now:         time.Now,
 	}
@@ -121,15 +136,24 @@ func NewResilientSender(addr string) *ResilientSender {
 // returned conn's capabilities pick the delivery mode: an io.Reader gets
 // the acknowledged path, a bare io.WriteCloser the retire-on-write one.
 // Backoff starts disabled; set BackoffBase to enable it.
+//
+// Deprecated: use DialFunc, which takes options (WithCodec, WithStream,
+// WithResilience).
 func NewResilientSenderFunc(dial func() (io.WriteCloser, error)) *ResilientSender {
 	return &ResilientSender{
 		dial:        dial,
+		codec:       Gob,
 		DialTimeout: time.Second,
-		MaxInflight: 64,
+		MaxInflight: DefaultMaxInflight,
 		rng:         rand.New(rand.NewSource(1)),
 		now:         time.Now,
 	}
 }
+
+// Stream returns a Sender view stamping every message with the given
+// stream id before it enters the delivery machinery, so many logical
+// streams can multiplex over this one sender and connection.
+func (s *ResilientSender) Stream(id string) Sender { return StreamOf(s, id) }
 
 // SetJitterSeed reseeds the dial-jitter RNG, making backoff timing
 // reproducible. Call before Send.
@@ -150,6 +174,11 @@ func (s *ResilientSender) Send(m Msg) error {
 	defer s.mu.Unlock()
 	if s.MaxBacklog > 0 && len(s.backlog) >= s.MaxBacklog {
 		return fmt.Errorf("wire: backlog full (%d messages)", s.MaxBacklog)
+	}
+	if m.StreamID == "" {
+		// The default stream stamp must land before the sequence stamp:
+		// each stream has its own sequence space.
+		m.StreamID = s.stream
 	}
 	if m.StreamID == "" {
 		s.nextSeq++
@@ -186,7 +215,11 @@ func (s *ResilientSender) SendBestEffort(m Msg) error {
 			return fmt.Errorf("wire: no connection for best-effort send")
 		}
 	}
-	if err := s.enc.Encode(m); err != nil {
+	if err := s.enc.EncodeMsg(&m); err != nil {
+		s.dropConnLocked()
+		return err
+	}
+	if err := s.enc.Flush(); err != nil {
 		s.dropConnLocked()
 		return err
 	}
@@ -221,8 +254,12 @@ func (s *ResilientSender) FlushWait(timeout time.Duration) int {
 }
 
 // drainLocked sends as much backlog as the current connection accepts,
-// dialing if needed (subject to the backoff window). On error the
-// connection is dropped and the rest stays buffered for the next attempt.
+// dialing if needed (subject to the backoff window). Frames are encoded
+// into the codec's batch buffer and flushed in one writev-style Write at
+// the end of the drain, so a deep backlog replay costs one syscall per
+// batch, not per frame (the gob codec writes through per frame — its
+// stream format has no coalescing seam). On error the connection is
+// dropped and the rest stays buffered for the next attempt.
 func (s *ResilientSender) drainLocked() {
 	if s.conn == nil {
 		if s.backoff > 0 && s.now().Before(s.nextDial) {
@@ -237,7 +274,7 @@ func (s *ResilientSender) drainLocked() {
 		}
 		s.backoff = 0
 		s.conn = conn
-		s.enc = gob.NewEncoder(conn)
+		s.enc = s.cdc().NewEncoder(conn)
 		s.sent = 0
 		s.gen++
 		if r, ok := conn.(io.Reader); ok {
@@ -251,10 +288,10 @@ func (s *ResilientSender) drainLocked() {
 		if s.ackMode && s.MaxInflight > 0 && s.sent >= s.MaxInflight {
 			// Window full: stop and let acks retire the front (readAcks
 			// decrements sent). The next Send/Flush writes the next batch.
-			return
+			break
 		}
 		m := s.backlog[s.sent]
-		if err := s.enc.Encode(m); err != nil {
+		if err := s.enc.EncodeMsg(&m); err != nil {
 			s.dropConnLocked()
 			return
 		}
@@ -283,6 +320,18 @@ func (s *ResilientSender) drainLocked() {
 			s.backlog = s.backlog[1:]
 		}
 	}
+	if err := s.enc.Flush(); err != nil {
+		s.dropConnLocked()
+	}
+}
+
+// cdc returns the sender's codec, defaulting to Gob so zero-value and
+// test-constructed senders keep the legacy framing.
+func (s *ResilientSender) cdc() Codec {
+	if s.codec == nil {
+		return Gob
+	}
+	return s.codec
 }
 
 // bumpBackoffLocked doubles the backoff (capped) and schedules the next
@@ -330,10 +379,13 @@ func (s *ResilientSender) dropConnLocked() {
 // coordinator closing without acks) drops the connection so the next
 // Send/Flush redials and replays.
 func (s *ResilientSender) readAcks(r io.Reader, conn io.WriteCloser, gen uint64) {
-	dec := gob.NewDecoder(r)
+	dec := s.cdc().NewDecoder(r)
+	if rel, ok := dec.(interface{ Release() }); ok {
+		defer rel.Release()
+	}
 	for {
 		var a Ack
-		if err := dec.Decode(&a); err != nil {
+		if err := dec.DecodeAck(&a); err != nil {
 			s.mu.Lock()
 			if s.gen == gen && s.conn == conn {
 				s.dropConnLocked()
@@ -347,6 +399,16 @@ func (s *ResilientSender) readAcks(r io.Reader, conn io.WriteCloser, gen uint64)
 			return
 		}
 		s.retireLocked(a)
+		if a.Nack && s.conn == conn {
+			// The coordinator lost a frame (CRC-rejected under the binary
+			// framing) and asks for a rewind: everything still in the
+			// backlog past the ack horizon must be re-sent on this
+			// connection. Resetting the written-prefix cursor makes the
+			// next drain replay the whole remaining backlog — the dedup
+			// machinery absorbs the frames the coordinator did consume.
+			s.sent = 0
+			s.drainLocked()
+		}
 		s.mu.Unlock()
 	}
 }

@@ -181,14 +181,17 @@ func TestCoordinatorMultiStream(t *testing.T) {
 // still come out bit-identical to the fault-free run — per-stream
 // sequence spaces and per-stream cumulative acks doing their job while
 // frames from other streams interleave on the same backlog.
-func TestChaosSoakMultiStream(t *testing.T) {
+func TestChaosSoakMultiStream(t *testing.T)         { runChaosSoakMultiStream(t, Gob) }
+func TestChaosSoakMultiStreamBinaryV2(t *testing.T) { runChaosSoakMultiStream(t, BinaryV2) }
+
+func runChaosSoakMultiStream(t *testing.T, cdc Codec) {
 	if testing.Short() {
 		t.Skip("chaos soak is a multi-second TCP test")
 	}
 	streams := []string{"", "alpha", "beta"}
-	clean := runMuxSoak(t, streams, nil)
+	clean := runMuxSoak(t, streams, nil, cdc)
 	inj := soakInjector()
-	faulty := runMuxSoak(t, streams, inj)
+	faulty := runMuxSoak(t, streams, inj, cdc)
 
 	for k, id := range streams {
 		if len(clean[k]) != len(faulty[k]) {
@@ -209,7 +212,7 @@ func TestChaosSoakMultiStream(t *testing.T) {
 
 // runMuxSoak streams a seeded workload for each logical stream through
 // ONE ResilientSender per site and returns each stream's final Ĉ.
-func runMuxSoak(t *testing.T, streams []string, inj *chaos.Injector) [][]float64 {
+func runMuxSoak(t *testing.T, streams []string, inj *chaos.Injector, cdc Codec) [][]float64 {
 	t.Helper()
 	const (
 		d     = 4
@@ -237,10 +240,15 @@ func runMuxSoak(t *testing.T, streams []string, inj *chaos.Injector) [][]float64
 		if inj != nil {
 			dial = inj.Dial(dial)
 		}
-		senders[i] = NewResilientSenderFunc(dial)
-		senders[i].BackoffBase = time.Millisecond
-		senders[i].BackoffMax = 8 * time.Millisecond
-		senders[i].SetJitterSeed(int64(i) + 1)
+		s, err := DialFunc(dial, WithCodec(cdc), WithResilience(ResilienceConfig{
+			BackoffBase: time.Millisecond,
+			BackoffMax:  8 * time.Millisecond,
+			JitterSeed:  int64(i) + 1,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		senders[i] = s
 	}
 
 	// One DA1 site instance per (site, stream), every instance on a site

@@ -2,9 +2,15 @@
 // over real network connections — the deployment the paper leaves as
 // future work ("implementing distributed monitoring algorithms in a real
 // distributed system"). Sites hold their protocol state locally and push
-// gob-encoded messages to a coordinator over TCP (or any net.Conn); the
-// coordinator folds them into its covariance estimate and answers sketch
-// queries concurrently.
+// messages to a coordinator over TCP (or any net.Conn); the coordinator
+// folds them into its covariance estimate and answers sketch queries
+// concurrently.
+//
+// Frames travel in one of two codecs (package codec): the legacy
+// encoding/gob streams, or the binary v2 framing whose per-frame CRC
+// lets a corrupted stream resynchronize instead of dying. Senders pick
+// their codec (WithCodec); the coordinator detects it per connection
+// from the first byte, so v2 and gob sites mix freely on one listener.
 //
 // Only the one-way family is wired: its sites never wait for coordinator
 // responses, so a site is just an encoder over a persistent connection.
@@ -13,7 +19,6 @@
 package wire
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -26,92 +31,48 @@ import (
 	"distwindow/internal/obs"
 	"distwindow/internal/obs/telemetry"
 	"distwindow/internal/trace"
+	"distwindow/internal/wire/codec"
 	"distwindow/mat"
 )
 
-// Msg is the single message type of the one-way protocols.
-//
-// The trace fields propagate causal-trace context across the wire; they
-// are zero on untraced messages, and gob's field matching keeps the frame
-// format backward compatible in both directions: a pre-trace sender's
-// frames decode at a new coordinator with zero trace fields, and a new
-// sender's frames decode at an old coordinator, which ignores the fields
-// it does not know. The same matching rule covers Seq: an old sender's
-// frames decode with Seq 0 (unsequenced, no dedup, no acks) and a new
-// sender's frames decode at an old coordinator, which simply never acks.
-// StreamID rides the same rule: an old sender's frames decode with
-// StreamID "" (the default stream), and a stream-aware sender's frames
-// decode at an old coordinator, which folds every stream into its single
-// estimate and acks without the stream tag — correct only for the default
-// stream, which is why multiplexing non-default streams requires a
-// stream-aware coordinator (see PROTOCOLS.md).
-type Msg struct {
-	// Site identifies the sender.
-	Site int
-	// Kind selects the payload.
-	Kind Kind
-	// T is the triggering timestamp.
-	T int64
-	// V is a direction row (Direction kinds).
-	V []float64
-	// Delta is a scalar update (SumDelta kind).
-	Delta float64
-	// Trace and Span carry the sender's trace context (0 = untraced): the
-	// root trace ID and the sending span's ID, so the coordinator's apply
-	// span joins the site's causal chain.
-	Trace, Span uint64
-	// Seq is the sender-assigned sequence number, strictly increasing per
-	// site (0 = unsequenced legacy frame). The coordinator acknowledges
-	// every sequenced frame it consumes and drops frames whose Seq it has
-	// already seen, so replaying an unacknowledged backlog after a
-	// reconnect or a site restart is exactly-once instead of at-most-once.
-	// One (site, stream) pair must use one sequence space: its deltas are
-	// dedup-keyed by (Site, StreamID, Seq).
-	Seq uint64
-	// StreamID names the logical stream this frame belongs to, letting
-	// many independently-tracked streams multiplex over one connection.
-	// "" is the default stream — the only stream that existed before
-	// multiplexing, so legacy frames decode onto it unchanged. Each
-	// stream has its own coordinator estimate, its own sequence space and
-	// its own dedup/liveness record.
-	StreamID string
-	// Tele carries a telemetry frame (Telemetry kind only, nil otherwise).
-	// Telemetry rides the same connection as the estimate traffic but
-	// outside the seq/ack space: frames are unsequenced (Seq 0), never
-	// acked, never deduped, and never touch the estimates or the delivery
-	// counters, so enabling telemetry cannot perturb a deterministic data
-	// soak. The usual gob field-matching keeps both directions compatible:
-	// a pre-telemetry coordinator decodes the unknown field away and
-	// rejects the unknown kind without dropping the connection (see
-	// PROTOCOLS.md).
-	Tele *TeleFrame
-}
+// Msg is the single message type of the one-way protocols. The type
+// lives in the codec subpackage next to the framings that carry it; the
+// alias keeps this package's API (and the gob wire names) unchanged —
+// see codec.Msg for the field and compatibility documentation.
+type Msg = codec.Msg
 
-// Ack acknowledges every sequenced frame of one (connection, stream) up
-// to and including Seq. Acks are cumulative per stream and flow
-// coordinator→site on the same TCP connection the frames arrived on; a
-// sender may retire a whole per-stream backlog prefix on one ack.
-type Ack struct {
-	// Seq is the highest consumed sequence number of the stream.
-	Seq uint64
-	// Stream names the acknowledged stream ("" = default). Pre-stream
-	// coordinators never set it, so their acks only retire the default
-	// stream — see the Msg.StreamID compatibility note.
-	Stream string
-}
+// Ack acknowledges consumed sequenced frames, cumulatively per stream;
+// see codec.Ack (including the Nack rewind semantics).
+type Ack = codec.Ack
 
-// Kind enumerates message payloads.
-type Kind uint8
+// Kind enumerates message payloads; see codec.Kind.
+type Kind = codec.Kind
 
 // Message kinds: directions add/remove vᵀv from the coordinator's Ĉ;
 // SumDelta adjusts the scalar estimate; Telemetry carries a metrics frame
 // for the fleet view (never part of the estimate or the seq/ack space).
 const (
-	DirectionAdd Kind = iota
-	DirectionRemove
-	SumDelta
-	Telemetry
+	DirectionAdd    = codec.DirectionAdd
+	DirectionRemove = codec.DirectionRemove
+	SumDelta        = codec.SumDelta
+	Telemetry       = codec.Telemetry
 )
+
+// Codec selects a wire framing for a sender (the coordinator detects the
+// codec per connection, no configuration needed). The two framings:
+// Gob, the legacy stream every release has spoken, and BinaryV2, the
+// hand-rolled little-endian framing with per-frame CRC, resynchronization
+// and frame coalescing. See PROTOCOLS.md for the negotiation matrix.
+type Codec = codec.Codec
+
+// Gob and BinaryV2 are the available wire framings, for WithCodec.
+var (
+	Gob      = codec.Gob
+	BinaryV2 = codec.BinaryV2
+)
+
+// CodecByName resolves a codec from its flag name ("gob", "v2").
+func CodecByName(name string) (Codec, bool) { return codec.ByName(name) }
 
 // Coordinator receives messages from any number of sites and maintains,
 // per logical stream, Ĉ = Σ flag·vᵀv plus the scalar sum estimate. Safe
@@ -142,6 +103,7 @@ type Coordinator struct {
 	badMsgs  obs.Counter
 	dups     obs.Counter
 	acks     obs.Counter
+	nacks    obs.Counter
 	teleMsgs obs.Counter
 	conns    obs.Gauge
 	sink     obs.Sink
@@ -188,12 +150,20 @@ type siteState struct {
 	stale    bool
 }
 
-// NewCoordinator returns a coordinator for d-dimensional directions.
-func NewCoordinator(d int) *Coordinator {
+// NewCoordinator returns a coordinator for d-dimensional directions,
+// configured by options (WithSink, WithTracer, WithStaleAfter,
+// WithTelemetry). The zero-option call is the pre-options constructor
+// unchanged; every option can also still be installed through the
+// deprecated Set*/Enable* mutators before serving.
+func NewCoordinator(d int, opts ...CoordinatorOption) *Coordinator {
 	if d < 1 {
 		panic("wire: d must be positive")
 	}
-	return &Coordinator{d: d, def: streamEst{chat: mat.NewDense(d, d)}, now: time.Now}
+	c := &Coordinator{d: d, def: streamEst{chat: mat.NewDense(d, d)}, now: time.Now}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // est returns the estimate for one stream, creating it on first use.
@@ -217,12 +187,16 @@ func (c *Coordinator) est(stream string) *streamEst {
 // older than d is reported stale by CheckLiveness, Metrics and
 // SiteStatuses (0 disables staleness detection, the default). Install
 // before serving.
+//
+// Deprecated: pass WithStaleAfter to NewCoordinator.
 func (c *Coordinator) SetStaleAfter(d time.Duration) { c.staleAfter = d }
 
 // SetSink installs an event sink receiving one EvMsgReceived per applied
 // message, with Site set to the original sender, and one EvMsgRejected
 // per malformed frame (nil disables). Install before serving; the field
 // is read without synchronization.
+//
+// Deprecated: pass WithSink to NewCoordinator.
 func (c *Coordinator) SetSink(s obs.Sink) { c.sink = s }
 
 // SetTracer installs a causal tracer (nil disables). Traced messages
@@ -230,6 +204,8 @@ func (c *Coordinator) SetSink(s obs.Sink) { c.sink = s }
 // span; sketch queries get root "query" spans, head-sampled at the
 // tracer's rate. Install before serving; only linked and root spans are
 // recorded, so one tracer is safe across connection goroutines.
+//
+// Deprecated: pass WithTracer to NewCoordinator.
 func (c *Coordinator) SetTracer(tr *trace.Tracer) { c.tracer = tr }
 
 // reject counts a malformed message and reports it to the sink.
@@ -481,6 +457,10 @@ type CoordinatorMetrics struct {
 	DupMsgs int64
 	// AckedMsgs counts acknowledgements written back to sites.
 	AckedMsgs int64
+	// NackMsgs counts rewind requests sent after a corrupt frame on a
+	// binary v2 connection (each asks one stream's sender to replay its
+	// unacknowledged backlog). Always 0 on healthy links.
+	NackMsgs int64
 	// TelemetryFrames counts telemetry frames received (recorded into the
 	// fleet view when telemetry is enabled, discarded otherwise). Never
 	// part of Msgs/Bytes — telemetry stays outside the data accounting.
@@ -521,6 +501,7 @@ func (c *Coordinator) Metrics() CoordinatorMetrics {
 		BadMsgs:          c.badMsgs.Load(),
 		DupMsgs:          c.dups.Load(),
 		AckedMsgs:        c.acks.Load(),
+		NackMsgs:         c.nacks.Load(),
 		TelemetryFrames:  c.teleMsgs.Load(),
 		SitesSeen:        seen,
 		Streams:          nstreams,
@@ -552,42 +533,146 @@ func (c *Coordinator) MetricsMux(opts ...obs.MuxOption) *http.ServeMux {
 	)
 }
 
-// HandleConn decodes messages from one connection until EOF or a decode
-// error. A message the coordinator refuses to apply (wrong dimension,
-// unknown kind) is counted in BadMsgs and reported to the sink, but does
-// NOT end the connection: one malformed frame must not drop a site whose
-// stream is otherwise healthy. Decode errors still end the connection —
-// a gob stream cannot resynchronize after corruption.
+// HandleConn decodes messages from one connection until EOF or an
+// unrecoverable decode error, detecting the connection's codec (gob or
+// binary v2) from its first byte. A message the coordinator refuses to
+// apply (wrong dimension, unknown kind) is counted in BadMsgs and
+// reported to the sink, but does NOT end the connection: one malformed
+// frame must not drop a site whose stream is otherwise healthy.
+//
+// Corruption handling depends on the codec. A gob stream cannot
+// resynchronize after corruption, so a gob decode error still ends the
+// connection. On a binary v2 stream a frame rejected by CRC or structure
+// is counted in BadMsgs, reported as EvMsgRejected, and the decoder
+// resynchronizes at the next magic boundary — the connection survives.
+// Because the rejected frame may have carried a sequenced delta, the
+// coordinator then refuses to apply frames that would jump a sequence
+// gap and instead sends a rewind request (Ack with Nack set) carrying the
+// stream's consumed horizon; the sender replays its unacknowledged
+// backlog in order, closing the gap with not one delta lost, double-
+// applied or reordered. A corrupted frame belonging to a (site, stream)
+// that has not yet appeared on this connection cannot be nacked — the
+// coordinator does not know the key — and is recovered by the next
+// reconnect's replay instead (see PROTOCOLS.md).
 //
 // When conn is also a writer (net.Conn is), every sequenced frame is
 // acknowledged back on the same connection once consumed — applied,
 // deduped or rejected; the frame will never be applied later, so holding
-// it in the sender's backlog serves nothing. An ack write failure ends
-// the connection: the site will reconnect and replay, and dedup keeps the
-// replay exactly-once.
+// it in the sender's backlog serves nothing. Acks use the connection's
+// detected codec. An ack write failure ends the connection: the site
+// will reconnect and replay, and dedup keeps the replay exactly-once.
 func (c *Coordinator) HandleConn(conn io.Reader) error {
-	dec := gob.NewDecoder(conn)
-	var ackEnc *gob.Encoder
-	if w, ok := conn.(io.Writer); ok {
-		ackEnc = gob.NewEncoder(w)
+	dec, cdc, err := codec.Detect(conn)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return err
 	}
+	if rel, ok := dec.(interface{ Release() }); ok {
+		defer rel.Release()
+	}
+	var enc codec.Encoder
+	if w, ok := conn.(io.Writer); ok {
+		enc = cdc.NewEncoder(w)
+	}
+	ack := func(a Ack) error {
+		if err := enc.EncodeAck(a); err != nil {
+			return err
+		}
+		if err := enc.Flush(); err != nil {
+			return err
+		}
+		c.acks.Inc()
+		return nil
+	}
+	var (
+		m    Msg
+		lost bool                 // a frame on this conn was rejected by CRC/structure
+		seen map[siteKey]struct{} // sequenced (site, stream) keys heard on this conn
+		// lastNack records horizon+1 per nacked key, so a window of
+		// in-flight frames all jumping the same gap triggers one rewind,
+		// not one per frame. A fresh corrupt event always re-nacks.
+		lastNack map[siteKey]uint64
+	)
 	for {
-		var m Msg
-		if err := dec.Decode(&m); err != nil {
+		err := dec.DecodeMsg(&m)
+		var corrupt *codec.CorruptFrameError
+		if errors.As(err, &corrupt) {
+			c.badMsgs.Inc()
+			if c.sink != nil {
+				c.sink.OnEvent(obs.Event{Kind: obs.EvMsgRejected, Site: -1})
+			}
+			lost = true
+			// The lost frame's key is unknowable; rewind every stream this
+			// connection has carried so whichever one lost a delta replays.
+			for key := range seen {
+				h := c.horizonOf(key)
+				if lastNack == nil {
+					lastNack = make(map[siteKey]uint64)
+				}
+				lastNack[key] = h + 1
+				if enc != nil {
+					c.nacks.Inc()
+					if err := ack(Ack{Seq: h, Stream: key.stream, Nack: true}); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
+		if m.Seq != 0 {
+			key := siteKey{site: m.Site, stream: m.StreamID}
+			if seen == nil {
+				seen = make(map[siteKey]struct{})
+			}
+			seen[key] = struct{}{}
+			if lost {
+				// After corruption, a sequence jump may span the lost frame:
+				// defer the jumped frame (the rewind will re-deliver it in
+				// order) instead of applying out of order and letting a
+				// cumulative ack retire the lost delta unapplied.
+				if h := c.horizonOf(key); m.Seq > h+1 {
+					if lastNack[key] != h+1 {
+						if lastNack == nil {
+							lastNack = make(map[siteKey]uint64)
+						}
+						lastNack[key] = h + 1
+						if enc != nil {
+							c.nacks.Inc()
+							if err := ack(Ack{Seq: h, Stream: key.stream, Nack: true}); err != nil {
+								return err
+							}
+						}
+					}
+					continue
+				}
+			}
+		}
 		// Rejections are already counted and reported inside Apply.
 		_ = c.Apply(m)
-		if m.Seq != 0 && ackEnc != nil {
-			if err := ackEnc.Encode(Ack{Seq: m.Seq, Stream: m.StreamID}); err != nil {
+		if m.Seq != 0 && enc != nil {
+			if err := ack(Ack{Seq: m.Seq, Stream: m.StreamID}); err != nil {
 				return err
 			}
-			c.acks.Inc()
 		}
 	}
+}
+
+// horizonOf reads one (site, stream) consumed-sequence horizon.
+func (c *Coordinator) horizonOf(key siteKey) uint64 {
+	c.siteMu.Lock()
+	defer c.siteMu.Unlock()
+	if st := c.siteStates[key]; st != nil {
+		return st.lastSeq
+	}
+	return 0
 }
 
 // Serve accepts site connections on l until Close. Each connection is
@@ -634,33 +719,48 @@ type Sender interface {
 	Send(Msg) error
 }
 
-// ConnSender gob-encodes messages onto a stream.
+// ConnSender encodes messages onto a single stream in one codec (gob by
+// default, WithCodec selects). Each Send is flushed through immediately.
 type ConnSender struct {
-	mu   sync.Mutex
-	enc  *gob.Encoder
-	conn io.WriteCloser
+	mu     sync.Mutex
+	enc    codec.Encoder
+	conn   io.WriteCloser
+	stream string
 
 	msgs   obs.Counter
 	encLat obs.Histogram
 }
 
-// NewConnSender wraps a connection.
+// NewConnSender wraps a connection with the legacy gob codec.
+//
+// Deprecated: use NewSender, which takes options (WithCodec, WithStream).
 func NewConnSender(conn io.WriteCloser) *ConnSender {
-	return &ConnSender{enc: gob.NewEncoder(conn), conn: conn}
+	s, _ := NewSender(conn)
+	return s
 }
 
 // Send encodes one message.
 func (s *ConnSender) Send(m Msg) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if m.StreamID == "" {
+		m.StreamID = s.stream
+	}
 	start := time.Now()
-	err := s.enc.Encode(m)
+	err := s.enc.EncodeMsg(&m)
+	if err == nil {
+		err = s.enc.Flush()
+	}
 	s.encLat.Observe(time.Since(start))
 	if err == nil {
 		s.msgs.Inc()
 	}
 	return err
 }
+
+// Stream returns a Sender view stamping every message with the given
+// stream id, so many logical streams can multiplex over this sender.
+func (s *ConnSender) Stream(id string) Sender { return StreamOf(s, id) }
 
 // SenderMetrics is a snapshot of one sender's counters.
 type SenderMetrics struct {
@@ -683,9 +783,10 @@ func (s *ConnSender) Close() error { return s.conn.Close() }
 // StreamOf returns a Sender stamping every message with the given stream
 // id before forwarding to out, so one transport (typically a
 // ResilientSender over one TCP connection) can carry many logical
-// streams: give each stream's protocol sites their own StreamOf view of
-// the shared sender. The empty id returns out unchanged — the default
-// stream needs no stamping.
+// streams: give each stream's protocol sites their own view of the
+// shared sender. The empty id returns out unchanged — the default
+// stream needs no stamping. The Stream method on ConnSender and
+// ResilientSender is the same wrapper, one call shorter.
 func StreamOf(out Sender, id string) Sender {
 	if id == "" {
 		return out
