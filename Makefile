@@ -28,12 +28,13 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Headline performance figures (ingest rate, words/window, sketch-query
-# latency, parallel-vs-sequential ingest ratio at 8 sites, the
-# multi-stream registry streams × workers throughput grid, and the
-# gob-vs-binary-v2 wire codec comparison) on a fixed reference workload,
-# written as BENCH_PR8.json for machine comparison across changes.
+# latency, the parallel pipeline's batch × workers scaling grid with its
+# benchgate efficiency gate, the multi-stream registry streams × workers
+# throughput grid with its falloff gate, and the gob-vs-binary-v2 wire
+# codec comparison) on a fixed reference workload, written as
+# BENCH_PR9.json for machine comparison across changes.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR8.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR9.json
 
 # Short fuzz sessions over the invariant fuzz targets.
 fuzz:

@@ -5,18 +5,23 @@
 // registry throughput sweep, the telemetry-on-vs-off ingest overhead,
 // and the wire-codec comparison (gob vs binary v2 on the Direction
 // frames the protocols actually send) — as a JSON document for machine
-// comparison across changes (`make bench-json` → BENCH_PR8.json).
+// comparison across changes (`make bench-json` → BENCH_PR9.json).
 // Alongside throughput it records allocs/op for the ingest loop
 // (runtime.MemStats mallocs over the timed rows), sweeps the parallel
-// pipeline over 1/2/4 workers, and sweeps a Registry over a
-// streams × workers grid to price the multi-tenant layer.
+// pipeline over a batch-size × workers grid per protocol and applies the
+// benchgate scaling gate (≥1.6× at 2 workers, ≥2.5× at 4 — see
+// internal/benchgate), and sweeps a Registry over a streams × workers
+// grid with shard-owned feeders (handles hoisted out of the row loop,
+// ObserveBatch runs, worker count clamped by Registry.IngestWorkers)
+// gated on multi-worker ingest never degrading below 1-worker.
 //
 // The workload is deterministic (fixed seed, synthetic Gaussian rows), so
 // two runs on the same machine differ only by measurement noise; compare
 // figures across commits, not across machines. The parallel speedup in
 // particular scales with the recorded GOMAXPROCS/NumCPU — on an
-// effectively single-core machine the sweep is refused outright (the
-// document records why) rather than publishing a meaningless "speedup".
+// effectively single-core machine the sweep is refused outright and the
+// gate records SKIP with the reason, rather than publishing a
+// meaningless "speedup".
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"distwindow"
+	"distwindow/internal/benchgate"
 	"distwindow/internal/obs/telemetry"
 	"distwindow/internal/wire"
 )
@@ -59,12 +65,17 @@ type result struct {
 }
 
 // parallelResult compares sequential and pipelined ingestion of the same
-// per-site streams for one one-way protocol.
+// per-site streams for one one-way protocol, at one cell of the
+// batch-size × workers grid.
 type parallelResult struct {
 	Protocol string `json:"protocol"`
 	Sites    int    `json:"sites"`
 	Workers  int    `json:"workers"`
-	Rows     int64  `json:"rows"`
+	// Batch is the per-site feeder's run length: 1 feeds row-at-a-time
+	// through TryObserve, larger values hand whole runs to ObserveBatch so
+	// the lane ring sees one block push and one wakeup per run.
+	Batch int   `json:"batch"`
+	Rows  int64 `json:"rows"`
 	// SequentialRowsPerSec feeds the global (T, site) interleaving through
 	// the synchronous path; ParallelRowsPerSec feeds one goroutine per
 	// site through WithParallel and includes the final drain.
@@ -73,21 +84,43 @@ type parallelResult struct {
 	Speedup              float64 `json:"speedup"`
 }
 
+// parallelGate is one protocol's scaling-gate verdict over its sweep
+// cells (internal/benchgate holds the thresholds and the SKIP rules).
+type parallelGate struct {
+	Protocol string `json:"protocol"`
+	benchgate.Result
+}
+
 // registryResult measures aggregate ingest throughput when Streams
-// independent tracked windows live behind one Registry and Workers
-// goroutines each feed a disjoint share of them (every stream still has
-// exactly one ingester). Rows is the total across all streams, so
-// RowsPerSec figures are directly comparable across grid cells.
+// independent tracked windows live behind one Registry and a pool of
+// shard-owning feeders ingests them: streams striped across workers,
+// each stream's handle resolved once per run (not per row), rows
+// delivered in ObserveBatch runs. Workers is the requested pool size;
+// EffectiveWorkers is what Registry.IngestWorkers clamped it to (at most
+// one per stream, at most GOMAXPROCS — oversubscribing a core measurably
+// loses throughput). Rows is the total across all streams and is held
+// fixed across cells, so RowsPerSec compares directly. Each cell is the
+// best of Trials interleaved trials, so a background-load spike cannot
+// sink one cell only.
 type registryResult struct {
-	Protocol   string  `json:"protocol"`
-	Streams    int     `json:"streams"`
-	Workers    int     `json:"workers"`
-	Rows       int64   `json:"rows"`
-	RowsPerSec float64 `json:"rows_per_sec"`
-	// AllocsPerRow over the whole sweep cell (includes the registry's
-	// Get lookup on every row, so it prices the multi-tenant indirection
-	// as well as the trackers themselves).
+	Protocol         string  `json:"protocol"`
+	Streams          int     `json:"streams"`
+	Workers          int     `json:"workers"`
+	EffectiveWorkers int     `json:"effective_workers"`
+	Trials           int     `json:"trials"`
+	Rows             int64   `json:"rows"`
+	RowsPerSec       float64 `json:"rows_per_sec"`
+	// AllocsPerRow over the best trial's cell (cold-opened streams each
+	// trial, so warm-up growth such as the mEH row slab is priced in).
 	AllocsPerRow float64 `json:"allocs_per_row"`
+}
+
+// registryGate is the falloff verdict at one stream count: the largest
+// swept worker pool must not ingest slower than the 1-worker pool.
+type registryGate struct {
+	Streams int `json:"streams"`
+	Workers int `json:"workers"`
+	benchgate.Result
 }
 
 // telemetryResult prices the fleet telemetry plane on the ingest loop:
@@ -149,10 +182,14 @@ type doc struct {
 	Cores   int      `json:"cores"`
 	NumCPU  int      `json:"num_cpu"`
 	Results []result `json:"results"`
-	// ParallelSkipped is empty when the parallel sweep ran.
+	// ParallelSkipped is empty when the parallel sweep ran; ParallelGates
+	// always carries one verdict per protocol (SKIP with the reason when
+	// the sweep could not run).
 	ParallelSkipped string            `json:"parallel_skipped,omitempty"`
 	Parallel        []parallelResult  `json:"parallel"`
+	ParallelGates   []parallelGate    `json:"parallel_gates"`
 	Registry        []registryResult  `json:"registry"`
+	RegistryGates   []registryGate    `json:"registry_gates"`
 	Telemetry       []telemetryResult `json:"telemetry"`
 	WireCodec       []codecResult     `json:"wire_codec"`
 	WireCodecGates  codecGates        `json:"wire_codec_gates"`
@@ -268,7 +305,7 @@ func benchCodec(d int, seed int64) ([]codecResult, codecGates) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR8.json", "output path")
+		out     = flag.String("out", "BENCH_PR9.json", "output path")
 		rows    = flag.Int64("rows", 200_000, "rows to stream per protocol")
 		d       = flag.Int("d", 32, "row dimension")
 		sites   = flag.Int("sites", 8, "number of sites")
@@ -344,14 +381,19 @@ func main() {
 			proto, float64(*rows)/elapsed, allocsPerRow, am.WordsPerWindow, qMs)
 	}
 
-	// Parallel-vs-sequential ingest ratio for the one-way protocols: both
-	// trackers consume identical per-site streams (T = per-site tick), the
-	// sequential one in the merge's global (T, site) order, the parallel
-	// one from one feeder goroutine per site. The parallel side is swept
-	// over 1/2/4 workers to expose the pipeline's scaling curve (capped by
-	// the recorded core count).
+	// Parallel-vs-sequential ingest for the one-way protocols over the
+	// batch-size × workers grid: both trackers consume identical per-site
+	// streams (T = per-site tick), the sequential one in the merge's global
+	// (T, site) order, the parallel one from one feeder goroutine per site.
+	// Batch 1 feeds TryObserve row-at-a-time (a ring push and a wakeup per
+	// row); larger batches hand whole runs to ObserveBatch, the pipeline's
+	// amortized path. Every cell's sketch is cross-checked against the
+	// sequential reference, so the grid is also a determinism soak. The
+	// scaling gate (internal/benchgate) then judges the per-worker curve —
+	// or records SKIP with the reason when the machine cannot show scaling.
 	perSite := *rows / int64(*sites)
 	var parallels []parallelResult
+	var parallelGates []parallelGate
 	parallelSkipped := ""
 	switch {
 	case runtime.NumCPU() < 2:
@@ -362,137 +404,202 @@ func main() {
 	if parallelSkipped != "" {
 		fmt.Printf("parallel sweep skipped: %s\n", parallelSkipped)
 	}
-	protos := []distwindow.Protocol{distwindow.DA1, distwindow.DA2}
-	if parallelSkipped != "" {
-		protos = nil
-	}
-	for _, proto := range protos {
-		cfg := distwindow.Config{Protocol: proto, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed}
+	for _, proto := range []distwindow.Protocol{distwindow.DA1, distwindow.DA2} {
+		var cells []benchgate.ParallelCell
+		if parallelSkipped == "" {
+			cfg := distwindow.Config{Protocol: proto, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed}
 
-		seqTr, err := distwindow.New(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		seqStart := time.Now()
-		for t := int64(1); t <= perSite; t++ {
-			for s := 0; s < *sites; s++ {
-				if err := seqTr.TryObserve(s, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]}); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}
-		seqSecs := time.Since(seqStart).Seconds()
-		gs, _ := seqTr.SketchGram()
-
-		for _, workers := range []int{1, 2, 4} {
-			parTr, err := distwindow.New(cfg, distwindow.WithParallel(workers))
+			seqTr, err := distwindow.New(cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
-			parStart := time.Now()
-			var wg sync.WaitGroup
-			for s := 0; s < *sites; s++ {
-				wg.Add(1)
-				go func(s int) {
-					defer wg.Done()
-					for t := int64(1); t <= perSite; t++ {
-						parTr.TryObserve(s, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]})
+			seqStart := time.Now()
+			for t := int64(1); t <= perSite; t++ {
+				for s := 0; s < *sites; s++ {
+					if err := seqTr.TryObserve(s, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]}); err != nil {
+						log.Fatal(err)
 					}
-				}(s)
+				}
 			}
-			wg.Wait()
-			parTr.Drain()
-			parSecs := time.Since(parStart).Seconds()
+			seqSecs := time.Since(seqStart).Seconds()
+			gs, _ := seqTr.SketchGram()
 
-			// Cross-check the determinism invariant at every worker count.
-			gp, _ := parTr.SketchGram()
-			if !gs.Equal(gp) {
-				log.Fatalf("%s: parallel sketch diverged from sequential at %d workers", proto, workers)
-			}
-			parTr.Close()
+			for _, workers := range []int{1, 2, 4} {
+				for _, batch := range []int{1, 64} {
+					parTr, err := distwindow.New(cfg, distwindow.WithParallel(workers))
+					if err != nil {
+						log.Fatal(err)
+					}
+					parStart := time.Now()
+					var wg sync.WaitGroup
+					for s := 0; s < *sites; s++ {
+						wg.Add(1)
+						go func(s int) {
+							defer wg.Done()
+							if batch == 1 {
+								for t := int64(1); t <= perSite; t++ {
+									parTr.TryObserve(s, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]})
+								}
+								return
+							}
+							run := make([]distwindow.Row, 0, batch)
+							for t := int64(1); t <= perSite; t++ {
+								run = append(run, distwindow.Row{T: t, V: vs[(int(t)+s*31)&(len(vs)-1)]})
+								if len(run) == batch || t == perSite {
+									if _, err := parTr.ObserveBatch(s, run); err != nil {
+										log.Fatal(err)
+									}
+									run = run[:0]
+								}
+							}
+						}(s)
+					}
+					wg.Wait()
+					parTr.Drain()
+					parSecs := time.Since(parStart).Seconds()
 
-			total := perSite * int64(*sites)
-			pr := parallelResult{
-				Protocol:             string(proto),
-				Sites:                *sites,
-				Workers:              workers,
-				Rows:                 total,
-				SequentialRowsPerSec: float64(total) / seqSecs,
-				ParallelRowsPerSec:   float64(total) / parSecs,
-				Speedup:              seqSecs / parSecs,
+					// Cross-check the determinism invariant at every cell.
+					gp, _ := parTr.SketchGram()
+					if !gs.Equal(gp) {
+						log.Fatalf("%s: parallel sketch diverged from sequential at %d workers, batch %d",
+							proto, workers, batch)
+					}
+					parTr.Close()
+
+					total := perSite * int64(*sites)
+					pr := parallelResult{
+						Protocol:             string(proto),
+						Sites:                *sites,
+						Workers:              workers,
+						Batch:                batch,
+						Rows:                 total,
+						SequentialRowsPerSec: float64(total) / seqSecs,
+						ParallelRowsPerSec:   float64(total) / parSecs,
+						Speedup:              seqSecs / parSecs,
+					}
+					parallels = append(parallels, pr)
+					cells = append(cells, benchgate.ParallelCell{
+						Workers: workers, Batch: batch, RowsPerSec: pr.ParallelRowsPerSec,
+					})
+					fmt.Printf("%-10s parallel(w=%d b=%-3d) %9.0f rows/s vs sequential %9.0f rows/s  (%.2fx, %d cores)\n",
+						proto, workers, batch, pr.ParallelRowsPerSec, pr.SequentialRowsPerSec, pr.Speedup, runtime.GOMAXPROCS(0))
+				}
 			}
-			parallels = append(parallels, pr)
-			fmt.Printf("%-10s parallel(%d) %9.0f rows/s vs sequential %9.0f rows/s  (%.2fx, %d cores)\n",
-				proto, workers, pr.ParallelRowsPerSec, pr.SequentialRowsPerSec, pr.Speedup, runtime.GOMAXPROCS(0))
 		}
+		g := parallelGate{Protocol: string(proto), Result: benchgate.EvalParallelScaling(cells, runtime.NumCPU())}
+		parallelGates = append(parallelGates, g)
+		fmt.Printf("%-10s scaling gate %s: %s\n", proto, g.Status, g.Reason)
 	}
 
 	// Multi-tenant registry sweep: nStreams independent DA1 windows behind
-	// one Registry, fed by a workers-goroutine pool where each worker owns
-	// a disjoint slice of the streams (the facade's single-ingester
-	// contract, kept per stream). Every row goes through reg.Get so the
-	// figure prices the sharded lookup alongside the trackers. The total
-	// row budget is held fixed across cells, so rows/s compares directly:
-	// the streams axis shows the cost of tenancy at scale (cold windows,
-	// shared pools), the workers axis how ingest scales across cores.
+	// one Registry, fed by a shard-owning worker pool — streams striped
+	// across workers (each stream has exactly one ingester for its whole
+	// run), the stream handle resolved once per run instead of per row,
+	// rows delivered in ObserveBatch runs, and the pool sized by
+	// Registry.IngestWorkers so oversubscribing cores (the BENCH_PR8
+	// falloff) cannot happen. The total row budget is held fixed across
+	// cells, so rows/s compares directly: the streams axis shows the cost
+	// of tenancy at scale (cold windows, shared pools), the workers axis
+	// that multi-worker ingest never degrades below 1-worker — the gate
+	// EvalRegistryScaling enforces per stream count. Each cell is the best
+	// of regTrials trials, trials interleaved across cells so a background
+	// spike cannot charge one cell only.
+	const (
+		regTrials = 3
+		regBatch  = 64
+	)
+	regCfg := distwindow.Config{Protocol: distwindow.DA1, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed}
+	runRegistryCell := func(nStreams, workers int, perStream int64) registryResult {
+		reg := distwindow.NewRegistry()
+		ids := make([]string, nStreams)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("s%03d", i)
+			if _, _, err := reg.Open(ids[i], regCfg); err != nil {
+				log.Fatal(err)
+			}
+		}
+		effective := reg.IngestWorkers(workers, nStreams)
+		var msB, msA runtime.MemStats
+		runtime.ReadMemStats(&msB)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for wk := 0; wk < effective; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				run := make([]distwindow.Row, 0, regBatch)
+				for si := wk; si < nStreams; si += effective {
+					tr, ok := reg.Get(ids[si]) // hoisted: one lookup per stream, not per row
+					if !ok {
+						log.Fatalf("registry sweep: stream %s vanished", ids[si])
+					}
+					for t := int64(1); t <= perStream; t++ {
+						k := (int(t) + si*31) & (len(vs) - 1)
+						run = append(run, distwindow.Row{T: t, V: vs[k]})
+						if len(run) == regBatch || t == perStream {
+							if _, err := tr.ObserveBatch(siteOf[k], run); err != nil {
+								log.Fatal(err)
+							}
+							run = run[:0]
+						}
+					}
+				}
+			}(wk)
+		}
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&msA)
+		reg.Close()
+
+		total := perStream * int64(nStreams)
+		return registryResult{
+			Protocol:         string(distwindow.DA1),
+			Streams:          nStreams,
+			Workers:          workers,
+			EffectiveWorkers: effective,
+			Trials:           regTrials,
+			Rows:             total,
+			RowsPerSec:       float64(total) / secs,
+			AllocsPerRow:     float64(msA.Mallocs-msB.Mallocs) / float64(total),
+		}
+	}
+
 	var regResults []registryResult
+	var regGates []registryGate
 	for _, nStreams := range []int{1, 16, 256} {
 		perStream := *rows / int64(nStreams)
 		if perStream < 1 {
 			continue
 		}
+		var counts []int
 		for _, workers := range []int{1, 2, 4} {
-			if workers > nStreams {
-				continue
+			if workers <= nStreams {
+				counts = append(counts, workers)
 			}
-			reg := distwindow.NewRegistry()
-			ids := make([]string, nStreams)
-			cfg := distwindow.Config{Protocol: distwindow.DA1, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed}
-			for i := range ids {
-				ids[i] = fmt.Sprintf("s%03d", i)
-				if _, _, err := reg.Open(ids[i], cfg); err != nil {
-					log.Fatal(err)
+		}
+		best := make([]registryResult, len(counts))
+		for trial := 0; trial < regTrials; trial++ {
+			for ci, workers := range counts {
+				if rr := runRegistryCell(nStreams, workers, perStream); rr.RowsPerSec > best[ci].RowsPerSec {
+					best[ci] = rr
 				}
 			}
-			var msB, msA runtime.MemStats
-			runtime.ReadMemStats(&msB)
-			start := time.Now()
-			var wg sync.WaitGroup
-			for wk := 0; wk < workers; wk++ {
-				wg.Add(1)
-				go func(wk int) {
-					defer wg.Done()
-					for si := wk; si < nStreams; si += workers {
-						for t := int64(1); t <= perStream; t++ {
-							tr, ok := reg.Get(ids[si])
-							if !ok {
-								log.Fatalf("registry sweep: stream %s vanished", ids[si])
-							}
-							k := (int(t) + si*31) & (len(vs) - 1)
-							if err := tr.TryObserve(siteOf[k], distwindow.Row{T: t, V: vs[k]}); err != nil {
-								log.Fatal(err)
-							}
-						}
-					}
-				}(wk)
-			}
-			wg.Wait()
-			secs := time.Since(start).Seconds()
-			runtime.ReadMemStats(&msA)
-			reg.Close()
-
-			total := perStream * int64(nStreams)
-			rr := registryResult{
-				Protocol:     string(distwindow.DA1),
-				Streams:      nStreams,
-				Workers:      workers,
-				Rows:         total,
-				RowsPerSec:   float64(total) / secs,
-				AllocsPerRow: float64(msA.Mallocs-msB.Mallocs) / float64(total),
-			}
+		}
+		var cells []benchgate.RegistryCell
+		for _, rr := range best {
 			regResults = append(regResults, rr)
-			fmt.Printf("registry   %4d streams × %d workers %9.0f rows/s  %6.2f allocs/row\n",
-				nStreams, workers, rr.RowsPerSec, rr.AllocsPerRow)
+			cells = append(cells, benchgate.RegistryCell{Streams: rr.Streams, Workers: rr.Workers, RowsPerSec: rr.RowsPerSec})
+			fmt.Printf("registry   %4d streams × %d workers (%d effective) %9.0f rows/s  %6.2f allocs/row  (best of %d)\n",
+				nStreams, rr.Workers, rr.EffectiveWorkers, rr.RowsPerSec, rr.AllocsPerRow, regTrials)
+		}
+		if maxW := counts[len(counts)-1]; maxW > 1 {
+			g := registryGate{
+				Streams: nStreams,
+				Workers: maxW,
+				Result:  benchgate.EvalRegistryScaling(cells, nStreams, maxW),
+			}
+			regGates = append(regGates, g)
+			fmt.Printf("registry   %4d streams falloff gate %s: %s\n", nStreams, g.Status, g.Reason)
 		}
 	}
 
@@ -599,7 +706,9 @@ func main() {
 		Results:         results,
 		ParallelSkipped: parallelSkipped,
 		Parallel:        parallels,
+		ParallelGates:   parallelGates,
 		Registry:        regResults,
+		RegistryGates:   regGates,
 		Telemetry:       teleResults,
 		WireCodec:       codecResults,
 		WireCodecGates:  codecG,

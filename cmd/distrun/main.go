@@ -7,12 +7,15 @@
 // With -pipeline the same workload instead runs in-process through the
 // parallel per-site ingestion pipeline (distwindow.New with WithParallel):
 // one feeder goroutine per site, site-local work on the pipeline's
-// workers, coordinator updates merged in global (T, site) order.
+// workers, coordinator updates merged in global (T, site) order. -workers
+// sizes the pipeline (0 = one per core) and -batch sizes the feeders'
+// ObserveBatch runs (1 = row-at-a-time TryObserve); the end-of-run report
+// prints the achieved rows/s per worker.
 //
 // Usage:
 //
 //	distrun -proto da2 -sites 8 -rows 30000 -d 24
-//	distrun -proto da2 -sites 8 -rows 30000 -d 24 -pipeline
+//	distrun -proto da2 -sites 8 -rows 30000 -d 24 -pipeline -workers 4 -batch 64
 package main
 
 import (
@@ -57,6 +60,8 @@ func main() {
 		traceO  = flag.String("trace-out", "", "write the Chrome trace-event JSON to this path at exit (requires -trace-sample)")
 		liveAud = flag.Bool("live-audit", false, "run the live ε-error auditor against the coordinator's sketch; panel at /debug/audit")
 		pipe    = flag.Bool("pipeline", false, "run in-process through the parallel per-site pipeline instead of TCP")
+		pipeW   = flag.Int("workers", 0, "pipeline worker goroutines, 0 = one per core (requires -pipeline)")
+		batch   = flag.Int("batch", 64, "rows per ObserveBatch run in the pipeline feeders, 1 = row-at-a-time (requires -pipeline)")
 		nStream = flag.Int("streams", 1, "multiplex this many logical streams over the per-site connections (each stream is an independent window; implies -resilient)")
 
 		tele      = flag.Bool("telemetry", false, "fleet telemetry: sites publish counter frames over their wire connections; coordinator aggregates, serves Prometheus /metrics and /debug/fleet, and prints a fleet report at exit")
@@ -88,7 +93,10 @@ func main() {
 		if *tele {
 			log.Fatal("-telemetry piggybacks frames on the wire; it cannot be combined with -pipeline")
 		}
-		runPipeline(*proto, *m, *rows, *d, *w, *eps, *seed)
+		if *batch < 1 {
+			log.Fatal("-batch must be ≥ 1")
+		}
+		runPipeline(*proto, *m, *rows, *d, *w, *eps, *seed, *pipeW, *batch)
 		return
 	}
 	if *nStream > 1 {
@@ -396,8 +404,11 @@ func main() {
 // runPipeline streams the same generated dataset through the in-process
 // parallel pipeline: the event stream is partitioned by site and each
 // site's subsequence is fed by its own goroutine, so ingestion parallelism
-// comes from the pipeline's workers rather than TCP connections.
-func runPipeline(proto string, m, rows, d int, w int64, eps float64, seed int64) {
+// comes from the pipeline's workers rather than TCP connections. Feeders
+// hand rows to the lane rings in ObserveBatch runs of the given batch size
+// (one ring block and one worker wakeup per run); batch 1 falls back to
+// row-at-a-time TryObserve.
+func runPipeline(proto string, m, rows, d int, w int64, eps float64, seed int64, workers, batch int) {
 	var p distwindow.Protocol
 	switch proto {
 	case "da1":
@@ -409,7 +420,7 @@ func runPipeline(proto string, m, rows, d int, w int64, eps float64, seed int64)
 	}
 	tr, err := distwindow.New(distwindow.Config{
 		Protocol: p, D: d, W: w, Eps: eps, Sites: m, Seed: seed,
-	}, distwindow.WithParallel(0))
+	}, distwindow.WithParallel(workers))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -437,11 +448,23 @@ func runPipeline(proto string, m, rows, d int, w int64, eps float64, seed int64)
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			for _, r := range rowsOf[si] {
-				if err := tr.TryObserve(si, r); err != nil {
+			rs := rowsOf[si]
+			if batch <= 1 {
+				for _, r := range rs {
+					if err := tr.TryObserve(si, r); err != nil {
+						log.Printf("site %d: %v", si, err)
+						return
+					}
+				}
+				return
+			}
+			for len(rs) > 0 {
+				n := min(batch, len(rs))
+				if _, err := tr.ObserveBatch(si, rs[:n]); err != nil {
 					log.Printf("site %d: %v", si, err)
 					return
 				}
+				rs = rs[n:]
 			}
 		}(si)
 	}
@@ -457,6 +480,10 @@ func runPipeline(proto string, m, rows, d int, w int64, eps float64, seed int64)
 	met := tr.Metrics()
 	fmt.Printf("protocol:         %s in-process pipeline, %d sites\n", proto, m)
 	fmt.Printf("streamed:         %d rows (d=%d) in %v\n", rows, d, elapsed.Round(time.Millisecond))
+	nw := tr.ParallelWorkers()
+	rate := float64(rows) / elapsed.Seconds()
+	fmt.Printf("ingest:           %.0f rows/s over %d workers (%.0f rows/s/worker, batch %d)\n",
+		rate, nw, rate/float64(nw), batch)
 	fmt.Printf("covariance error: %.4f (target ε=%.3g)\n", truth.CovErr(d, b), eps)
 	fmt.Printf("traffic:          %d msgs up, %.1f KiB equivalent payload\n",
 		met.Net.MsgsUp, float64(met.Net.WordsUp)*8/1024)

@@ -249,6 +249,12 @@ type Tracker struct {
 	ow     protocol.OneWay
 	lanes  []laneState
 	closed bool
+
+	// batch holds per-site staging slices for ObserveBatch's parallel
+	// path. Indexed by site and touched only by that site's feeder
+	// goroutine (the same single-producer contract as TryObserve), so no
+	// locking; cleared after each enqueue so no caller slice is retained.
+	batch [][]stream.Row
 }
 
 // newTracker wires the facade bookkeeping around a built protocol; New and
@@ -494,7 +500,18 @@ func (t *Tracker) Observe(site int, r Row) {
 // Because no layer retains row values (see TryObserve), callers may reuse
 // both the []Row slice and each row's V backing array across batches —
 // fill, ObserveBatch, refill — without reallocating.
+//
+// On a parallel tracker (WithParallel) ObserveBatch is the fast ingestion
+// path: the whole run is handed to the site's lane in ring blocks — one
+// ring operation and one worker wakeup per block instead of per row — so
+// feeders that can batch amortize nearly all pipeline overhead. As with
+// parallel TryObserve, staleness is detected on the worker and counted in
+// Metrics rather than reported here, so accepted counts the structurally
+// valid rows.
 func (t *Tracker) ObserveBatch(site int, rows []Row) (accepted int, err error) {
+	if t.pipe != nil {
+		return t.observeBatchParallel(site, rows)
+	}
 	for _, r := range rows {
 		if err := t.TryObserve(site, r); err != nil {
 			if errors.Is(err, ErrStale) {
@@ -505,6 +522,33 @@ func (t *Tracker) ObserveBatch(site int, rows []Row) (accepted int, err error) {
 		accepted++
 	}
 	return accepted, nil
+}
+
+// observeBatchParallel validates the run and enqueues it into the site's
+// lane as ring blocks. On a structural error the valid prefix is still
+// enqueued (matching the sequential path, which delivers rows up to the
+// failure) and accepted reports its length.
+func (t *Tracker) observeBatchParallel(site int, rows []Row) (accepted int, err error) {
+	if site < 0 || site >= t.cfg.Sites {
+		return 0, fmt.Errorf("%w: site %d not in [0,%d)", ErrSiteRange, site, t.cfg.Sites)
+	}
+	staged := t.batch[site][:0]
+	for _, r := range rows {
+		if len(r.V) != t.cfg.D {
+			err = fmt.Errorf("%w: got %d values, want %d", ErrDimension, len(r.V), t.cfg.D)
+			break
+		}
+		staged = append(staged, stream.Row{T: r.T, V: r.V})
+	}
+	if len(staged) > 0 {
+		t.pipe.EnqueueRows(site, staged)
+	}
+	accepted = len(staged)
+	// The staging slice aliases the callers' value slices; the ring has
+	// copied them, so drop the references before the next batch.
+	clear(staged)
+	t.batch[site] = staged[:0]
+	return accepted, err
 }
 
 // FlushSkew releases every row still held in the reorder buffers (call at

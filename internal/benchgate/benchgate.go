@@ -1,0 +1,135 @@
+// Package benchgate evaluates the benchmark scaling gates recorded in
+// BENCH_*.json. The rules live here — outside cmd/benchjson — so they can
+// be unit-tested on synthetic cells: the single-core CI box can never take
+// the multi-core PASS paths at runtime, but the gate logic itself must
+// still be provably right.
+package benchgate
+
+import "fmt"
+
+// Gate statuses. A gate never hard-fails a benchmark run: benchmarks are
+// advisory artifacts, so shortfalls surface as WARN for a human (or CI
+// annotation) to judge, and environments that cannot run a gate at all
+// record SKIP with the reason.
+const (
+	StatusPass = "PASS"
+	StatusWarn = "WARN"
+	StatusSkip = "SKIP"
+)
+
+// Thresholds for the parallel pipeline's scaling-efficiency gate:
+// ≥ 1.6× at 2 workers and ≥ 2.5× at 4 workers versus the same protocol's
+// 1-worker pipeline throughput.
+const (
+	MinSpeedup2 = 1.6
+	MinSpeedup4 = 2.5
+)
+
+// ParallelCell is one measured cell of the batch-size × workers sweep for
+// one protocol.
+type ParallelCell struct {
+	Workers    int
+	Batch      int
+	RowsPerSec float64
+}
+
+// Result is a gate verdict: Status plus a human-readable reason and the
+// speedups that drove it (0 when not computed).
+type Result struct {
+	Status   string  `json:"status"`
+	Reason   string  `json:"reason"`
+	Speedup2 float64 `json:"speedup_2w,omitempty"`
+	Speedup4 float64 `json:"speedup_4w,omitempty"`
+}
+
+// bestAt returns the best rows/s over cells with the given worker count
+// (any batch size — the gate measures what the pipeline can do, and the
+// batched path is part of it).
+func bestAt(cells []ParallelCell, workers int) float64 {
+	best := 0.0
+	for _, c := range cells {
+		if c.Workers == workers && c.RowsPerSec > best {
+			best = c.RowsPerSec
+		}
+	}
+	return best
+}
+
+// EvalParallelScaling applies the pipeline scaling gate to one protocol's
+// sweep cells, measured on a machine with numCPU schedulable cores.
+//
+//   - numCPU < 2: SKIP — scaling cannot be demonstrated on one core, and
+//     pretending otherwise is how every pre-PR9 "parallel" number was
+//     produced. The reason records the core count.
+//   - 2-worker speedup vs 1 worker must reach MinSpeedup2, and — when the
+//     machine has ≥ 4 cores and 4-worker cells exist — the 4-worker
+//     speedup must reach MinSpeedup4. Both → PASS, otherwise WARN.
+func EvalParallelScaling(cells []ParallelCell, numCPU int) Result {
+	if numCPU < 2 {
+		return Result{
+			Status: StatusSkip,
+			Reason: fmt.Sprintf("single-core machine (NumCPU=%d): parallel speedup cannot be demonstrated", numCPU),
+		}
+	}
+	base := bestAt(cells, 1)
+	if base == 0 {
+		return Result{Status: StatusSkip, Reason: "no 1-worker baseline cell in sweep"}
+	}
+	r := Result{Speedup2: bestAt(cells, 2) / base}
+	pass := r.Speedup2 >= MinSpeedup2
+	reason := fmt.Sprintf("2-worker speedup %.2fx (need %.1fx)", r.Speedup2, MinSpeedup2)
+	if numCPU >= 4 {
+		if best4 := bestAt(cells, 4); best4 > 0 {
+			r.Speedup4 = best4 / base
+			pass = pass && r.Speedup4 >= MinSpeedup4
+			reason += fmt.Sprintf(", 4-worker %.2fx (need %.1fx)", r.Speedup4, MinSpeedup4)
+		}
+	}
+	r.Reason = reason
+	if pass {
+		r.Status = StatusPass
+	} else {
+		r.Status = StatusWarn
+	}
+	return r
+}
+
+// RegistryCell is one measured cell of the registry streams × workers
+// sweep.
+type RegistryCell struct {
+	Streams    int
+	Workers    int
+	RowsPerSec float64
+}
+
+// EvalRegistryScaling applies the registry falloff gate at one stream
+// count: multi-worker ingest must never degrade below the 1-worker figure
+// of the same run. On a multi-core box it should exceed it; on one core
+// the worker clamp (Registry.IngestWorkers) makes the cells equivalent, so
+// parity is the expectation and a shortfall beyond noise is a WARN.
+func EvalRegistryScaling(cells []RegistryCell, streams, workers int) Result {
+	var base, at float64
+	for _, c := range cells {
+		if c.Streams != streams {
+			continue
+		}
+		switch c.Workers {
+		case 1:
+			base = c.RowsPerSec
+		case workers:
+			at = c.RowsPerSec
+		}
+	}
+	if base == 0 || at == 0 {
+		return Result{Status: StatusSkip, Reason: fmt.Sprintf("missing 1- or %d-worker cell at %d streams", workers, streams)}
+	}
+	ratio := at / base
+	r := Result{Speedup2: 0, Speedup4: 0}
+	r.Reason = fmt.Sprintf("%d streams: %d-worker ingest at %.2fx the 1-worker rate", streams, workers, ratio)
+	if ratio >= 1.0 {
+		r.Status = StatusPass
+	} else {
+		r.Status = StatusWarn
+	}
+	return r
+}

@@ -1,0 +1,87 @@
+package benchgate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParallelScalingSkipSingleCore(t *testing.T) {
+	cells := []ParallelCell{{Workers: 1, Batch: 1, RowsPerSec: 100}, {Workers: 2, Batch: 1, RowsPerSec: 190}}
+	r := EvalParallelScaling(cells, 1)
+	if r.Status != StatusSkip {
+		t.Fatalf("status %q, want SKIP on one core", r.Status)
+	}
+	if !strings.Contains(r.Reason, "NumCPU=1") {
+		t.Fatalf("skip reason %q does not record the core count", r.Reason)
+	}
+}
+
+func TestParallelScalingPass(t *testing.T) {
+	cells := []ParallelCell{
+		{Workers: 1, Batch: 1, RowsPerSec: 90},
+		{Workers: 1, Batch: 64, RowsPerSec: 100}, // best baseline wins
+		{Workers: 2, Batch: 64, RowsPerSec: 175},
+		{Workers: 4, Batch: 64, RowsPerSec: 260},
+	}
+	r := EvalParallelScaling(cells, 8)
+	if r.Status != StatusPass {
+		t.Fatalf("status %q (%s), want PASS", r.Status, r.Reason)
+	}
+	if r.Speedup2 != 1.75 || r.Speedup4 != 2.6 {
+		t.Fatalf("speedups %.2f/%.2f, want 1.75/2.60", r.Speedup2, r.Speedup4)
+	}
+}
+
+func TestParallelScalingWarnAt2Workers(t *testing.T) {
+	cells := []ParallelCell{
+		{Workers: 1, Batch: 64, RowsPerSec: 100},
+		{Workers: 2, Batch: 64, RowsPerSec: 120}, // 1.2x < 1.6x
+	}
+	r := EvalParallelScaling(cells, 2)
+	if r.Status != StatusWarn {
+		t.Fatalf("status %q, want WARN below threshold", r.Status)
+	}
+	if r.Speedup4 != 0 {
+		t.Fatalf("4-worker speedup %.2f computed on a 2-core box", r.Speedup4)
+	}
+}
+
+func TestParallelScalingWarnAt4Workers(t *testing.T) {
+	// 2-worker passes, 4-worker falls short: overall WARN on a ≥4-core box.
+	cells := []ParallelCell{
+		{Workers: 1, Batch: 64, RowsPerSec: 100},
+		{Workers: 2, Batch: 64, RowsPerSec: 170},
+		{Workers: 4, Batch: 64, RowsPerSec: 220},
+	}
+	if r := EvalParallelScaling(cells, 4); r.Status != StatusWarn {
+		t.Fatalf("status %q (%s), want WARN", r.Status, r.Reason)
+	}
+	// Same cells on a 2-core box: the 4-worker shortfall is not judged.
+	if r := EvalParallelScaling(cells, 2); r.Status != StatusPass {
+		t.Fatalf("status %q (%s), want PASS when 4-worker gate inapplicable", r.Status, r.Reason)
+	}
+}
+
+func TestParallelScalingSkipNoBaseline(t *testing.T) {
+	if r := EvalParallelScaling([]ParallelCell{{Workers: 2, RowsPerSec: 10}}, 4); r.Status != StatusSkip {
+		t.Fatalf("status %q, want SKIP without baseline", r.Status)
+	}
+}
+
+func TestRegistryScaling(t *testing.T) {
+	cells := []RegistryCell{
+		{Streams: 16, Workers: 1, RowsPerSec: 62000},
+		{Streams: 16, Workers: 4, RowsPerSec: 64000},
+		{Streams: 256, Workers: 1, RowsPerSec: 50000},
+		{Streams: 256, Workers: 4, RowsPerSec: 40000},
+	}
+	if r := EvalRegistryScaling(cells, 16, 4); r.Status != StatusPass {
+		t.Fatalf("16 streams: status %q (%s), want PASS at parity or better", r.Status, r.Reason)
+	}
+	if r := EvalRegistryScaling(cells, 256, 4); r.Status != StatusWarn {
+		t.Fatalf("256 streams: status %q, want WARN on degradation", r.Status)
+	}
+	if r := EvalRegistryScaling(cells, 99, 4); r.Status != StatusSkip {
+		t.Fatalf("missing cells: status %q, want SKIP", r.Status)
+	}
+}

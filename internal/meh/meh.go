@@ -49,6 +49,13 @@ type Histogram struct {
 	// released by merges and expiries, bounded by maxFree each.
 	freeSk  []*fd.Sketch
 	freeRow [][]float64
+	// slab is the backing store fresh row buffers are carved from when
+	// both the freelist and the shared pool miss. A cold histogram's
+	// warm-up (nothing released yet, shared pool only fed by evictions)
+	// would otherwise pay one allocation per Add; the slab amortizes that
+	// to one per slabRows rows, growing geometrically to maxSlabRows.
+	slab     []float64
+	slabRows int
 	// shared is an optional cross-histogram pool behind the freelists:
 	// consulted on a freelist miss, donated to by Release. Nil (the
 	// default) keeps the histogram fully self-contained.
@@ -149,6 +156,7 @@ func (h *Histogram) Release() {
 		h.shared.PutSketch(sk)
 	}
 	h.buckets, h.scratch, h.freeRow, h.freeSk = nil, nil, nil, nil
+	h.slab, h.slabRows = nil, 0
 	h.pending = 0
 }
 
@@ -167,10 +175,28 @@ func (h *Histogram) getRow(v []float64) []float64 {
 		copy(r, v)
 		return r
 	}
-	r := make([]float64, len(v))
+	if len(h.slab) < len(v) {
+		switch {
+		case h.slabRows == 0:
+			h.slabRows = minSlabRows
+		case h.slabRows < maxSlabRows:
+			h.slabRows *= 2
+		}
+		h.slab = make([]float64, h.slabRows*len(v))
+	}
+	r := h.slab[:len(v):len(v)]
+	h.slab = h.slab[len(v):]
 	copy(r, v)
 	return r
 }
+
+// minSlabRows and maxSlabRows bound the row-slab growth: small first slab
+// so a near-empty stream wastes little, doubling to a cap that keeps the
+// steady warm-up cost below one allocation per 64 rows.
+const (
+	minSlabRows = 8
+	maxSlabRows = 64
+)
 
 // putRow recycles a released single-row buffer.
 func (h *Histogram) putRow(r []float64) {

@@ -1,0 +1,102 @@
+package protocol
+
+import "sync/atomic"
+
+// outChunkCap is the number of updates per out-ring chunk. Emissions are
+// rare (communication efficiency is the protocols' point), so one chunk is
+// usually live and the single-slot freelist makes chunk churn alloc-free.
+const outChunkCap = 64
+
+// outChunk is one fixed-size segment of an outRing's linked list. The
+// producer publishes items by storing n after writing items[n]; the
+// consumer reads n before touching items, so the atomic pair orders the
+// accesses. Once a chunk is full and next is linked, the producer never
+// touches it again — the consumer owns it until recycling.
+type outChunk struct {
+	items [outChunkCap]Update
+	n     atomic.Int32
+	next  atomic.Pointer[outChunk]
+}
+
+// outRing is an unbounded single-producer/single-consumer queue of updates
+// from one worker to the coordinator, carrying the worker's pre-merged
+// (T, site)-ordered run. Unlike the bounded input rings it must not exert
+// backpressure: a worker blocking here while the coordinator stalls on
+// another worker's floor could deadlock the merge. Growth is a chunked
+// linked list instead of a locked slice — push, peek and pop are each a
+// couple of atomic ops, no mutex on any path.
+type outRing struct {
+	// Consumer side.
+	headChunk *outChunk
+	headIdx   int
+	// Producer side.
+	tailChunk *outChunk
+	// free recycles the most recently drained chunk back to the producer;
+	// a single slot suffices because the queue is nearly always one chunk
+	// deep. The atomic swap hands the cleared chunk over with the needed
+	// release/acquire ordering.
+	free atomic.Pointer[outChunk]
+}
+
+func newOutRing() *outRing {
+	c := &outChunk{}
+	return &outRing{headChunk: c, tailChunk: c}
+}
+
+// push appends one update. Producer only.
+func (q *outRing) push(u Update) {
+	c := q.tailChunk
+	n := c.n.Load()
+	if int(n) == outChunkCap {
+		nc := q.free.Swap(nil)
+		if nc == nil {
+			nc = &outChunk{}
+		}
+		c.next.Store(nc)
+		q.tailChunk = nc
+		c, n = nc, 0
+	}
+	c.items[n] = u
+	c.n.Store(n + 1)
+}
+
+// peek returns a pointer to the head update without consuming it, or nil.
+// Consumer only; the pointer is valid until the matching pop.
+func (q *outRing) peek() (*Update, bool) {
+	for {
+		c := q.headChunk
+		if q.headIdx < int(c.n.Load()) {
+			return &c.items[q.headIdx], true
+		}
+		if q.headIdx < outChunkCap {
+			return nil, false
+		}
+		// Chunk fully drained: advance if the producer has linked a
+		// successor, recycling the spent chunk through the freelist.
+		nc := c.next.Load()
+		if nc == nil {
+			return nil, false
+		}
+		q.headChunk, q.headIdx = nc, 0
+		c.next.Store(nil)
+		c.n.Store(0)
+		q.free.Store(c)
+	}
+}
+
+// pop consumes the head update (after a successful peek), clearing the
+// slot so the chunk does not retain the update's value slice.
+func (q *outRing) pop() Update {
+	c := q.headChunk
+	u := c.items[q.headIdx]
+	c.items[q.headIdx] = Update{}
+	q.headIdx++
+	return u
+}
+
+// empty reports whether the queue holds no updates. Consumer only (it may
+// advance the head chunk).
+func (q *outRing) empty() bool {
+	_, ok := q.peek()
+	return !ok
+}

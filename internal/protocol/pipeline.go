@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"distwindow/internal/stream"
 )
 
 // EmitAt receives a coordinator update produced during site-local work,
@@ -20,7 +22,7 @@ type EmitAt func(t int64, scale float64, v []float64)
 // tracker's site array) must be safe for concurrent sites.
 //
 // The v slice passed to HandleRow aliases the lane's ring slot and is
-// reused after the call returns — the handler must copy anything it
+// reused after the slot is popped — the handler must copy anything it
 // retains (the trackers already honor this no-retention contract).
 //
 // Each call returns the lane's new progress: a promise that every future
@@ -39,108 +41,178 @@ type PipelineConfig struct {
 	// Workers is the number of site-work goroutines; lanes are sharded
 	// round-robin across them. ≤0 means GOMAXPROCS.
 	Workers int
-	// RingSize is the per-lane input ring capacity (rounded up to a power
-	// of two). ≤0 means 256. When a lane's ring fills, EnqueueRow blocks —
-	// backpressure, not loss.
+	// RingSize is the per-lane input ring capacity in blocks (rounded up
+	// to a power of two). ≤0 means 256. When a lane's ring fills, enqueues
+	// block — backpressure, not loss.
 	RingSize int
+	// MaxBlock caps the rows per ring block. ≤0 means 64. EnqueueRows
+	// splits longer runs into MaxBlock-row blocks, each one ring op.
+	MaxBlock int
 }
 
-// outQueue is a lane's unbounded site→coordinator queue. Unlike the input
-// rings it must not exert backpressure: a lagging lane blocking its worker
-// here could deadlock the merge, and the one-way protocols emit rarely
-// enough (communication efficiency is the point) that growth is bounded in
-// practice by the merge stalling on unfed lanes.
-type outQueue struct {
-	mu    sync.Mutex
+// pendQueue is a lane's worker-local FIFO of emitted-but-unreleased
+// updates. Only the lane's worker touches it (emit during handling,
+// pop during the release pass), so it needs no locking. It is unbounded
+// for the same reason the out-rings are: a lagging lane must not block
+// the merge.
+type pendQueue struct {
 	items []Update
 	head  int
 }
 
-func (q *outQueue) push(u Update) {
-	q.mu.Lock()
-	q.items = append(q.items, u)
-	q.mu.Unlock()
-}
+func (q *pendQueue) push(u Update) { q.items = append(q.items, u) }
 
-func (q *outQueue) peek() (Update, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+func (q *pendQueue) peek() (Update, bool) {
 	if q.head == len(q.items) {
 		return Update{}, false
 	}
 	return q.items[q.head], true
 }
 
-func (q *outQueue) pop() Update {
-	q.mu.Lock()
+func (q *pendQueue) pop() Update {
 	u := q.items[q.head]
 	q.items[q.head] = Update{}
 	q.head++
 	if q.head == len(q.items) {
 		q.items, q.head = q.items[:0], 0
 	}
-	q.mu.Unlock()
 	return u
 }
 
-// lane is one site's slice of the pipeline: its input ring, its out-queue
-// toward the coordinator, and its merge bookkeeping.
+// lane is one site's slice of the pipeline: its input ring, its pending
+// emissions, and its merge bookkeeping.
 type lane struct {
 	site int
 	ring *spscRing
-	out  outQueue
+	pend pendQueue
 
 	// progress is the lane's emission floor (see LaneHandler). Written by
-	// the worker after each item, read by the coordinator for virtual
-	// merge keys. Starts at minInt64: an unstarted lane blocks everything.
+	// the worker after each block, read for virtual merge keys and
+	// MinProgress. Starts at minInt64: an unstarted lane blocks everything.
 	progress atomic.Int64
 
-	// enq counts items pushed to the ring, done items fully processed;
-	// enq == done means the lane is idle (its emissions, if any, are in
-	// the out-queue). dirty tells the coordinator to re-read this lane's
-	// merge key on its next pass.
-	enq   atomic.Int64
-	done  atomic.Int64
-	dirty atomic.Bool
+	// enq counts blocks pushed to the ring, done blocks fully processed;
+	// enq == done means the lane's input is drained (its emissions, if
+	// any, are in pend or further along).
+	enq  atomic.Int64
+	done atomic.Int64
 
-	// justEmitted is worker-local (emit runs on the worker goroutine): set
-	// by emit, consumed by the worker loop to decide whether the
-	// coordinator must be woken.
-	justEmitted bool
-	emitFn      EmitAt
-	p           *Pipeline
+	emitFn EmitAt
+	w      *workerState
 }
 
 func (ln *lane) emit(t int64, scale float64, v []float64) {
-	ln.out.push(Update{T: t, Site: ln.site, Scale: scale, V: v})
-	ln.p.pending.Add(1)
-	ln.justEmitted = true
+	ln.pend.push(Update{T: t, Site: ln.site, Scale: scale, V: v})
+	ln.w.localPend.Add(1)
 }
 
 func (ln *lane) idle() bool { return ln.done.Load() == ln.enq.Load() }
 
+// localKey is the lane's merge key inside its worker's pre-merge: the head
+// pending emission if one exists, else +inf when a drain has proven the
+// lane cannot emit again, else a virtual key from its progress.
+func (ln *lane) localKey(draining bool) mergeKey {
+	if u, ok := ln.pend.peek(); ok {
+		return mergeKey{t: u.T, site: u.Site, real: true}
+	}
+	if draining && ln.idle() {
+		return mergeKey{t: maxInt64, site: ln.site}
+	}
+	return mergeKey{t: ln.progress.Load(), site: ln.site}
+}
+
+// workerState is one worker goroutine's shard of the pipeline: the lanes
+// it owns, the local tournament that pre-merges their emissions into one
+// (T, site)-ordered run, the SPSC out-ring carrying that run to the
+// coordinator, and the published floor that gates the final merge while
+// the out-ring is empty.
+type workerState struct {
+	id    int
+	lanes []*lane
+	tour  *tournament // leaf i ↔ lanes[i]; worker-only
+	out   *outRing
+
+	// floor is the worker's released-emission floor: a promise that every
+	// update the worker has not yet pushed to its out-ring has merge key
+	// ≥ floor (same "strictly after, except the same-key real" reading as
+	// lane progress). Published under a seqlock: torn (t, site) pairs are
+	// order-unsafe — a new t paired with a stale smaller site would let a
+	// candidate through that must still wait — so readers retry until they
+	// observe a consistent pair.
+	floorSeq  atomic.Uint64
+	floorT    atomic.Int64
+	floorSite atomic.Int64
+
+	// localPend counts emitted-but-unreleased updates across the worker's
+	// lanes. Written only by the worker, read by Drain and the coordinator
+	// to detect true idleness.
+	localPend atomic.Int64
+
+	// dirty tells the coordinator to re-read this worker's merge key.
+	dirty atomic.Bool
+	wake  chan struct{}
+}
+
+func (w *workerState) publishFloor(k mergeKey) {
+	w.floorSeq.Add(1) // odd: write in progress
+	w.floorT.Store(k.t)
+	w.floorSite.Store(int64(k.site))
+	w.floorSeq.Add(1) // even: consistent
+}
+
+func (w *workerState) readFloor() mergeKey {
+	for {
+		s := w.floorSeq.Load()
+		if s&1 == 0 {
+			t := w.floorT.Load()
+			site := w.floorSite.Load()
+			if w.floorSeq.Load() == s {
+				return mergeKey{t: t, site: int(site)}
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// idle reports whether the worker has fully digested its input: every
+// owned lane's ring drained and every emission released to the out-ring.
+func (w *workerState) idle() bool {
+	if w.localPend.Load() != 0 {
+		return false
+	}
+	for _, ln := range w.lanes {
+		if !ln.idle() {
+			return false
+		}
+	}
+	return true
+}
+
 // Pipeline is the parallel ingestion fabric for the one-way protocol
 // family: one lane per site, lanes sharded over worker goroutines that run
-// all site-local work, and a single coordinator goroutine that applies the
-// emitted updates in global (T, site) order via a tournament merge over
-// the lanes' out-queues.
+// all site-local work and pre-merge their lanes' emissions into per-worker
+// (T, site)-ordered runs, and a single coordinator goroutine that applies
+// updates in global (T, site) order via a final k-way tournament merge
+// over k = workers out-rings.
 //
 // Concurrency contract: at most one goroutine may enqueue per site (the
 // rings are single-producer), and Advance/Drain/MinProgress/Close must not
 // run concurrently with any enqueue.
 type Pipeline struct {
-	lanes []*lane
-	h     LaneHandler
-	apply func(Update)
+	lanes   []*lane
+	workers []*workerState
+	h       LaneHandler
+	apply   func(Update)
 
-	tour *tournament
-	// pending counts emitted-but-unapplied updates across all lanes.
+	maxBlock int
+
+	tour *tournament // leaf i ↔ workers[i]; coordinator-only
+	// pending counts updates released to out-rings but not yet applied.
 	pending  atomic.Int64
 	draining atomic.Bool
 	// kick wakes the coordinator; buffered so a kick during a pass is
 	// never lost.
 	kick  chan struct{}
-	wakes []chan struct{} // one per worker
 	stopc chan struct{}
 	wg    sync.WaitGroup
 }
@@ -162,45 +234,79 @@ func NewPipeline(sites int, h LaneHandler, apply func(Update), cfg PipelineConfi
 	if ringSize <= 0 {
 		ringSize = 256
 	}
+	maxBlock := cfg.MaxBlock
+	if maxBlock <= 0 {
+		maxBlock = 64
+	}
 	p := &Pipeline{
-		h:     h,
-		apply: apply,
-		tour:  newTournament(sites),
-		kick:  make(chan struct{}, 1),
-		stopc: make(chan struct{}),
+		h:        h,
+		apply:    apply,
+		maxBlock: maxBlock,
+		tour:     newTournament(workers),
+		kick:     make(chan struct{}, 1),
+		stopc:    make(chan struct{}),
 	}
 	p.lanes = make([]*lane, sites)
 	for i := range p.lanes {
-		ln := &lane{site: i, ring: newSPSCRing(ringSize), p: p}
+		ln := &lane{site: i, ring: newSPSCRing(ringSize)}
 		ln.progress.Store(minInt64)
 		ln.emitFn = ln.emit
 		p.lanes[i] = ln
 	}
-	p.wakes = make([]chan struct{}, workers)
-	for w := 0; w < workers; w++ {
-		p.wakes[w] = make(chan struct{}, 1)
-		var mine []*lane
-		for i := w; i < sites; i += workers {
-			mine = append(mine, p.lanes[i])
+	p.workers = make([]*workerState, workers)
+	for wk := 0; wk < workers; wk++ {
+		w := &workerState{
+			id:   wk,
+			out:  newOutRing(),
+			wake: make(chan struct{}, 1),
 		}
+		for i := wk; i < sites; i += workers {
+			p.lanes[i].w = w
+			w.lanes = append(w.lanes, p.lanes[i])
+		}
+		w.tour = newTournament(len(w.lanes))
+		w.publishFloor(mergeKey{t: minInt64, site: w.lanes[0].site})
+		p.workers[wk] = w
 		p.wg.Add(1)
-		go p.worker(mine, p.wakes[w])
+		go p.worker(w)
 	}
 	p.wg.Add(1)
 	go p.coordinator()
 	return p
 }
 
-// EnqueueRow hands a row to its site's lane. v is copied into the lane's
-// ring, so the caller may reuse its backing array. Blocks while the lane's
-// ring is full (backpressure).
+// EnqueueRow hands a single row to its site's lane as a one-row block. v
+// is copied into the lane's ring, so the caller may reuse its backing
+// array. Blocks while the lane's ring is full (backpressure).
 func (p *Pipeline) EnqueueRow(site int, t int64, v []float64) {
 	ln := p.lanes[site]
 	ln.enq.Add(1)
 	ln.ring.push(func(s *laneItem) {
-		s.t, s.kind = t, itemRow
-		s.v = append(s.v[:0], v...)
+		s.kind = itemRow
+		s.n, s.d = 1, len(v)
+		s.ts = append(s.ts[:0], t)
+		s.vbuf = append(s.vbuf[:0], v...)
 	})
+	p.wakeWorker(site)
+}
+
+// EnqueueRows hands a run of rows to its site's lane in blocks of up to
+// MaxBlock rows — one ring op per block and a single worker wakeup for the
+// whole call, amortizing the per-row atomics and parks of EnqueueRow. All
+// rows must share a dimension. Values are copied; blocks while the ring is
+// full.
+func (p *Pipeline) EnqueueRows(site int, rows []stream.Row) {
+	ln := p.lanes[site]
+	for len(rows) > 0 {
+		n := len(rows)
+		if n > p.maxBlock {
+			n = p.maxBlock
+		}
+		blk := rows[:n]
+		rows = rows[n:]
+		ln.enq.Add(1)
+		ln.ring.push(func(s *laneItem) { s.fillRows(blk) })
+	}
 	p.wakeWorker(site)
 }
 
@@ -211,16 +317,19 @@ func (p *Pipeline) Advance(now int64) {
 		ln.enq.Add(1)
 		ln.ring.push(func(s *laneItem) { s.t, s.kind = now, itemAdvance })
 	}
-	for w := range p.wakes {
+	for _, w := range p.workers {
 		p.wake(w)
 	}
 }
 
-func (p *Pipeline) wakeWorker(site int) { p.wake(site % len(p.wakes)) }
+// Workers returns the number of worker goroutines the pipeline runs.
+func (p *Pipeline) Workers() int { return len(p.workers) }
 
-func (p *Pipeline) wake(w int) {
+func (p *Pipeline) wakeWorker(site int) { p.wake(p.lanes[site].w) }
+
+func (p *Pipeline) wake(w *workerState) {
 	select {
-	case p.wakes[w] <- struct{}{}:
+	case w.wake <- struct{}{}:
 	default:
 	}
 }
@@ -233,24 +342,27 @@ func (p *Pipeline) kickCoord() {
 }
 
 // worker drains its lanes' rings, running the handler in-place on each
-// slot (peek → handle → pop, so the slot buffer is stable during the
-// call), and parks when all its lanes are empty.
-func (p *Pipeline) worker(lanes []*lane, wakec chan struct{}) {
+// block (peek → handle → pop, so the slot buffers are stable during the
+// calls), then releases its lanes' pending emissions through the local
+// pre-merge before parking.
+func (p *Pipeline) worker(w *workerState) {
 	defer p.wg.Done()
 	for {
 		progressed := false
-		for _, ln := range lanes {
+		for _, ln := range w.lanes {
 			for {
 				it, ok := ln.ring.peek()
 				if !ok {
 					break
 				}
 				progressed = true
-				ln.justEmitted = false
 				var prog int64
 				switch it.kind {
 				case itemRow:
-					prog = p.h.HandleRow(ln.site, it.t, it.v, ln.emitFn)
+					for r := 0; r < it.n; r++ {
+						t, v := it.row(r)
+						prog = p.h.HandleRow(ln.site, t, v, ln.emitFn)
+					}
 				case itemAdvance:
 					prog = p.h.HandleAdvance(ln.site, it.t, ln.emitFn)
 				case itemFlush:
@@ -261,20 +373,14 @@ func (p *Pipeline) worker(lanes []*lane, wakec chan struct{}) {
 				}
 				ln.ring.pop()
 				ln.done.Add(1)
-				ln.dirty.Store(true)
-				// The coordinator only needs to see this lane's new key if
-				// an update is waiting somewhere: our own emission, or a
-				// stalled update from another lane that our progress may
-				// unblock. With pending == 0 the dirty flag just
-				// accumulates until the next emission's kick.
-				if ln.justEmitted || p.pending.Load() > 0 {
-					p.kickCoord()
-				}
 			}
+		}
+		if progressed || p.draining.Load() {
+			p.release(w)
 		}
 		if !progressed {
 			select {
-			case <-wakec:
+			case <-w.wake:
 			case <-p.stopc:
 				return
 			}
@@ -282,11 +388,63 @@ func (p *Pipeline) worker(lanes []*lane, wakec chan struct{}) {
 	}
 }
 
+// release runs the worker's pre-merge: pop pending emissions in (T, site)
+// order into the out-ring while the local tournament's winner is real,
+// then publish the worker's new floor and hand the coordinator the
+// refreshed key. The local gate mirrors the global one — a virtual local
+// winner means one of this worker's own lanes could still emit earlier, so
+// later pending updates must be held back to keep the out-ring run sorted.
+func (p *Pipeline) release(w *workerState) {
+	draining := p.draining.Load()
+	for i, ln := range w.lanes {
+		w.tour.setKey(i, ln.localKey(draining))
+	}
+	w.tour.rebuild()
+	released := false
+	for {
+		li, real := w.tour.min()
+		if !real {
+			break
+		}
+		ln := w.lanes[li]
+		u := ln.pend.pop()
+		w.localPend.Add(-1)
+		w.out.push(u)
+		p.pending.Add(1)
+		released = true
+		w.tour.replayWinner(ln.localKey(draining))
+	}
+	// Publish the progress-based floor even mid-drain: the coordinator
+	// derives the drain-time +inf at read time (draining && idle), so the
+	// stored floor never goes stale when the drain ends. With the pend
+	// queues just emptied under drain keys, the released-emission promise
+	// reduces to the lanes' progress floors.
+	if draining {
+		floor := mergeKey{t: maxInt64, site: w.lanes[0].site}
+		for _, ln := range w.lanes {
+			if k := (mergeKey{t: ln.progress.Load(), site: ln.site}); k.less(floor) {
+				floor = k
+			}
+		}
+		w.publishFloor(floor)
+	} else {
+		w.publishFloor(w.tour.rootKey())
+	}
+	w.dirty.Store(true)
+	// The coordinator only needs this worker's new key if an update is
+	// waiting somewhere: our own releases, or a stalled update from
+	// another worker that our floor advance may unblock. With pending == 0
+	// the dirty flag just accumulates until the next release's kick.
+	if released || p.pending.Load() > 0 {
+		p.kickCoord()
+	}
+}
+
 // coordinator applies updates in global (T, site) order: on each kick it
-// re-reads the merge keys of dirty lanes, then pops and applies while the
-// tournament winner is a real key. A virtual winner means some lane could
-// still emit earlier — stall until that lane progresses (or Drain marks it
-// finished).
+// re-reads the merge keys of dirty workers, then pops and applies while
+// the tournament winner is a real key. A virtual winner means some worker
+// could still release something earlier — stall until that worker's floor
+// advances (or Drain marks it finished).
 func (p *Pipeline) coordinator() {
 	defer p.wg.Done()
 	for {
@@ -296,9 +454,9 @@ func (p *Pipeline) coordinator() {
 			return
 		}
 		changed := false
-		for i, ln := range p.lanes {
-			if ln.dirty.Swap(false) {
-				p.tour.setKey(i, p.leafKey(i))
+		for i, w := range p.workers {
+			if w.dirty.Swap(false) {
+				p.tour.setKey(i, p.leafKey(w))
 				changed = true
 			}
 		}
@@ -306,11 +464,12 @@ func (p *Pipeline) coordinator() {
 			p.tour.rebuild()
 		}
 		for {
-			w, real := p.tour.min()
+			wi, real := p.tour.min()
 			if !real {
 				break
 			}
-			u := p.lanes[w].out.pop()
+			w := p.workers[wi]
+			u := w.out.pop()
 			p.apply(u)
 			p.pending.Add(-1)
 			p.tour.replayWinner(p.leafKey(w))
@@ -318,25 +477,25 @@ func (p *Pipeline) coordinator() {
 	}
 }
 
-// leafKey computes lane i's current merge key: the head of its out-queue
-// if one is waiting, else a virtual key from its progress — or +inf during
-// a drain once the lane is idle, since a drained lane cannot emit again.
-func (p *Pipeline) leafKey(i int) mergeKey {
-	ln := p.lanes[i]
-	if u, ok := ln.out.peek(); ok {
+// leafKey computes a worker's current merge key: the head of its out-ring
+// if an update is waiting, else +inf during a drain once the worker is
+// fully idle (a drained worker cannot release again), else its published
+// floor.
+func (p *Pipeline) leafKey(w *workerState) mergeKey {
+	if u, ok := w.out.peek(); ok {
 		return mergeKey{t: u.T, site: u.Site, real: true}
 	}
-	if p.draining.Load() && ln.idle() {
-		return mergeKey{t: maxInt64, site: i}
+	if p.draining.Load() && w.idle() {
+		return mergeKey{t: maxInt64, site: w.id}
 	}
-	return mergeKey{t: ln.progress.Load(), site: i}
+	return w.readFloor()
 }
 
-// Drain blocks until every enqueued item has been processed and every
-// emitted update applied. If flush is true it first sends each lane a
-// flush token (releasing skew-buffered rows) once the lanes go idle.
-// Caller must be quiesced; afterwards Sketch-style reads of the
-// coordinator state are safe.
+// Drain blocks until every enqueued block has been processed, every
+// emission released, and every released update applied. If flush is true
+// it first sends each lane a flush token (releasing skew-buffered rows)
+// once the lanes go idle. Caller must be quiesced; afterwards Sketch-style
+// reads of the coordinator state are safe.
 func (p *Pipeline) Drain(flush bool) {
 	waitUntil(p.lanesIdle)
 	if flush {
@@ -344,18 +503,30 @@ func (p *Pipeline) Drain(flush bool) {
 			ln.enq.Add(1)
 			ln.ring.push(func(s *laneItem) { s.kind = itemFlush })
 		}
-		for w := range p.wakes {
+		for _, w := range p.workers {
 			p.wake(w)
 		}
 		waitUntil(p.lanesIdle)
 	}
 	p.draining.Store(true)
+	// Every worker runs a release pass under drain keys (+inf for idle
+	// lanes), emptying its pend queues into its out-ring.
+	for _, w := range p.workers {
+		p.wake(w)
+	}
 	p.markAllDirty()
 	p.kickCoord()
-	waitUntil(func() bool { return p.pending.Load() == 0 })
+	waitUntil(func() bool {
+		for _, w := range p.workers {
+			if w.localPend.Load() != 0 {
+				return false
+			}
+		}
+		return p.pending.Load() == 0
+	})
 	p.draining.Store(false)
-	// The +inf drain keys are stale now: re-dirty every lane so the next
-	// pass restores progress-based keys before new items arrive.
+	// The +inf drain keys are stale now: re-dirty every worker so the next
+	// pass restores floor-based keys before new items arrive.
 	p.markAllDirty()
 	p.kickCoord()
 }
@@ -370,8 +541,8 @@ func (p *Pipeline) lanesIdle() bool {
 }
 
 func (p *Pipeline) markAllDirty() {
-	for _, ln := range p.lanes {
-		ln.dirty.Store(true)
+	for _, w := range p.workers {
+		w.dirty.Store(true)
 	}
 }
 

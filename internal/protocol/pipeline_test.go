@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"distwindow/internal/stream"
 )
 
 func TestTournamentOrder(t *testing.T) {
@@ -119,6 +121,79 @@ func TestSPSCRingBackpressure(t *testing.T) {
 	}
 }
 
+// TestSPSCRingSlotOwnership pins the peek → process → pop contract under
+// the race detector: the consumer mutates a peeked slot's buffers in place
+// (as the worker's handlers do) while the producer refills recycled slots.
+// Any overlap between producer fill and consumer processing is a data race
+// the -race run would flag.
+func TestSPSCRingSlotOwnership(t *testing.T) {
+	r := newSPSCRing(4)
+	const n = 20_000
+	rows := []stream.Row{{T: 0, V: []float64{0, 0}}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			rows[0].T = int64(i)
+			rows[0].V[0], rows[0].V[1] = float64(i), float64(2*i)
+			r.push(func(s *laneItem) { s.fillRows(rows) })
+		}
+	}()
+	for i := 0; i < n; i++ {
+		var it *laneItem
+		for {
+			var ok bool
+			if it, ok = r.peek(); ok {
+				break
+			}
+			runtime.Gosched()
+		}
+		ts, v := it.row(0)
+		if ts != int64(i) || v[0] != float64(i) || v[1] != float64(2*i) {
+			t.Fatalf("slot %d: got t=%d v=%v", i, ts, v)
+		}
+		// Process in place: the slot is ours until pop.
+		v[0], v[1] = v[1], v[0]
+		it.ts[0] = -ts
+		r.pop()
+	}
+	<-done
+}
+
+func TestOutRingOrderAndRecycle(t *testing.T) {
+	q := newOutRing()
+	// Several chunk generations, drained concurrently: order must be FIFO
+	// and the freelist handoff race-clean.
+	const n = 10 * outChunkCap
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			q.push(Update{T: int64(i), Site: i % 7, V: []float64{float64(i)}})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		var u *Update
+		for {
+			var ok bool
+			if u, ok = q.peek(); ok {
+				break
+			}
+			runtime.Gosched()
+		}
+		if u.T != int64(i) || u.Site != i%7 || u.V[0] != float64(i) {
+			t.Fatalf("item %d: got %+v", i, *u)
+		}
+		if got := q.pop(); got.T != int64(i) {
+			t.Fatalf("pop %d: got T=%d", i, got.T)
+		}
+	}
+	<-done
+	if !q.empty() {
+		t.Fatal("out-ring not empty after drain")
+	}
+}
+
 // orderHandler emits one update per row at the row's timestamp, so the
 // coordinator's apply order directly witnesses the merge order.
 type orderHandler struct{}
@@ -172,6 +247,60 @@ func TestPipelineGlobalOrder(t *testing.T) {
 		// Two rows share each timestamp per site.
 		if u.V[0] != want {
 			t.Fatalf("site %d: got seq %v want %v", u.Site, u.V[0], want)
+		}
+		next[u.Site]++
+	}
+}
+
+// TestPipelineEnqueueRowsOrder drives the block path: per-site runs larger
+// than MaxBlock (forcing splits) with cross-site timestamp ties, verifying
+// the global merge order and per-site FIFO survive batching.
+func TestPipelineEnqueueRowsOrder(t *testing.T) {
+	const sites, rows, batch = 5, 4_096, 100 // batch > MaxBlock: splits
+	var mu sync.Mutex
+	var got []Update
+	p := NewPipeline(sites, orderHandler{}, func(u Update) {
+		mu.Lock()
+		got = append(got, u)
+		mu.Unlock()
+	}, PipelineConfig{Workers: 3, RingSize: 8, MaxBlock: 32})
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for s := 0; s < sites; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			buf := make([]stream.Row, 0, batch)
+			for i := 0; i < rows; {
+				buf = buf[:0]
+				for len(buf) < batch && i < rows {
+					// Rows copy into the ring per block, but blocks of one
+					// EnqueueRows call are pushed one by one, so each row
+					// needs its own V until the call returns.
+					buf = append(buf, stream.Row{T: int64(i / 2), V: []float64{float64(i)}})
+					i++
+				}
+				p.EnqueueRows(s, buf)
+			}
+		}(s)
+	}
+	wg.Wait()
+	p.Drain(false)
+
+	if len(got) != sites*rows {
+		t.Fatalf("applied %d updates, want %d", len(got), sites*rows)
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if b.T < a.T || (b.T == a.T && b.Site < a.Site) {
+			t.Fatalf("apply %d out of order: (%d,%d) then (%d,%d)", i, a.T, a.Site, b.T, b.Site)
+		}
+	}
+	next := make([]float64, sites)
+	for _, u := range got {
+		if u.V[0] != next[u.Site] {
+			t.Fatalf("site %d: got seq %v want %v", u.Site, u.V[0], next[u.Site])
 		}
 		next[u.Site]++
 	}

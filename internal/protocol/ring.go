@@ -3,6 +3,8 @@ package protocol
 import (
 	"sync"
 	"sync/atomic"
+
+	"distwindow/internal/stream"
 )
 
 // itemKind tags a ring slot.
@@ -14,14 +16,44 @@ const (
 	itemFlush
 )
 
-// laneItem is one slot of a lane's input ring: a row, an advance token, or
-// a drain-time flush token. Row slots own their value buffer — Enqueue
-// copies the caller's slice into it, so the caller may reuse its backing
-// array and the steady state allocates nothing.
+// laneItem is one slot of a lane's input ring: a block of rows, an advance
+// token, or a drain-time flush token. Row slots own their buffers — filling
+// a slot copies the caller's timestamps and values into ts/vbuf, so the
+// caller may reuse its backing arrays and the steady state allocates
+// nothing once the slot buffers have grown to the block size.
+//
+// Blocks amortize the per-item costs of the pipeline (ring atomics,
+// wakeups, progress stores) over up to maxBlock rows: one ring op moves a
+// whole per-site run instead of a single row.
 type laneItem struct {
-	t    int64
-	v    []float64
 	kind itemKind
+	// t is the advance timestamp (itemAdvance only).
+	t int64
+	// n is the number of rows in the block, d the row stride; row r lives
+	// at ts[r], vbuf[r*d : (r+1)*d]. All rows of a block share d.
+	n    int
+	d    int
+	ts   []int64
+	vbuf []float64
+}
+
+// fillRows writes a block of rows into the slot, reusing its buffers.
+func (s *laneItem) fillRows(rows []stream.Row) {
+	s.kind = itemRow
+	s.n = len(rows)
+	s.d = len(rows[0].V)
+	s.ts = s.ts[:0]
+	s.vbuf = s.vbuf[:0]
+	for _, r := range rows {
+		s.ts = append(s.ts, r.T)
+		s.vbuf = append(s.vbuf, r.V...)
+	}
+}
+
+// row returns the r-th row of a block slot; the slice aliases the slot
+// buffer and is only valid until pop.
+func (s *laneItem) row(r int) (int64, []float64) {
+	return s.ts[r], s.vbuf[r*s.d : (r+1)*s.d : (r+1)*s.d]
 }
 
 // spscRing is a bounded single-producer/single-consumer ring buffer with
@@ -58,7 +90,7 @@ func newSPSCRing(size int) *spscRing {
 }
 
 // push fills the next slot via fill (which writes into the slot in place,
-// reusing its buffer) and publishes it. Blocks while the ring is full.
+// reusing its buffers) and publishes it. Blocks while the ring is full.
 func (r *spscRing) push(fill func(*laneItem)) {
 	for {
 		t := r.tail.Load()
@@ -92,8 +124,15 @@ func (r *spscRing) peek() (*laneItem, bool) {
 
 // pop recycles the slot returned by the last peek and unparks a blocked
 // producer.
+//
+// head.Add is not a single-writer hazard: the ring is single-consumer by
+// contract (only the lane's worker calls peek/pop), so no other goroutine
+// ever writes head and the load-modify-store cannot lose an increment. Add
+// is still used over Store(Load()+1) so the invariant holds mechanically
+// even if a future refactor introduced a second popper — the RMW is then
+// atomic instead of silently dropping increments.
 func (r *spscRing) pop() {
-	r.head.Store(r.head.Load() + 1)
+	r.head.Add(1)
 	if r.prodWaiting.Load() {
 		r.mu.Lock()
 		r.notFull.Broadcast()

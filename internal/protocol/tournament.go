@@ -112,3 +112,8 @@ func (tr *tournament) replayWinner(k mergeKey) {
 func (tr *tournament) min() (lane int, real bool) {
 	return tr.winner, tr.keys[tr.winner].real
 }
+
+// rootKey returns the winning leaf's key — the merge's current lower
+// bound. After a release loop stopped on a virtual winner, this is the
+// floor below which the merged source can no longer produce anything.
+func (tr *tournament) rootKey() mergeKey { return tr.keys[tr.winner] }

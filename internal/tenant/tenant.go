@@ -71,6 +71,19 @@ func (m *Map[V]) shard(key string) *shard[V] {
 	return &m.shards[fnv1a(key)&m.mask]
 }
 
+// ShardOf returns the index of the shard owning key — a stable,
+// alloc-free hash assignment in [0, Shards()). Ingest planes use it to
+// give worker goroutines shard-ownership of streams: routing each key to
+// worker ShardOf(key) % workers keeps a stream's hot path on one worker
+// (no cross-worker handoff) and keeps each worker's lock traffic inside
+// its own shard stripe.
+func (m *Map[V]) ShardOf(key string) int {
+	return int(fnv1a(key) & m.mask)
+}
+
+// Shards returns the shard count (a power of two).
+func (m *Map[V]) Shards() int { return len(m.shards) }
+
 // Get returns the value for key. It takes only the shard's read lock and
 // performs no allocations.
 func (m *Map[V]) Get(key string) (V, bool) {

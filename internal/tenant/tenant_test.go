@@ -116,6 +116,28 @@ func TestMapShardRounding(t *testing.T) {
 	}
 }
 
+func TestMapShardOf(t *testing.T) {
+	m := NewMap[int](8)
+	if got := m.Shards(); got != 8 {
+		t.Fatalf("Shards = %d, want 8", got)
+	}
+	// Stable, in range, alloc-free, and consistent with the shard the map
+	// actually uses (LoadOrCreate then Get must agree on placement).
+	keys := []string{"", "a", "stream-000", "stream-001", "user/42/metric", "x"}
+	for _, k := range keys {
+		s1 := m.ShardOf(k)
+		if s1 < 0 || s1 >= m.Shards() {
+			t.Fatalf("ShardOf(%q) = %d out of range", k, s1)
+		}
+		if s2 := m.ShardOf(k); s2 != s1 {
+			t.Fatalf("ShardOf(%q) unstable: %d then %d", k, s1, s2)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = m.ShardOf("stream-000") }); n != 0 {
+		t.Fatalf("ShardOf allocates %.1f, want 0", n)
+	}
+}
+
 func TestMapGetAllocs(t *testing.T) {
 	m := NewMap[*int](4)
 	x := 5

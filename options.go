@@ -70,10 +70,11 @@ func WithParallel(workers int) Option {
 	}
 }
 
-// WithRingSize sets the per-site input ring capacity for WithParallel
-// (rounded up to a power of two; ≤0 means the default, 256). When a site's
-// ring fills, TryObserve blocks until its worker catches up —
-// backpressure, not loss.
+// WithRingSize sets the per-site input ring capacity for WithParallel,
+// in row blocks (rounded up to a power of two; ≤0 means the default,
+// 256). A TryObserve row occupies one block; an ObserveBatch run fills
+// blocks to capacity. When a site's ring fills, TryObserve/ObserveBatch
+// block until its worker catches up — backpressure, not loss.
 func WithRingSize(n int) Option {
 	return func(o *options) { o.ringSize = n }
 }

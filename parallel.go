@@ -146,6 +146,7 @@ func (t *Tracker) startParallel(workers, ringSize int) error {
 	}
 	t.ow = ow
 	t.lanes = make([]laneState, t.cfg.Sites)
+	t.batch = make([][]stream.Row, t.cfg.Sites)
 	for i := range t.lanes {
 		t.lanes[i].maxT = math.MinInt64
 		t.lanes[i].delivered = math.MinInt64
@@ -157,6 +158,15 @@ func (t *Tracker) startParallel(workers, ringSize int) error {
 
 // Parallel reports whether the tracker was built with WithParallel.
 func (t *Tracker) Parallel() bool { return t.pipe != nil }
+
+// ParallelWorkers returns the number of pipeline worker goroutines, or 0
+// for a sequential tracker.
+func (t *Tracker) ParallelWorkers() int {
+	if t.pipe == nil {
+		return 0
+	}
+	return t.pipe.Workers()
+}
 
 // Drain blocks until every row already handed to TryObserve has been
 // processed by its site and applied at the coordinator. Afterwards Sketch,

@@ -3,6 +3,7 @@ package distwindow_test
 import (
 	"errors"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -116,6 +117,98 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// feedParallelBatched feeds per-site streams through ObserveBatch in runs
+// of batch rows, reusing one staging slice per feeder the way a real
+// batched producer would.
+func feedParallelBatched(t *testing.T, tr *distwindow.Tracker, sites, rowsPerSite, d, batch int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for s := 0; s < sites; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			buf := make([]distwindow.Row, 0, batch)
+			for seq := 0; seq < rowsPerSite; {
+				buf = buf[:0]
+				for len(buf) < batch && seq < rowsPerSite {
+					buf = append(buf, makeRow(d, s, seq))
+					seq++
+				}
+				if n, err := tr.ObserveBatch(s, buf); err != nil || n != len(buf) {
+					t.Errorf("site %d: ObserveBatch accepted %d/%d, err %v", s, n, len(buf), err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// TestParallelDeterminismBatched is the batched-ingest property test: for
+// every one-way protocol, batched-parallel output must be bit-identical to
+// the sequential reference across batch sizes (1, a prime that misaligns
+// with block boundaries, the block size, and the whole ring) and worker
+// counts (1, 2, NumCPU). Batch size may change block boundaries, wakeup
+// patterns and release timing — never the applied operation sequence.
+func TestParallelDeterminismBatched(t *testing.T) {
+	const (
+		d           = 6
+		sites       = 5
+		rowsPerSite = 600
+		ring        = 32
+	)
+	batches := []int{1, 7, 64, ring * 64} // ring*MaxBlock: fills every slot
+	workerCounts := []int{1, 2}
+	if n := runtime.NumCPU(); n != 1 && n != 2 {
+		workerCounts = append(workerCounts, n)
+	}
+	if testing.Short() {
+		batches = []int{7, 64}
+		workerCounts = []int{2}
+	}
+	for _, proto := range []distwindow.Protocol{distwindow.DA1, distwindow.DA2, distwindow.DA2C, distwindow.Decay} {
+		t.Run(string(proto), func(t *testing.T) {
+			cfg := distwindow.Config{
+				Protocol: proto, D: d, W: 64, Eps: 0.2, Sites: sites, Seed: 7, DecayGamma: 0.99,
+			}
+			seq, err := distwindow.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feedSequential(t, seq, sites, rowsPerSite, d)
+			gs, ok := seq.SketchGram()
+			if !ok {
+				t.Fatalf("%s: no SketchGram", proto)
+			}
+			sm := seq.Metrics()
+
+			for _, workers := range workerCounts {
+				for _, batch := range batches {
+					par, err := distwindow.New(cfg, distwindow.WithParallel(workers), distwindow.WithRingSize(ring))
+					if err != nil {
+						t.Fatal(err)
+					}
+					feedParallelBatched(t, par, sites, rowsPerSite, d, batch)
+					par.Drain()
+					gp, _ := par.SketchGram()
+					if !gs.Equal(gp) {
+						t.Errorf("%s workers=%d batch=%d: Gram differs from sequential", proto, workers, batch)
+					}
+					if !seq.Sketch().Equal(par.Sketch()) {
+						t.Errorf("%s workers=%d batch=%d: Sketch differs from sequential", proto, workers, batch)
+					}
+					pm := par.Metrics()
+					if sm.Rows != pm.Rows || sm.Net.WordsUp != pm.Net.WordsUp {
+						t.Errorf("%s workers=%d batch=%d: rows %d vs %d, words up %d vs %d",
+							proto, workers, batch, sm.Rows, pm.Rows, sm.Net.WordsUp, pm.Net.WordsUp)
+					}
+					par.Close()
+				}
+			}
+		})
+	}
+}
+
 // TestParallelDeterminismSkew feeds each site a bounded-out-of-order
 // stream through the reorder buffers. Per site, the buffer releases rows
 // in sorted order — the same per-site sequence the in-order sequential
@@ -181,6 +274,86 @@ func TestParallelDeterminismSkew(t *testing.T) {
 	gp, _ := par.SketchGram()
 	if !gs.Equal(gp) {
 		t.Fatal("parallel Gram with skew reordering differs from in-order sequential")
+	}
+}
+
+// TestParallelDeterminismSkewBatched drives the skew-replay path through
+// ObserveBatch: batches carry out-of-order rows (displacement 2, within the
+// skew horizon), so single blocks deliver into the reorder buffer and its
+// releases — not arrival order — feed the protocol. Output must still match
+// the in-order sequential reference for every batch size.
+func TestParallelDeterminismSkewBatched(t *testing.T) {
+	const (
+		d           = 4
+		sites       = 3
+		rowsPerSite = 300
+		skew        = 8
+		ring        = 32
+	)
+	mk := func(s, seq int) distwindow.Row {
+		r := makeRow(d, s, seq)
+		r.T = int64(seq)
+		return r
+	}
+	cfg := distwindow.Config{Protocol: distwindow.DA1, D: d, W: 50, Eps: 0.2, Sites: sites}
+	seq, err := distwindow.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rowsPerSite; i++ {
+		for s := 0; s < sites; s++ {
+			if err := seq.TryObserve(s, mk(s, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	gs, _ := seq.SketchGram()
+
+	for _, batch := range []int{1, 7, 64, ring * 64} {
+		cfgSkew := cfg
+		cfgSkew.MaxSkew = skew
+		par, err := distwindow.New(cfgSkew, distwindow.WithParallel(2), distwindow.WithRingSize(ring))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < sites; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				buf := make([]distwindow.Row, 0, batch)
+				flush := func() {
+					if len(buf) == 0 {
+						return
+					}
+					if _, err := par.ObserveBatch(s, buf); err != nil {
+						t.Errorf("site %d: %v", s, err)
+					}
+					buf = buf[:0]
+				}
+				for i := 0; i < rowsPerSite; i += 4 {
+					for _, j := range []int{i + 2, i, i + 3, i + 1} {
+						if j < rowsPerSite {
+							buf = append(buf, mk(s, j))
+							if len(buf) == batch {
+								flush()
+							}
+						}
+					}
+				}
+				flush()
+			}(s)
+		}
+		wg.Wait()
+		par.FlushSkew()
+		if dropped := par.Metrics().SkewDropped; dropped != 0 {
+			t.Errorf("batch=%d: unexpected skew drops: %d", batch, dropped)
+		}
+		gp, _ := par.SketchGram()
+		if !gs.Equal(gp) {
+			t.Errorf("batch=%d: batched skew-replay Gram differs from sequential", batch)
+		}
+		par.Close()
 	}
 }
 

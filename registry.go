@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync/atomic"
 
@@ -109,6 +110,37 @@ func (r *Registry) Get(id string) (*Tracker, bool) {
 		return nil, false
 	}
 	return e.t, true
+}
+
+// ShardOf returns the index of the internal shard owning id — a stable,
+// alloc-free hash assignment in [0, registry shard count). Use it to give
+// ingest workers shard-ownership of streams: a feeder plane that routes
+// stream id to worker ShardOf(id) % workers keeps each stream's whole row
+// path on one goroutine (handle resolution hoisted out of the row loop, no
+// cross-worker handoff) and aligns worker lock traffic with the registry's
+// lock stripes.
+func (r *Registry) ShardOf(id string) int { return r.entries.ShardOf(id) }
+
+// IngestWorkers clamps a requested ingest-plane worker count to what can
+// actually run in parallel: at most one worker per stream (a stream's rows
+// are ordered, so extra workers would idle) and at most GOMAXPROCS
+// (oversubscribing cores makes the scheduler rotate working sets through
+// the cache and *loses* throughput — the BENCH_PR8 registry sweep measured
+// 4 workers on one core at two-thirds the 1-worker rate). Feeders should
+// size their goroutine pool with this and stripe streams across it,
+// resolving each stream's handle once per run, not per row.
+func (r *Registry) IngestWorkers(requested, streams int) int {
+	w := requested
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if streams >= 1 && w > streams {
+		w = streams
+	}
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	return w
 }
 
 // Evict closes the stream's tracker, donates its pooled storage

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -250,6 +251,96 @@ func TestRegistryIngestAllocs(t *testing.T) {
 		t.Fatalf("steady-state registry ingest allocates %.1f/row, want 0", allocs)
 	}
 }
+
+// TestRegistryIngestWorkers pins the ingest-plane sizing rule: never more
+// workers than streams (ordered per-stream rows leave extras idle) and
+// never more than GOMAXPROCS (oversubscribing one core measurably loses
+// throughput to cache rotation).
+func TestRegistryIngestWorkers(t *testing.T) {
+	reg := NewRegistry()
+	defer reg.Close()
+	maxp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, streams, want int
+	}{
+		{1, 16, 1},
+		{4, 2, min(2, maxp)},
+		{0, 16, min(16, maxp)},
+		{maxp + 7, 1000, maxp},
+		{3, 0, min(3, maxp)}, // unknown stream count: clamp by cores only
+	}
+	for _, c := range cases {
+		if got := reg.IngestWorkers(c.requested, c.streams); got != c.want {
+			t.Errorf("IngestWorkers(%d, %d) = %d, want %d", c.requested, c.streams, got, c.want)
+		}
+	}
+	// ShardOf: stable and in range.
+	if s := reg.ShardOf("abc"); s < 0 || s != reg.ShardOf("abc") {
+		t.Errorf("ShardOf unstable or negative: %d", s)
+	}
+}
+
+// TestRegistryColdStreamAllocs pins the many-streams warm-up cost: with
+// 256 cold streams sharing one registry, the whole feed — including each
+// stream's histogram warm-up, which the shared pool cannot serve because
+// it is only fed by evictions — must stay cheap per row. This is the
+// BENCH_PR8 regression (1.497 allocs/row at 256 streams vs 0.497 at 16):
+// every Add during warm-up allocated a fresh row buffer. The mEH row slab
+// now amortizes those to one allocation per slab, so the per-row figure
+// stays bounded as the stream count grows.
+func TestRegistryColdStreamAllocs(t *testing.T) {
+	const (
+		nStreams      = 256
+		rowsPerStream = 400
+		d             = 16
+		sites         = 4
+	)
+	cfg := Config{Protocol: DA1, D: d, W: 20000, Eps: 0.1, Sites: sites, Seed: 3}
+	reg := NewRegistry()
+	defer reg.Close()
+	handles := make([]*Tracker, nStreams)
+	for i := range handles {
+		tr, _, err := reg.Open(fmt.Sprintf("s%03d", i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = tr
+	}
+	rng := rand.New(rand.NewSource(3))
+	pool := make([][]float64, 64)
+	for i := range pool {
+		pool[i] = make([]float64, d)
+		for j := range pool[i] {
+			pool[i][j] = rng.NormFloat64()
+		}
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for _, tr := range handles {
+		for seq := 1; seq <= rowsPerStream; seq++ {
+			site := seq % sites
+			if err := tr.TryObserve(site, Row{T: int64(seq), V: pool[seq%len(pool)]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	runtime.ReadMemStats(&after)
+	perRow := float64(after.Mallocs-before.Mallocs) / float64(nStreams*rowsPerStream)
+	t.Logf("cold-stream ingest: %.3f allocs/row over %d streams", perRow, nStreams)
+	if perRow > coldStreamAllocBudget {
+		t.Fatalf("cold-stream ingest allocates %.3f/row at %d streams, budget %.2f",
+			perRow, nStreams, coldStreamAllocBudget)
+	}
+}
+
+// coldStreamAllocBudget is the gate for TestRegistryColdStreamAllocs.
+// Measured on this workload: 1.76 allocs/row before the mEH row slab
+// (every warm-up Add allocated a row buffer), 0.87 after — the remainder
+// is FD sketch warm-up plus the emission buffers the coordinator retains.
+// 1.0 leaves ~15% noise headroom over the fixed figure while still
+// tripping on a warm-up regression of the BENCH_PR8 magnitude.
+const coldStreamAllocBudget = 1.0
 
 // TestRegistryEvictDonatesStorage verifies eviction feeds the shared
 // pools and later opens draw them back down.
