@@ -25,6 +25,14 @@ const (
 	MinSpeedup4 = 2.5
 )
 
+// RegistryParityTolerance is the minimum multi-worker/1-worker ratio the
+// registry falloff gate accepts as parity. On a single-core box the worker
+// clamp makes the cells equivalent, so the true ratio is 1.0 and a strict
+// >= 1.0 check would flip to WARN on ordinary measurement noise; 3% covers
+// that jitter while still catching real regressions like the pre-PR9
+// 40.6k-vs-62.0k falloff (ratio 0.65).
+const RegistryParityTolerance = 0.97
+
 // ParallelCell is one measured cell of the batch-size × workers sweep for
 // one protocol.
 type ParallelCell struct {
@@ -126,7 +134,7 @@ func EvalRegistryScaling(cells []RegistryCell, streams, workers int) Result {
 	ratio := at / base
 	r := Result{Speedup2: 0, Speedup4: 0}
 	r.Reason = fmt.Sprintf("%d streams: %d-worker ingest at %.2fx the 1-worker rate", streams, workers, ratio)
-	if ratio >= 1.0 {
+	if ratio >= RegistryParityTolerance {
 		r.Status = StatusPass
 	} else {
 		r.Status = StatusWarn

@@ -85,3 +85,21 @@ func TestRegistryScaling(t *testing.T) {
 		t.Fatalf("missing cells: status %q, want SKIP", r.Status)
 	}
 }
+
+func TestRegistryScalingNoiseTolerance(t *testing.T) {
+	// On a single-core box the worker clamp makes the cells equivalent, so
+	// the true ratio is 1.0: a tiny shortfall is measurement noise and must
+	// not flip the gate, while a real falloff still WARNs.
+	cells := []RegistryCell{
+		{Streams: 16, Workers: 1, RowsPerSec: 62000},
+		{Streams: 16, Workers: 4, RowsPerSec: 62000 * 0.99}, // within tolerance
+		{Streams: 256, Workers: 1, RowsPerSec: 50000},
+		{Streams: 256, Workers: 4, RowsPerSec: 50000 * 0.9}, // beyond tolerance
+	}
+	if r := EvalRegistryScaling(cells, 16, 4); r.Status != StatusPass {
+		t.Fatalf("ratio 0.99: status %q (%s), want PASS within noise tolerance", r.Status, r.Reason)
+	}
+	if r := EvalRegistryScaling(cells, 256, 4); r.Status != StatusWarn {
+		t.Fatalf("ratio 0.90: status %q (%s), want WARN beyond noise tolerance", r.Status, r.Reason)
+	}
+}

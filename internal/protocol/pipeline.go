@@ -291,9 +291,9 @@ func (p *Pipeline) EnqueueRow(site int, t int64, v []float64) {
 }
 
 // EnqueueRows hands a run of rows to its site's lane in blocks of up to
-// MaxBlock rows — one ring op per block and a single worker wakeup for the
-// whole call, amortizing the per-row atomics and parks of EnqueueRow. All
-// rows must share a dimension. Values are copied; blocks while the ring is
+// MaxBlock rows — one ring op and one (non-blocking) worker wakeup per
+// block, amortizing the per-row atomics and parks of EnqueueRow. All rows
+// must share a dimension. Values are copied; blocks while the ring is
 // full.
 func (p *Pipeline) EnqueueRows(site int, rows []stream.Row) {
 	ln := p.lanes[site]
@@ -306,8 +306,11 @@ func (p *Pipeline) EnqueueRows(site int, rows []stream.Row) {
 		rows = rows[n:]
 		ln.enq.Add(1)
 		ln.ring.push(func(s *laneItem) { s.fillRows(blk) })
+		// Wake per block, not once after the loop: if the worker is parked
+		// and this call carries more blocks than the ring holds, push would
+		// block on a full ring with no one ever told to drain it.
+		p.wakeWorker(site)
 	}
-	p.wakeWorker(site)
 }
 
 // Advance broadcasts a clock-advance token to every lane. Caller must be
@@ -408,9 +411,12 @@ func (p *Pipeline) release(w *workerState) {
 		}
 		ln := w.lanes[li]
 		u := ln.pend.pop()
-		w.localPend.Add(-1)
+		// Order matters: the update must be visible in out-ring + pending
+		// before localPend drops, or Drain/leafKey could observe a moment
+		// where it is counted nowhere and conclude the worker is idle.
 		w.out.push(u)
 		p.pending.Add(1)
+		w.localPend.Add(-1)
 		released = true
 		w.tour.replayWinner(ln.localKey(draining))
 	}

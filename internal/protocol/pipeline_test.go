@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"distwindow/internal/stream"
 )
@@ -303,6 +304,51 @@ func TestPipelineEnqueueRowsOrder(t *testing.T) {
 			t.Fatalf("site %d: got seq %v want %v", u.Site, u.V[0], next[u.Site])
 		}
 		next[u.Site]++
+	}
+}
+
+// TestPipelineEnqueueRowsOverfill pins the parked-worker wakeup: a single
+// EnqueueRows call carrying more blocks than the ring holds must not
+// deadlock. With a per-push wakeup the worker starts draining as soon as
+// the first block lands; with only an end-of-call wakeup the push on a
+// full ring waits forever for a pop that never comes.
+func TestPipelineEnqueueRowsOverfill(t *testing.T) {
+	const ringSize, maxBlock = 4, 2
+	// 40 blocks for a 4-slot ring: the call must overfill many times over.
+	const rows = 40 * maxBlock
+	var mu sync.Mutex
+	var got []Update
+	p := NewPipeline(1, orderHandler{}, func(u Update) {
+		mu.Lock()
+		got = append(got, u)
+		mu.Unlock()
+	}, PipelineConfig{Workers: 1, RingSize: ringSize, MaxBlock: maxBlock})
+	defer p.Close()
+
+	buf := make([]stream.Row, rows)
+	for i := range buf {
+		buf[i] = stream.Row{T: int64(i), V: []float64{float64(i)}}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.EnqueueRows(0, buf)
+		p.Drain(false)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("EnqueueRows deadlocked: parked worker never woken while ring overfilled")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != rows {
+		t.Fatalf("applied %d updates, want %d", len(got), rows)
+	}
+	for i, u := range got {
+		if u.T != int64(i) {
+			t.Fatalf("update %d: got T=%d, want %d", i, u.T, i)
+		}
 	}
 }
 
