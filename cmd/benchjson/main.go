@@ -3,9 +3,12 @@
 // ingest update rate, communication words per window, sketch-query
 // latency, the parallel-vs-sequential ingest ratio, the multi-stream
 // registry throughput sweep, the telemetry-on-vs-off ingest overhead,
-// and the wire-codec comparison (gob vs binary v2 on the Direction
-// frames the protocols actually send) — as a JSON document for machine
-// comparison across changes (`make bench-json` → BENCH_PR9.json).
+// the published-snapshot query path (queries/s under 0/1/8/64 concurrent
+// queriers with ingest running, plus the publish-overhead and
+// querier-interference gates), and the wire-codec comparison (gob vs
+// binary v2 on the Direction frames the protocols actually send) — as a
+// JSON document for machine comparison across changes
+// (`make bench-json` → BENCH_PR10.json).
 // Alongside throughput it records allocs/op for the ingest loop
 // (runtime.MemStats mallocs over the timed rows), sweeps the parallel
 // pipeline over a batch-size × workers grid per protocol and applies the
@@ -34,6 +37,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distwindow"
@@ -141,6 +145,39 @@ type telemetryResult struct {
 	Advisory      string  `json:"advisory,omitempty"`
 }
 
+// queryPathResult measures the published-snapshot read path at one
+// querier count: an armed DA1 tracker ingests the fixed row budget while
+// Queriers goroutines hammer Snapshot/Sketch as fast as they can.
+// IngestRowsPerSec is the ingest loop's rate with that load;
+// QueriesPerSec is the aggregate query rate across all queriers;
+// IngestRatio divides by the same tracker's query-free (0-querier) rate,
+// so 1.0 means queries cost ingest nothing.
+type queryPathResult struct {
+	Protocol         string  `json:"protocol"`
+	Queriers         int     `json:"queriers"`
+	Rows             int64   `json:"rows"`
+	IngestRowsPerSec float64 `json:"ingest_rows_per_sec"`
+	QueriesPerSec    float64 `json:"queries_per_sec"`
+	IngestRatio      float64 `json:"ingest_ratio_vs_query_free"`
+}
+
+// queryPathGates is the scorecard for the snapshot read path.
+// PublishOverheadPct prices arming itself: armed-but-unqueried ingest
+// versus a plain unarmed tracker (budget <3% — the copy-on-publish cost,
+// amortized over the cadence). Ingest8qRatio is the acceptance figure:
+// ingest with 8 concurrent queriers must stay within 5% of query-free
+// ingest (ratio ≥0.95). Queriers run on their own cores by design, so on
+// a single-core machine — where every query steals the only core ingest
+// has — a failed interference gate is advisory, same as the telemetry
+// and parallel-sweep gates.
+type queryPathGates struct {
+	PublishOverheadPct  float64 `json:"publish_overhead_pct"`
+	PublishOverheadPass bool    `json:"publish_overhead_pass"`
+	Ingest8qRatio       float64 `json:"ingest_8q_ratio"`
+	Ingest8qPass        bool    `json:"ingest_8q_pass"`
+	Advisory            string  `json:"advisory,omitempty"`
+}
+
 // codecResult measures one wire framing on steady-state Direction frames
 // at the benchmark dimension — the frame class that dominates every
 // protocol's traffic. FirstFrameBytes includes the stream preamble (gob's
@@ -191,6 +228,8 @@ type doc struct {
 	Registry        []registryResult  `json:"registry"`
 	RegistryGates   []registryGate    `json:"registry_gates"`
 	Telemetry       []telemetryResult `json:"telemetry"`
+	QueryPath       []queryPathResult `json:"query_path"`
+	QueryPathGates  queryPathGates    `json:"query_path_gates"`
 	WireCodec       []codecResult     `json:"wire_codec"`
 	WireCodecGates  codecGates        `json:"wire_codec_gates"`
 }
@@ -305,7 +344,7 @@ func benchCodec(d int, seed int64) ([]codecResult, codecGates) {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR9.json", "output path")
+		out     = flag.String("out", "BENCH_PR10.json", "output path")
 		rows    = flag.Int64("rows", 200_000, "rows to stream per protocol")
 		d       = flag.Int("d", 32, "row dimension")
 		sites   = flag.Int("sites", 8, "number of sites")
@@ -671,6 +710,111 @@ func main() {
 			proto, onBest, offBest, overhead, verdict)
 	}
 
+	// Query path: the published-snapshot read path under concurrent
+	// queriers. Each cell ingests the same row budget into an armed DA1
+	// tracker while q goroutines loop Snapshot → Sketch full-tilt; the
+	// 0-querier armed cell is the interference baseline, and a plain
+	// unarmed run prices the publish overhead itself. Best of two
+	// interleaved trials per cell.
+	qpRows := *rows / 4
+	if qpRows < 1 {
+		qpRows = 1
+	}
+	qpCfg := distwindow.Config{Protocol: distwindow.DA1, D: *d, W: *w, Eps: *eps, Sites: *sites, Seed: *seed}
+	runQueryPath := func(armed bool, queriers int) (ingestRate, queryRate float64) {
+		var opts []distwindow.Option
+		if armed {
+			opts = append(opts, distwindow.WithSnapshots(0))
+		}
+		tr, err := distwindow.New(qpCfg, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tr.Close()
+		var stopQ atomic.Bool
+		var queries atomic.Int64
+		var qwg sync.WaitGroup
+		for q := 0; q < queriers; q++ {
+			qwg.Add(1)
+			go func() {
+				defer qwg.Done()
+				for !stopQ.Load() {
+					s, err := tr.Snapshot()
+					if err != nil {
+						log.Fatal(err)
+					}
+					_ = s.Sketch()
+					queries.Add(1)
+				}
+			}()
+		}
+		start := time.Now()
+		for i := int64(1); i <= qpRows; i++ {
+			k := int(i) & (len(vs) - 1)
+			if err := tr.TryObserve(siteOf[k], distwindow.Row{T: i, V: vs[k]}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		secs := time.Since(start).Seconds()
+		stopQ.Store(true)
+		qwg.Wait()
+		return float64(qpRows) / secs, float64(queries.Load()) / secs
+	}
+	const qpTrials = 2
+	querierCounts := []int{0, 1, 8, 64}
+	bestIngest := make([]float64, len(querierCounts))
+	bestQueries := make([]float64, len(querierCounts))
+	var unarmedBest float64
+	for trial := 0; trial < qpTrials; trial++ {
+		if r, _ := runQueryPath(false, 0); r > unarmedBest {
+			unarmedBest = r
+		}
+		for ci, q := range querierCounts {
+			ir, qr := runQueryPath(true, q)
+			if ir > bestIngest[ci] {
+				bestIngest[ci] = ir
+			}
+			if qr > bestQueries[ci] {
+				bestQueries[ci] = qr
+			}
+		}
+	}
+	var queryPath []queryPathResult
+	for ci, q := range querierCounts {
+		qp := queryPathResult{
+			Protocol:         string(distwindow.DA1),
+			Queriers:         q,
+			Rows:             qpRows,
+			IngestRowsPerSec: bestIngest[ci],
+			QueriesPerSec:    bestQueries[ci],
+			IngestRatio:      bestIngest[ci] / bestIngest[0],
+		}
+		queryPath = append(queryPath, qp)
+		fmt.Printf("querypath  %2d queriers: ingest %9.0f rows/s (%.2fx of query-free)  %9.0f queries/s\n",
+			q, qp.IngestRowsPerSec, qp.IngestRatio, qp.QueriesPerSec)
+	}
+	qpGates := queryPathGates{
+		PublishOverheadPct: (unarmedBest/bestIngest[0] - 1) * 100,
+		Ingest8qRatio:      bestIngest[2] / bestIngest[0],
+	}
+	qpGates.PublishOverheadPass = qpGates.PublishOverheadPct < 3
+	qpGates.Ingest8qPass = qpGates.Ingest8qRatio >= 0.95
+	if !qpGates.Ingest8qPass && parallelSkipped != "" {
+		qpGates.Advisory = "single-core machine: queriers time-share the only ingest core, so the 5% interference budget applies to multi-core runs"
+	}
+	qpVerdict := func(pass bool) string {
+		if pass {
+			return "PASS"
+		}
+		if qpGates.Advisory != "" {
+			return "WARN (advisory: single-core)"
+		}
+		return "FAIL"
+	}
+	fmt.Printf("querypath  gates: publish overhead %+.2f%% %s (<3%% budget); 8-querier ingest %.2fx %s (≥0.95 budget)\n",
+		qpGates.PublishOverheadPct, qpVerdict(qpGates.PublishOverheadPass),
+		qpGates.Ingest8qRatio, qpVerdict(qpGates.Ingest8qPass))
+
 	// Wire codec comparison on the frame class that dominates the
 	// protocols' traffic.
 	codecResults, codecG := benchCodec(*d, *seed)
@@ -710,6 +854,8 @@ func main() {
 		Registry:        regResults,
 		RegistryGates:   regGates,
 		Telemetry:       teleResults,
+		QueryPath:       queryPath,
+		QueryPathGates:  qpGates,
 		WireCodec:       codecResults,
 		WireCodecGates:  codecG,
 	}); err != nil {

@@ -58,6 +58,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"distwindow/internal/audit"
@@ -204,10 +205,21 @@ func wrapCoreConfigErr(err error) error {
 // Concurrency: a sequential Tracker (the default) accepts ingestion from
 // one goroutine at a time. A parallel Tracker (built with WithParallel)
 // accepts concurrent TryObserve calls for distinct sites — at most one
-// feeder goroutine per site — while Advance, FlushSkew, Drain, Sketch,
-// SketchGram and Close require the feeders to be quiescent. In both modes
+// feeder goroutine per site. Advance, FlushSkew, Drain and Close still
+// require the feeders to be quiescent in parallel mode. In both modes
 // Metrics and Stats may be called from other goroutines (e.g. an HTTP
 // metrics handler) at any time.
+//
+// Queries concurrent with ingestion are supported through published
+// snapshots: build the tracker WithSnapshots and Sketch, SketchGram,
+// Snapshot and SnapshotVersion become lock-free reads of the latest
+// published version, safe from any number of goroutines while feeders
+// run, lagging ingest by at most the publication cadence (Drain first for
+// an exact read). Without WithSnapshots, queries keep the legacy exact
+// semantics — they assume quiescent feeders — but are hardened by an
+// internal gate: a query overlapping an in-flight ingest call waits for
+// it (and briefly holds off new ones) instead of racing, and Snapshot
+// reports ErrQueryDuringIngest rather than reading torn state.
 type Tracker struct {
 	inner protocol.Tracker
 	net   *protocol.Network
@@ -245,10 +257,32 @@ type Tracker struct {
 	// pipe, ow and lanes carry the parallel ingestion state installed by
 	// WithParallel; all three are nil/empty on a sequential tracker. ow is
 	// the inner tracker's one-way seam (site half / coordinator half).
-	pipe   *protocol.Pipeline
-	ow     protocol.OneWay
-	lanes  []laneState
-	closed bool
+	pipe  *protocol.Pipeline
+	ow    protocol.OneWay
+	lanes []laneState
+	// closed flips once in Close; queries stay usable afterwards, ingest
+	// does not. Atomic so serving tiers can check it from any goroutine.
+	closed atomic.Bool
+
+	// lastAppliedT is the emission time of the last update applied at the
+	// coordinator in parallel mode. Written only by the pipeline's
+	// coordinator goroutine (via the apply wrapper); the facade reads it
+	// only after a drain barrier.
+	lastAppliedT int64
+
+	// Snapshot publication state (see snapshot.go). snapArmed, snapEvery
+	// and snapper are fixed at construction; snap is the latest published
+	// immutable version; snapSince counts events since the last sequential
+	// publication (ingest goroutine only); gate coordinates exact reads
+	// with ingest.
+	snapArmed bool
+	snapEvery int
+	snapper   protocol.Snapshotter
+	snapSince int
+	snapVer   atomic.Uint64
+	snap      atomic.Pointer[Snapshot]
+	snapPubs  obs.Counter
+	gate      queryGate
 
 	// batch holds per-site staging slices for ObserveBatch's parallel
 	// path. Indexed by site and touched only by that site's feeder
@@ -260,7 +294,7 @@ type Tracker struct {
 // newTracker wires the facade bookkeeping around a built protocol; New and
 // Restore share it so the metric fields are always initialized.
 func newTracker(inner protocol.Tracker, net *protocol.Network, cfg Config) *Tracker {
-	t := &Tracker{inner: inner, net: net, cfg: cfg, maxT: math.MinInt64, delivered: math.MinInt64}
+	t := &Tracker{inner: inner, net: net, cfg: cfg, maxT: math.MinInt64, delivered: math.MinInt64, lastAppliedT: math.MinInt64}
 	if bc, ok := inner.(core.BucketCounter); ok {
 		t.buckets = bc
 	}
@@ -342,6 +376,13 @@ func (t *Tracker) applyOptions(o *options) error {
 	if o.haveSink {
 		t.SetSink(o.sink)
 	}
+	if o.snapshots {
+		// Arm before the pipeline starts so the coordinator goroutine
+		// inherits the armed state (goroutine creation orders the writes).
+		if err := t.armSnapshots(o.snapEvery); err != nil {
+			return err
+		}
+	}
 	if o.tracing != nil {
 		t.EnableTracing(*o.tracing)
 	}
@@ -392,6 +433,15 @@ const latSampleMask = 15
 // returned as ErrStale. The call blocks for backpressure when the site's
 // ring is full.
 func (t *Tracker) TryObserve(site int, r Row) error {
+	t.gate.enterShared()
+	err := t.tryObserve1(site, r)
+	t.gate.exitShared()
+	return err
+}
+
+// tryObserve1 is TryObserve without the gate — ObserveBatch's sequential
+// loop calls it once per row under a single gate entry.
+func (t *Tracker) tryObserve1(site int, r Row) error {
 	if site < 0 || site >= t.cfg.Sites {
 		return fmt.Errorf("%w: site %d not in [0,%d)", ErrSiteRange, site, t.cfg.Sites)
 	}
@@ -446,6 +496,7 @@ func (t *Tracker) deliver(site int, r stream.Row) {
 		if t.aud != nil {
 			t.aud.Observe(r.T, r.V)
 		}
+		t.snapTick()
 		return
 	}
 	sp := t.tracer.Start(trace.OpIngest, site, r.T)
@@ -461,6 +512,7 @@ func (t *Tracker) deliver(site int, r stream.Row) {
 	if t.aud != nil {
 		t.aud.Observe(r.T, r.V)
 	}
+	t.snapTick()
 }
 
 // deliverSkew forwards a buffer-released row, dropping it if delivery
@@ -509,11 +561,13 @@ func (t *Tracker) Observe(site int, r Row) {
 // Metrics rather than reported here, so accepted counts the structurally
 // valid rows.
 func (t *Tracker) ObserveBatch(site int, rows []Row) (accepted int, err error) {
+	t.gate.enterShared()
+	defer t.gate.exitShared()
 	if t.pipe != nil {
 		return t.observeBatchParallel(site, rows)
 	}
 	for _, r := range rows {
-		if err := t.TryObserve(site, r); err != nil {
+		if err := t.tryObserve1(site, r); err != nil {
 			if errors.Is(err, ErrStale) {
 				continue
 			}
@@ -560,12 +614,16 @@ func (t *Tracker) observeBatchParallel(site int, rows []Row) (accepted int, err 
 // quiescent.
 func (t *Tracker) FlushSkew() {
 	if t.pipe != nil {
-		t.quiesce(true)
+		t.gate.exclusive()
+		t.quiesceAt(true)
+		t.gate.exitExclusive()
 		return
 	}
 	if t.skew == nil {
 		return
 	}
+	t.gate.enterShared()
+	defer t.gate.exitShared()
 	type tagged struct {
 		site int
 		r    stream.Row
@@ -601,6 +659,8 @@ func (t *Tracker) SkewDropped() int64 { return t.skewDropped.Load() }
 // every site's lane (feeders must be quiescent); the expiry work itself
 // runs on the workers and is awaited by the next Drain or query.
 func (t *Tracker) Advance(now int64) {
+	t.gate.enterShared()
+	defer t.gate.exitShared()
 	if t.pipe != nil {
 		t.pipe.Advance(now)
 		return
@@ -615,16 +675,31 @@ func (t *Tracker) Advance(now int64) {
 	if t.aud != nil {
 		t.aud.Advance(now)
 	}
+	t.snapTick()
 }
 
 // Sketch returns the coordinator's current covariance sketch B. The
-// number of rows varies by protocol; the column count is always D. On a
-// parallel tracker the query first drains the pipeline, so the sketch
-// reflects every row previously handed to TryObserve (feeders must be
-// quiescent).
+// number of rows varies by protocol; the column count is always D.
+//
+// On a tracker built WithSnapshots, Sketch serves the latest published
+// snapshot — lock-free, safe concurrently with live ingestion from any
+// number of goroutines, at most one publication cadence behind (call
+// Drain first for an exact read; see Snapshot for version metadata).
+//
+// Otherwise Sketch is an exact read: on a parallel tracker it first
+// drains the pipeline, so the sketch reflects every row previously handed
+// to TryObserve (feeders should be quiescent; an overlapping ingest call
+// is waited out, and new ones are held off, rather than raced with).
 func (t *Tracker) Sketch() *mat.Dense {
+	if t.snapArmed {
+		s := t.snap.Load()
+		t.countQueryAt(s.deliveredAt)
+		return s.Sketch()
+	}
+	t.gate.exclusive()
+	defer t.gate.exitExclusive()
 	if t.pipe != nil {
-		t.quiesce(false)
+		t.quiesceAt(false)
 	}
 	t.countQuery()
 	sp := t.tracer.StartDetached(trace.OpQuery, -1, t.delivered)
@@ -645,10 +720,23 @@ type GramSketcher interface {
 // directly, when the underlying protocol implements GramSketcher (the
 // deterministic family). Sketch() factors the PSD-clipped Ĉ, an O(d³) step
 // per query that evaluation loops can skip by comparing against Ĉ instead.
+// With WithSnapshots the estimate comes from the latest published snapshot
+// (see Sketch for the concurrency and lag semantics).
 func (t *Tracker) SketchGram() (*mat.Dense, bool) {
+	if t.snapArmed {
+		s := t.snap.Load()
+		g, ok := s.SketchGram()
+		if !ok {
+			return nil, false
+		}
+		t.countQueryAt(s.deliveredAt)
+		return g, true
+	}
 	if g, ok := t.inner.(GramSketcher); ok {
+		t.gate.exclusive()
+		defer t.gate.exitExclusive()
 		if t.pipe != nil {
-			t.quiesce(false)
+			t.quiesceAt(false)
 		}
 		t.countQuery()
 		sp := t.tracer.StartDetached(trace.OpQuery, -1, t.delivered)
@@ -659,11 +747,15 @@ func (t *Tracker) SketchGram() (*mat.Dense, bool) {
 	return nil, false
 }
 
-// countQuery records one coordinator query.
-func (t *Tracker) countQuery() {
+// countQuery records one coordinator query; it reads maxT, so callers must
+// exclude concurrent ingest (the snapshot path uses countQueryAt instead).
+func (t *Tracker) countQuery() { t.countQueryAt(t.maxT) }
+
+// countQueryAt records one coordinator query stamped at the given
+// watermark; safe from any goroutine.
+func (t *Tracker) countQueryAt(at int64) {
 	t.queries.Inc()
 	if t.sink != nil {
-		at := t.maxT
 		if at == math.MinInt64 {
 			at = 0
 		}
@@ -717,6 +809,8 @@ func NewAggregate(cfg Config, opts ...Option) (*AggregateTracker, error) {
 		return nil, fmt.Errorf("%w: NewAggregate cannot run WithTracing", ErrOptionUnsupported)
 	case o.audit != nil:
 		return nil, fmt.Errorf("%w: NewAggregate cannot run WithAudit (the auditor shadows a matrix window)", ErrOptionUnsupported)
+	case o.snapshots:
+		return nil, fmt.Errorf("%w: NewAggregate cannot run WithSnapshots (the scalar estimate is already a single atomic read away)", ErrOptionUnsupported)
 	}
 	ccfg := core.Config{D: 1, W: cfg.W, Eps: cfg.Eps, Sites: cfg.Sites}
 	if err := ccfg.Validate(); err != nil {

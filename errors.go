@@ -37,6 +37,15 @@ var (
 // neither a pipeline nor a matrix shadow path. Match with errors.Is.
 var ErrOptionUnsupported = errors.New("distwindow: option unsupported")
 
+// ErrQueryDuringIngest is returned (wrapped, with detail) by
+// Tracker.Snapshot on a tracker built without WithSnapshots when an ingest
+// call is in flight: with no published snapshot to serve, answering would
+// mean reading the coordinator state mid-mutation — the silent data race
+// this error makes loud. Quiesce the feeders and retry, or build the
+// tracker WithSnapshots so queries read published versions instead.
+// Match with errors.Is.
+var ErrQueryDuringIngest = errors.New("distwindow: query during ingest")
+
 // ErrParallelUnsupported is returned (wrapped, with detail) by New when
 // WithParallel is combined with a configuration the pipeline cannot run:
 // a sampling-family protocol (their coordinator talks back to the sites, so

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+
+	"distwindow/internal/protocol"
+	"distwindow/mat"
+)
+
+// gramSnapshot freezes a one-way tracker's coordinator Gram estimate Ĉ.
+// The chat copy is owned by the snapshot and never written again, so all
+// methods are safe from any goroutine. Sketch recomputes the PSD square
+// root per call (PSDSqrt does not mutate its input); the float-op sequence
+// is identical to the live tracker's Sketch at the same point in the apply
+// order, so the result is bit-identical to a quiesced query.
+type gramSnapshot struct {
+	chat *mat.Dense
+}
+
+func (g gramSnapshot) Sketch() *mat.Dense       { return mat.PSDSqrt(g.chat) }
+func (g gramSnapshot) Gram() (*mat.Dense, bool) { return g.chat, true }
+
+// sketchSnapshot freezes a sampling tracker's materialized sketch B. The
+// sampling family keeps no coordinator Gram, so Gram reports absence.
+type sketchSnapshot struct {
+	b *mat.Dense
+}
+
+func (s sketchSnapshot) Sketch() *mat.Dense       { return s.b.Clone() }
+func (s sketchSnapshot) Gram() (*mat.Dense, bool) { return nil, false }
+
+// SnapshotCoord freezes Ĉ. Safe from the apply-owning goroutine only.
+func (t *DA1) SnapshotCoord() protocol.CoordSnapshot {
+	return gramSnapshot{chat: t.chat.Clone()}
+}
+
+// SnapshotCoord freezes Ĉ. Safe from the apply-owning goroutine only.
+func (t *DA2) SnapshotCoord() protocol.CoordSnapshot {
+	return gramSnapshot{chat: t.chat.Clone()}
+}
+
+// SnapshotCoord freezes Ĉ decayed to the tracker's clock — the same value
+// Sketch/SketchGram would observe — without touching the live chat: the
+// decay multiplier is applied to the clone. In parallel mode the facade
+// never advances t.now (lanes carry per-site clocks), so the guard leaves
+// the clone at chatT, the emission time of the last applied update; the
+// snapshot then lags the newest decay tick, which the facade's snapshot
+// contract documents.
+func (t *DecayTracker) SnapshotCoord() protocol.CoordSnapshot {
+	c := t.chat.Clone()
+	if t.now > t.chatT {
+		mat.ScaleInPlace(c, math.Pow(t.gamma, float64(t.now-t.chatT)))
+	}
+	return gramSnapshot{chat: c}
+}
+
+// SnapshotCoord materializes the current sample set into a frozen sketch.
+// Safe from the ingest goroutine only (the sampling family is sequential).
+func (s *Sampler) SnapshotCoord() protocol.CoordSnapshot {
+	return sketchSnapshot{b: s.Sketch()}
+}
+
+// SnapshotCoord materializes the current draws into a frozen sketch.
+func (t *WithReplacement) SnapshotCoord() protocol.CoordSnapshot {
+	return sketchSnapshot{b: t.Sketch()}
+}
+
+var (
+	_ protocol.Snapshotter = (*DA1)(nil)
+	_ protocol.Snapshotter = (*DA2)(nil)
+	_ protocol.Snapshotter = (*DecayTracker)(nil)
+	_ protocol.Snapshotter = (*Sampler)(nil)
+	_ protocol.Snapshotter = (*WithReplacement)(nil)
+)

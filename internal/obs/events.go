@@ -45,6 +45,10 @@ const (
 	EvSiteStale
 	// EvSiteResync: a site previously marked stale delivered a frame again.
 	EvSiteResync
+	// EvSnapshotPublish: the coordinator published a new immutable sketch
+	// snapshot for the lock-free query path. T is the snapshot's delivered
+	// watermark, N its version (truncated to int).
+	EvSnapshotPublish
 
 	numEventKinds = iota
 )
@@ -65,6 +69,7 @@ var eventKindNames = [...]string{
 	EvMsgDeduped:             "msg_deduped",
 	EvSiteStale:              "site_stale",
 	EvSiteResync:             "site_resync",
+	EvSnapshotPublish:        "snapshot_publish",
 }
 
 // String returns the kind's snake_case name.

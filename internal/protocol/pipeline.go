@@ -48,6 +48,15 @@ type PipelineConfig struct {
 	// MaxBlock caps the rows per ring block. ≤0 means 64. EnqueueRows
 	// splits longer runs into MaxBlock-row blocks, each one ring op.
 	MaxBlock int
+	// PostApply, if non-nil, is called from the coordinator goroutine at
+	// the end of every apply pass with the number of updates the pass
+	// applied (possibly zero). It runs before the pass's updates are
+	// subtracted from the pending count, so Drain's pending==0 barrier
+	// also covers the hook: once Drain returns, no PostApply call is in
+	// flight for pre-drain work. The hook must not block for long — it
+	// stalls the apply loop, not ingest — and must not call back into the
+	// pipeline except via Kick.
+	PostApply func(applied int)
 }
 
 // pendQueue is a lane's worker-local FIFO of emitted-but-unreleased
@@ -199,10 +208,11 @@ func (w *workerState) idle() bool {
 // rings are single-producer), and Advance/Drain/MinProgress/Close must not
 // run concurrently with any enqueue.
 type Pipeline struct {
-	lanes   []*lane
-	workers []*workerState
-	h       LaneHandler
-	apply   func(Update)
+	lanes     []*lane
+	workers   []*workerState
+	h         LaneHandler
+	apply     func(Update)
+	postApply func(applied int)
 
 	maxBlock int
 
@@ -239,12 +249,13 @@ func NewPipeline(sites int, h LaneHandler, apply func(Update), cfg PipelineConfi
 		maxBlock = 64
 	}
 	p := &Pipeline{
-		h:        h,
-		apply:    apply,
-		maxBlock: maxBlock,
-		tour:     newTournament(workers),
-		kick:     make(chan struct{}, 1),
-		stopc:    make(chan struct{}),
+		h:         h,
+		apply:     apply,
+		postApply: cfg.PostApply,
+		maxBlock:  maxBlock,
+		tour:      newTournament(workers),
+		kick:      make(chan struct{}, 1),
+		stopc:     make(chan struct{}),
 	}
 	p.lanes = make([]*lane, sites)
 	for i := range p.lanes {
@@ -469,6 +480,7 @@ func (p *Pipeline) coordinator() {
 		if changed {
 			p.tour.rebuild()
 		}
+		applied := 0
 		for {
 			wi, real := p.tour.min()
 			if !real {
@@ -477,11 +489,27 @@ func (p *Pipeline) coordinator() {
 			w := p.workers[wi]
 			u := w.out.pop()
 			p.apply(u)
-			p.pending.Add(-1)
+			applied++
 			p.tour.replayWinner(p.leafKey(w))
+		}
+		// The hook runs between the applies and the pending decrement so
+		// Drain's pending==0 barrier proves the hook has seen (and, e.g.,
+		// published) everything drained — a reader after Drain can rely on
+		// the snapshot covering the drained prefix.
+		if p.postApply != nil {
+			p.postApply(applied)
+		}
+		if applied > 0 {
+			p.pending.Add(-int64(applied))
 		}
 	}
 }
+
+// Kick nudges the coordinator goroutine to run a pass even when no release
+// has signalled new work — used by snapshot readers to force a PostApply
+// publication opportunity while the pipeline is otherwise idle. Safe from
+// any goroutine; never blocks.
+func (p *Pipeline) Kick() { p.kickCoord() }
 
 // leafKey computes a worker's current merge key: the head of its out-ring
 // if an update is waiting, else +inf during a drain once the worker is

@@ -92,6 +92,15 @@ type Metrics struct {
 	// TraceSpans is the number of causal-trace spans recorded so far
 	// (0 unless Tracker.EnableTracing was called).
 	TraceSpans int64 `json:",omitempty"`
+	// SnapshotVersion is the latest published snapshot's version; 0 when
+	// no snapshot has been published (see WithSnapshots).
+	SnapshotVersion uint64 `json:",omitempty"`
+	// SnapshotPublishes counts snapshot publications.
+	SnapshotPublishes int64 `json:",omitempty"`
+	// SnapshotLagRows is the number of rows delivered since the latest
+	// snapshot was taken — the read path's staleness in rows (approximate
+	// in parallel mode, where rows are counted at the sites).
+	SnapshotLagRows int64 `json:",omitempty"`
 }
 
 // Metrics returns a snapshot of the tracker's counters. It is safe to call
@@ -112,6 +121,13 @@ func (t *Tracker) Metrics() Metrics {
 	if t.aud != nil {
 		am := t.aud.Metrics()
 		m.Audit = &am
+	}
+	if s := t.snap.Load(); s != nil {
+		m.SnapshotVersion = s.version
+		m.SnapshotPublishes = t.snapPubs.Load()
+		if lag := m.Rows - s.rows; lag > 0 {
+			m.SnapshotLagRows = lag
+		}
 	}
 	return m
 }
@@ -174,6 +190,11 @@ func (t *Tracker) WritePrometheusTo(w io.Writer) error {
 	pw.Counter("distwindow_words_down_total", "Words sent from the coordinator to sites.", ls, float64(m.Net.WordsDown))
 	pw.Gauge("distwindow_max_site_words", "Maximum words of state held by any site.", ls, float64(m.Net.MaxSiteWords))
 	pw.Histogram("distwindow_update_latency_seconds", "Sampled per-row update latency.", ls, m.UpdateLatency)
+	if m.SnapshotVersion > 0 {
+		pw.Gauge("distwindow_snapshot_version", "Latest published sketch snapshot version.", ls, float64(m.SnapshotVersion))
+		pw.Counter("distwindow_snapshot_publishes_total", "Sketch snapshot publications.", ls, float64(m.SnapshotPublishes))
+		pw.Gauge("distwindow_snapshot_lag_rows", "Rows delivered since the latest snapshot.", ls, float64(m.SnapshotLagRows))
+	}
 	if m.Audit != nil {
 		pw.Gauge("distwindow_epsilon", "Configured error budget ε.", ls, m.Audit.Eps)
 		pw.Gauge("distwindow_epsilon_error", "Latest audited covariance error.", ls, m.Audit.LastErr)

@@ -4,13 +4,15 @@ import "distwindow/internal/core"
 
 // options collects the construction-time settings applied by New.
 type options struct {
-	parallel bool
-	workers  int
-	ringSize int
-	sink     Sink
-	haveSink bool
-	tracing  *TraceConfig
-	audit    *AuditConfig
+	parallel  bool
+	workers   int
+	ringSize  int
+	sink      Sink
+	haveSink  bool
+	tracing   *TraceConfig
+	audit     *AuditConfig
+	snapshots bool
+	snapEvery int
 	// pools shares workspace/mEH storage across trackers; set only by the
 	// Registry (withPools) — sharing is an ownership contract the registry
 	// manages, not something callers opt into per tracker.
@@ -77,6 +79,29 @@ func WithParallel(workers int) Option {
 // block until its worker catches up — backpressure, not loss.
 func WithRingSize(n int) Option {
 	return func(o *options) { o.ringSize = n }
+}
+
+// WithSnapshots arms the lock-free published-snapshot read path: the
+// tracker publishes an immutable, versioned copy of its coordinator state
+// at construction and every `every` events thereafter (sequential mode:
+// delivered rows and clock advances; parallel mode: updates applied at the
+// coordinator — passes that apply nothing publish nothing, because the
+// state cannot have changed). ≤0 means the default cadence, 256.
+//
+// On an armed tracker, Sketch, SketchGram, Snapshot, SnapshotVersion and
+// the analytics derived from Snapshot read the latest published version
+// without locks — safe from any number of goroutines concurrently with
+// live ingestion, at most one cadence behind it. Drain publishes a fresh
+// snapshot, so Drain-then-query is exact. Each publication copies the
+// small coordinator state (O(d²) for the deterministic family), amortized
+// across the cadence; sinks installed alongside snapshots may be invoked
+// from the publishing goroutine and must be safe for concurrent use in
+// parallel mode.
+func WithSnapshots(every int) Option {
+	return func(o *options) {
+		o.snapshots = true
+		o.snapEvery = every
+	}
 }
 
 // WithSink installs an event sink from the start (see Tracker.SetSink for

@@ -1,0 +1,303 @@
+package distwindow
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distwindow/internal/obs"
+	"distwindow/internal/protocol"
+	"distwindow/mat"
+)
+
+// This file holds the lock-free published-snapshot read path: immutable,
+// versioned copies of the coordinator's small state, swapped in via an
+// atomic pointer, so queries never contend with ingest.
+//
+// Arming (WithSnapshots) publishes version 1 at construction, so an armed
+// tracker always has a snapshot to serve: Sketch, SketchGram, Snapshot and
+// the analytics derived from them become pure reads of the latest
+// published version, safe from any number of goroutines while ingestion
+// runs. Publication happens on the goroutine that owns coordinator applies
+// (the ingest goroutine sequentially, the pipeline's coordinator goroutine
+// in parallel mode), every snapEvery events, plus at every drain point —
+// Drain, FlushSkew, Close — so "Drain then query" reads an exact,
+// fully-caught-up state.
+//
+// Unarmed trackers keep the legacy exact read path, hardened: a queryGate
+// detects (and excludes) in-flight ingest instead of silently racing with
+// it.
+
+// defaultSnapEvery is the publication cadence when WithSnapshots(0) asks
+// for the default: one publish per 256 events (sequential: delivered rows
+// and clock advances; parallel: applied coordinator updates). The d×d copy
+// a publish performs is amortized to a few floats per event.
+const defaultSnapEvery = 256
+
+// queryGate coordinates exact coordinator reads with ingestion. It is a
+// tiny reader-writer try-lock over one atomic word: ≥0 counts in-flight
+// ingest operations (shared holders), −1 marks an exclusive holder (an
+// exact query, a drain, or Close). Armed snapshot reads never touch the
+// gate — they only load the published pointer.
+type queryGate struct{ state atomic.Int64 }
+
+func (g *queryGate) enterShared() {
+	for i := 0; ; i++ {
+		v := g.state.Load()
+		if v >= 0 && g.state.CompareAndSwap(v, v+1) {
+			return
+		}
+		gateBackoff(i)
+	}
+}
+
+func (g *queryGate) exitShared() { g.state.Add(-1) }
+
+// tryExclusive claims the gate iff no ingest call (and no other exclusive
+// holder) is in flight.
+func (g *queryGate) tryExclusive() bool { return g.state.CompareAndSwap(0, -1) }
+
+// exclusive blocks until the gate is free, then claims it. In-flight
+// ingest calls finish; new ones spin in enterShared until release.
+func (g *queryGate) exclusive() {
+	for i := 0; !g.tryExclusive(); i++ {
+		gateBackoff(i)
+	}
+}
+
+func (g *queryGate) exitExclusive() { g.state.Store(0) }
+
+// gateBackoff yields briefly, then backs off to short sleeps; gate waits
+// are bounded by in-flight calls (shared sections never block on the gate,
+// exclusive sections are a drain plus an O(d²) copy).
+func gateBackoff(i int) {
+	if i < 100 {
+		runtime.Gosched()
+	} else {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Snapshot is one immutable published version of the coordinator's sketch
+// state. All methods are safe for concurrent use by any number of
+// goroutines, and a Snapshot stays valid indefinitely — across later
+// publications, Drain, Close and even Registry eviction (its storage is
+// owned copies, never pooled buffers).
+//
+// Derived results (the factored sketch, PCA bases, anomaly scorers) are
+// computed lazily once per snapshot and cached, so N concurrent queriers
+// of one version share a single O(d³) factorization.
+type Snapshot struct {
+	version     uint64
+	deliveredAt int64
+	rows        int64
+	proto       string
+	coord       protocol.CoordSnapshot
+
+	mu      sync.Mutex
+	sketch  *mat.Dense
+	pca     map[int]PCA
+	scorers map[int]*AnomalyScorer
+}
+
+// Version is the snapshot's publication sequence number, starting at 1
+// (the empty state published when snapshots are armed). Versions increase
+// by exactly 1 per publication.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// DeliveredAt is the stream timestamp watermark the snapshot reflects: the
+// highest timestamp delivered to the protocol (sequential mode) or applied
+// at the coordinator (parallel mode) when the snapshot was taken.
+// math.MinInt64 until anything was delivered.
+func (s *Snapshot) DeliveredAt() int64 { return s.deliveredAt }
+
+// Rows is the tracker's delivered-row count when the snapshot was taken.
+// In parallel mode rows are counted at the sites while the snapshot cuts
+// at the coordinator's apply order, so the figure is approximate there.
+func (s *Snapshot) Rows() int64 { return s.rows }
+
+// Protocol is the display name of the protocol that produced the snapshot.
+func (s *Snapshot) Protocol() string { return s.proto }
+
+// Sketch returns the snapshot's covariance sketch B (see Tracker.Sketch).
+// The result is a fresh copy owned by the caller; the underlying
+// factorization is computed once per snapshot and cached.
+func (s *Snapshot) Sketch() *mat.Dense { return s.cachedSketch().Clone() }
+
+// SketchGram returns a copy of the snapshot's coordinator Gram estimate
+// Ĉ ≈ A_wᵀA_w when the protocol maintains one (the deterministic family;
+// see Tracker.SketchGram). The copy is owned by the caller.
+func (s *Snapshot) SketchGram() (*mat.Dense, bool) {
+	g, ok := s.coord.Gram()
+	if !ok {
+		return nil, false
+	}
+	return g.Clone(), true
+}
+
+// PCA returns the snapshot's approximate top-k principal component basis
+// (see SketchPCA). The basis is computed once per (snapshot, k) and
+// cached; the returned PCA is a copy owned by the caller.
+func (s *Snapshot) PCA(k int) PCA {
+	p := s.cachedPCA(k)
+	return PCA{
+		Components: p.Components.Clone(),
+		Values:     append([]float64(nil), p.Values...),
+	}
+}
+
+// AnomalyScorer returns a scorer over the snapshot's top-k subspace (see
+// NewAnomalyScorer). The scorer is cached per (snapshot, k) and shared:
+// Score only reads the basis, so one scorer may serve any number of
+// concurrent callers.
+func (s *Snapshot) AnomalyScorer(k int) *AnomalyScorer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sc, ok := s.scorers[k]; ok {
+		return sc
+	}
+	sc := &AnomalyScorer{basis: s.pcaLocked(k).Components}
+	if s.scorers == nil {
+		s.scorers = make(map[int]*AnomalyScorer)
+	}
+	s.scorers[k] = sc
+	return sc
+}
+
+func (s *Snapshot) cachedSketch() *mat.Dense {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sketchLocked()
+}
+
+func (s *Snapshot) sketchLocked() *mat.Dense {
+	if s.sketch == nil {
+		s.sketch = s.coord.Sketch()
+	}
+	return s.sketch
+}
+
+func (s *Snapshot) cachedPCA(k int) PCA {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pcaLocked(k)
+}
+
+func (s *Snapshot) pcaLocked(k int) PCA {
+	if p, ok := s.pca[k]; ok {
+		return p
+	}
+	p := SketchPCA(s.sketchLocked(), k)
+	if s.pca == nil {
+		s.pca = make(map[int]PCA)
+	}
+	s.pca[k] = p
+	return p
+}
+
+// armSnapshots turns on snapshot publication and publishes version 1 (the
+// tracker's pre-traffic state), so the read path never observes "no
+// snapshot yet". Called by applyOptions before the parallel pipeline
+// starts, so the coordinator goroutine inherits the armed state.
+func (t *Tracker) armSnapshots(every int) error {
+	sn, ok := t.inner.(protocol.Snapshotter)
+	if !ok {
+		return fmt.Errorf("%w: protocol %s cannot publish coordinator snapshots", ErrOptionUnsupported, t.inner.Name())
+	}
+	if every <= 0 {
+		every = defaultSnapEvery
+	}
+	t.snapper, t.snapEvery, t.snapArmed = sn, every, true
+	t.publishAt(math.MinInt64)
+	return nil
+}
+
+// publishAt freezes the coordinator state into a new snapshot version and
+// swaps it in. It must run on the goroutine that owns coordinator applies
+// (or with that goroutine provably idle: after a drain barrier with the
+// gate held exclusively).
+func (t *Tracker) publishAt(at int64) {
+	s := &Snapshot{
+		version:     t.snapVer.Add(1),
+		deliveredAt: at,
+		rows:        t.rows.Load(),
+		proto:       t.inner.Name(),
+		coord:       t.snapper.SnapshotCoord(),
+	}
+	t.snap.Store(s)
+	t.snapPubs.Inc()
+	t.snapSince = 0
+	if t.sink != nil {
+		evAt := at
+		if evAt == math.MinInt64 {
+			evAt = 0
+		}
+		t.sink.OnEvent(obs.Event{Kind: obs.EvSnapshotPublish, Site: -1, T: evAt, N: int(s.version)})
+	}
+}
+
+// snapTick advances the sequential publication cadence by one event
+// (a delivered row or a clock advance); ingest goroutine only.
+func (t *Tracker) snapTick() {
+	if !t.snapArmed {
+		return
+	}
+	t.snapSince++
+	if t.snapSince >= t.snapEvery {
+		t.publishAt(t.delivered)
+	}
+}
+
+// Snapshot returns an immutable, versioned view of the coordinator state.
+//
+// On a tracker built WithSnapshots it returns the latest published version
+// without taking any lock — safe from any goroutine while ingestion runs,
+// lagging live ingest by at most the publication cadence (call Drain first
+// for an exact, fully-caught-up version). On other trackers it takes a
+// one-off exact snapshot when no ingest call is in flight — briefly
+// excluding new ones — and fails with ErrQueryDuringIngest otherwise,
+// making the un-quiesced query a loud error instead of a data race.
+func (t *Tracker) Snapshot() (*Snapshot, error) {
+	if t.snapArmed {
+		return t.snap.Load(), nil
+	}
+	snapper, ok := t.inner.(protocol.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("%w: protocol %s cannot publish coordinator snapshots", ErrOptionUnsupported, t.inner.Name())
+	}
+	if !t.gate.tryExclusive() {
+		return nil, fmt.Errorf("%w: build the tracker WithSnapshots for lock-free queries, or quiesce the feeders", ErrQueryDuringIngest)
+	}
+	t.snapper = snapper
+	var at int64
+	if t.pipe != nil {
+		at = t.quiesceAt(false)
+	} else {
+		at = t.delivered
+	}
+	t.publishAt(at)
+	s := t.snap.Load()
+	t.gate.exitExclusive()
+	return s, nil
+}
+
+// SnapshotVersion returns the latest published snapshot's version, or 0
+// when none has been published. Safe from any goroutine.
+func (t *Tracker) SnapshotVersion() uint64 {
+	if s := t.snap.Load(); s != nil {
+		return s.version
+	}
+	return 0
+}
+
+// SnapshotsEnabled reports whether the tracker was built WithSnapshots.
+func (t *Tracker) SnapshotsEnabled() bool { return t.snapArmed }
+
+// Closed reports whether Close was called. Queries (and snapshots taken
+// earlier) remain usable on a closed tracker; ingestion does not. Safe
+// from any goroutine — serving tiers use it to turn queries against an
+// evicted stream into an error instead of undefined behavior.
+func (t *Tracker) Closed() bool { return t.closed.Load() }
